@@ -1,0 +1,298 @@
+(** lockdoc — command-line front end.
+
+    Subcommands follow the paper's pipeline (Fig. 5): [trace] records an
+    execution of the simulated kernel, [import] post-processes a trace,
+    [derive]/[doc]/[check]/[violations] are the phase-❷/❸ tools, and
+    [repro] regenerates the evaluation tables and figures. *)
+
+open Cmdliner
+
+module Run = Lockdoc_ksim.Run
+module Kernel = Lockdoc_ksim.Kernel
+module Trace = Lockdoc_trace.Trace
+module Import = Lockdoc_db.Import
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Docgen = Lockdoc_core.Docgen
+module Violation = Lockdoc_core.Violation
+module Registry = Lockdoc_experiments.Registry
+module Context = Lockdoc_experiments.Context
+
+(* {2 Common options} *)
+
+let scale_arg =
+  Arg.(value & opt int 8 & info [ "scale" ] ~docv:"N"
+         ~doc:"Workload iteration multiplier (trace volume).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"PRNG seed; runs are deterministic per seed.")
+
+let tac_arg =
+  Arg.(value & opt float 0.9 & info [ "tac" ] ~docv:"T"
+         ~doc:"Acceptance threshold for hypothesis selection.")
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file produced by $(b,lockdoc trace).")
+
+let type_arg =
+  Arg.(value & opt (some string) None & info [ "type" ] ~docv:"KEY"
+         ~doc:"Restrict to one type key (e.g. inode:ext4, dentry).")
+
+let run_config scale seed =
+  { Run.kernel = { Kernel.default_config with Kernel.seed };
+    Run.scale = scale; Run.faults = true }
+
+let load_dataset path =
+  let trace = Trace.load path in
+  let store, stats = Import.run trace in
+  (Dataset.of_store store, stats)
+
+(* {2 trace} *)
+
+let trace_cmd =
+  let output =
+    Arg.(value & opt string "lockdoc.trace" & info [ "o"; "output" ]
+           ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let run scale seed output =
+    let trace, _cov = Run.benchmark_mix ~config:(run_config scale seed) () in
+    Trace.save output trace;
+    Printf.printf "wrote %d events to %s\n"
+      (Array.length trace.Trace.events) output
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Run the benchmark mix and record a trace")
+    Term.(const run $ scale_arg $ seed_arg $ output)
+
+(* {2 import} *)
+
+let import_cmd =
+  let run path =
+    let _, stats = load_dataset path in
+    Format.printf "%a@." Import.pp_stats stats
+  in
+  Cmd.v (Cmd.info "import" ~doc:"Post-process a trace and print statistics")
+    Term.(const run $ trace_file_arg)
+
+(* {2 derive} *)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let derive_cmd =
+  let run path ty tac json =
+    let dataset, _ = load_dataset path in
+    let keys =
+      match ty with Some key -> [ key ] | None -> Dataset.type_keys dataset
+    in
+    if json then
+      print_endline
+        (Lockdoc_core.Report.mined_to_json
+           (List.concat_map (Derivator.derive_type ~tac dataset) keys))
+    else
+      List.iter
+        (fun key ->
+          Printf.printf "== %s ==\n" key;
+          List.iter
+            (fun m -> print_endline ("  " ^ Docgen.member_line m))
+            (Derivator.derive_type ~tac dataset key))
+        keys
+  in
+  Cmd.v (Cmd.info "derive" ~doc:"Mine locking rules from a trace")
+    Term.(const run $ trace_file_arg $ type_arg $ tac_arg $ json_arg)
+
+(* {2 doc} *)
+
+let doc_cmd =
+  let base_arg =
+    Arg.(value & opt string "inode" & info [ "type" ] ~docv:"TYPE"
+           ~doc:"Base data type to document (subclasses merged).")
+  in
+  let run path base tac =
+    let dataset, _ = load_dataset path in
+    let mined = Derivator.derive_merged ~tac dataset base in
+    print_endline
+      (Docgen.generate ~kind:Lockdoc_core.Rule.W ~title:base mined);
+    print_endline
+      (Docgen.generate ~kind:Lockdoc_core.Rule.R ~title:(base ^ " (reads)") mined)
+  in
+  Cmd.v (Cmd.info "doc" ~doc:"Generate locking documentation from a trace")
+    Term.(const run $ trace_file_arg $ base_arg $ tac_arg)
+
+(* {2 check} *)
+
+let check_cmd =
+  let run path =
+    let dataset, _ = load_dataset path in
+    let module Doc = Lockdoc_ksim.Documentation in
+    let module Checker = Lockdoc_core.Checker in
+    let module Rule = Lockdoc_core.Rule in
+    List.iter
+      (fun (dr : Doc.doc_rule) ->
+        let kind =
+          match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W
+        in
+        let c =
+          Checker.check_rule dataset ~ty:dr.Doc.d_type ~member:dr.Doc.d_member
+            ~kind (Rule.parse dr.Doc.d_rule)
+        in
+        Printf.printf "%-14s %-24s %s  %-40s sr=%6.2f%%  %s\n" dr.Doc.d_type
+          dr.Doc.d_member
+          (Rule.access_to_string kind)
+          dr.Doc.d_rule
+          (100. *. c.Checker.c_support.Lockdoc_core.Hypothesis.sr)
+          (Checker.verdict_to_string c.Checker.c_verdict))
+      Doc.rules
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check the documented locking rules against a trace")
+    Term.(const run $ trace_file_arg)
+
+(* {2 violations} *)
+
+let violations_cmd =
+  let limit_arg =
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N"
+           ~doc:"Maximum violations to print.")
+  in
+  let run path ty tac limit json =
+    let dataset, _ = load_dataset path in
+    let mined = Derivator.derive_all ~tac dataset in
+    let violations = Violation.find dataset mined in
+    let violations =
+      match ty with
+      | None -> violations
+      | Some key -> List.filter (fun v -> v.Violation.v_type = key) violations
+    in
+    if json then begin
+      print_endline (Lockdoc_core.Report.violations_to_json violations);
+      exit 0
+    end;
+    Printf.printf "%d rule-violating observations\n" (List.length violations);
+    List.iteri
+      (fun i v ->
+        if i < limit then
+          Printf.printf "%s.%s %s: expected [%s], held [%s] at %s (in %s)\n"
+            v.Violation.v_type v.Violation.v_member
+            (Lockdoc_core.Rule.access_to_string v.Violation.v_kind)
+            (Lockdoc_core.Rule.to_string v.Violation.v_rule)
+            (String.concat " -> "
+               (List.map Lockdoc_core.Lockdesc.to_string v.Violation.v_held))
+            (Lockdoc_trace.Srcloc.to_string v.Violation.v_loc)
+            (match v.Violation.v_stack with f :: _ -> f | [] -> "?"))
+      violations
+  in
+  Cmd.v (Cmd.info "violations" ~doc:"Locate locking-rule violations in a trace")
+    Term.(const run $ trace_file_arg $ type_arg $ tac_arg $ limit_arg $ json_arg)
+
+(* {2 lockmeter} *)
+
+let lockmeter_cmd =
+  let top_arg =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N"
+           ~doc:"Number of classes to show.")
+  in
+  let run path top =
+    let trace = Trace.load path in
+    let store, _ = Import.run trace in
+    print_string
+      (Lockdoc_core.Lockmeter.render ~top
+         (Lockdoc_core.Lockmeter.analyse trace store))
+  in
+  Cmd.v
+    (Cmd.info "lockmeter"
+       ~doc:"Per-lock-class usage statistics over a trace (the Lockmeter \
+             baseline of the paper's Sec. 3.2)")
+    Term.(const run $ trace_file_arg $ top_arg)
+
+(* {2 export} *)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(value & opt string "lockdoc-csv" & info [ "d"; "dir" ] ~docv:"DIR"
+           ~doc:"Output directory for the CSV relations.")
+  in
+  let run path dir =
+    let trace = Trace.load path in
+    let store, _ = Import.run trace in
+    Lockdoc_db.Csv.export ~dir store;
+    Printf.printf "exported %d accesses / %d txns / %d locks to %s/{%s}\n"
+      (Lockdoc_db.Store.n_accesses store)
+      (Lockdoc_db.Store.n_txns store)
+      (Lockdoc_db.Store.n_locks store)
+      dir
+      (String.concat "," Lockdoc_db.Csv.files)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Post-process a trace and export the relational store as CSV \
+             (the MariaDB bulk-load interface of the paper's Sec. 6)")
+    Term.(const run $ trace_file_arg $ dir_arg)
+
+(* {2 relations} *)
+
+let relations_cmd =
+  let run path tac =
+    let dataset, _ = load_dataset path in
+    let mined = Derivator.derive_all ~tac dataset in
+    print_string (Lockdoc_core.Relations.render (Lockdoc_core.Relations.analyse mined))
+  in
+  Cmd.v
+    (Cmd.info "relations"
+       ~doc:"Report cross-object protection relations mined from EO rules \
+             (the paper's future-work extension)")
+    Term.(const run $ trace_file_arg $ tac_arg)
+
+(* {2 lockdep} *)
+
+let lockdep_cmd =
+  let run path =
+    let trace = Trace.load path in
+    let store, _ = Import.run trace in
+    print_string (Lockdoc_core.Lockdep.render (Lockdoc_core.Lockdep.analyse store))
+  in
+  Cmd.v
+    (Cmd.info "lockdep"
+       ~doc:
+         "Run the lockdep-style lock-order analysis over a trace (the \
+          in-situ baseline the paper contrasts LockDoc with)")
+    Term.(const run $ trace_file_arg)
+
+(* {2 repro} *)
+
+let repro_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (fig1, tab1..tab8, fig7, fig8, sec72); \
+                 default: all.")
+  in
+  let run scale seed ids =
+    let ids = if ids = [] then Registry.ids else ids in
+    let ctx = lazy (Context.create ~scale ~seed ()) in
+    List.iter
+      (fun id ->
+        match Registry.find id with
+        | None ->
+            Printf.eprintf "unknown experiment %s (known: %s)\n" id
+              (String.concat ", " Registry.ids);
+            exit 1
+        | Some e ->
+            print_endline (e.Registry.render ctx);
+            print_newline ())
+      ids
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Regenerate the paper's evaluation tables/figures")
+    Term.(const run $ scale_arg $ seed_arg $ ids_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "lockdoc" ~version:"1.0.0"
+       ~doc:"Trace-based analysis of locking in a simulated Linux kernel")
+    [
+      trace_cmd; import_cmd; derive_cmd; doc_cmd; check_cmd; violations_cmd;
+      lockdep_cmd; lockmeter_cmd; export_cmd; relations_cmd; repro_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

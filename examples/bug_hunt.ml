@@ -1,0 +1,90 @@
+(* Bug hunt: use the rule-violation finder to locate the deliberate
+   locking bugs planted in the simulated kernel — including the i_flags
+   race that, in the real kernel, the paper's authors reported and a
+   kernel developer confirmed (paper Sec. 7.5).
+
+   Run with: dune exec examples/bug_hunt.exe *)
+
+module Run = Lockdoc_ksim.Run
+module Kernel = Lockdoc_ksim.Kernel
+module Fault = Lockdoc_ksim.Fault
+module Import = Lockdoc_db.Import
+module Dataset = Lockdoc_core.Dataset
+module Rule = Lockdoc_core.Rule
+module Derivator = Lockdoc_core.Derivator
+module Violation = Lockdoc_core.Violation
+
+let hunt ~faults =
+  let config =
+    { Run.kernel = { Kernel.default_config with Kernel.seed = 7 };
+      Run.scale = 6; Run.faults = faults }
+  in
+  let trace, _ = Run.benchmark_mix ~config () in
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+  let mined = Derivator.derive_all dataset in
+  Violation.find dataset mined
+
+let () =
+  Printf.printf "hunting with fault injection enabled...\n%!";
+  let violations = hunt ~faults:true in
+  Printf.printf "%d rule-violating observations in %d distinct contexts\n\n"
+    (List.length violations)
+    (List.length (Violation.contexts violations));
+
+  (* Group by (type, member) and show the hot spots. *)
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      let key = (v.Violation.v_type, v.Violation.v_member) in
+      Hashtbl.replace tally key
+        (v.Violation.v_events
+        + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+    violations;
+  let ranked =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  print_endline "hottest suspects (events per member):";
+  List.iteri
+    (fun i ((ty, member), events) ->
+      if i < 10 then Printf.printf "  %4d  %s.%s\n" events ty member)
+    ranked;
+
+  (* Zoom into the i_flags bug: report what a developer would need. *)
+  print_newline ();
+  (match
+     List.find_opt
+       (fun v -> v.Violation.v_member = "i_flags" && v.Violation.v_kind = Rule.W)
+       violations
+   with
+  | Some v ->
+      Printf.printf
+        "the confirmed inode_set_flags bug:\n\
+        \  member     inode.i_flags (write)\n\
+        \  rule       %s\n\
+        \  held       %s\n\
+        \  location   %s\n\
+        \  stack      %s\n"
+        (Rule.to_string v.Violation.v_rule)
+        (match v.Violation.v_held with
+        | [] -> "(no locks at all)"
+        | held -> String.concat " -> " (List.map Lockdoc_core.Lockdesc.to_string held))
+        (Lockdoc_trace.Srcloc.to_string v.Violation.v_loc)
+        (String.concat " <- " v.Violation.v_stack)
+  | None -> print_endline "i_flags bug not triggered in this run");
+
+  (* Control experiment: with injection disabled the planted bugs vanish,
+     only the kernel's own deliberate lock-free minorities remain. *)
+  Printf.printf "\nhunting again with fault injection disabled...\n%!";
+  let clean = hunt ~faults:false in
+  Printf.printf "%d rule-violating observations remain (deliberate \
+                 lock-free fast paths)\n"
+    (List.length clean);
+  let planted =
+    List.filter
+      (fun v -> v.Violation.v_member = "i_flags" || v.Violation.v_member = "i_blocks")
+      clean
+  in
+  Printf.printf "planted-bug members among them: %d (expected 0)\n"
+    (List.length planted)

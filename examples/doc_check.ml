@@ -1,0 +1,66 @@
+(* Documentation check: validate the kernel's own documented locking
+   rules against observed behaviour (the paper's Sec. 7.3) and print a
+   per-type report card, highlighting rules the code does not follow.
+
+   Run with: dune exec examples/doc_check.exe *)
+
+module Run = Lockdoc_ksim.Run
+module Kernel = Lockdoc_ksim.Kernel
+module Doc = Lockdoc_ksim.Documentation
+module Import = Lockdoc_db.Import
+module Dataset = Lockdoc_core.Dataset
+module Rule = Lockdoc_core.Rule
+module Checker = Lockdoc_core.Checker
+
+let () =
+  let config =
+    { Run.kernel = { Kernel.default_config with Kernel.seed = 42 };
+      Run.scale = 6; Run.faults = true }
+  in
+  let trace, _ = Run.benchmark_mix ~config () in
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+
+  let checked =
+    List.map
+      (fun (dr : Doc.doc_rule) ->
+        let kind = match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W in
+        Checker.check_rule dataset ~ty:dr.Doc.d_type ~member:dr.Doc.d_member
+          ~kind (Rule.parse dr.Doc.d_rule))
+      Doc.rules
+  in
+
+  print_endline "report card (documented rules vs traced behaviour):";
+  List.iter
+    (fun ty ->
+      let s = Checker.summarise checked ty in
+      Printf.printf
+        "  %-14s %2d rules: %2d unobserved, %2d correct, %2d ambivalent, %2d \
+         incorrect\n"
+        ty s.Checker.s_rules s.Checker.s_unobserved s.Checker.s_correct
+        s.Checker.s_ambivalent s.Checker.s_incorrect)
+    Doc.checked_types;
+
+  (* Every rule the code plainly contradicts deserves a closer look: it is
+     either a documentation bug or a synchronisation bug (the paper's
+     "no authoritative ground truth" dilemma). *)
+  print_endline "\nrules the code never follows (documentation or code bug?):";
+  List.iter
+    (fun (c : Checker.checked) ->
+      if c.Checker.c_verdict = Checker.Incorrect then
+        Printf.printf "  %s.%s (%s): documented as %s\n" c.Checker.c_type
+          c.Checker.c_member
+          (Rule.access_to_string c.Checker.c_kind)
+          (Rule.to_string c.Checker.c_rule))
+    checked;
+
+  print_endline "\nrules only sometimes followed (support < 100%):";
+  List.iter
+    (fun (c : Checker.checked) ->
+      if c.Checker.c_verdict = Checker.Ambivalent then
+        Printf.printf "  %s.%s (%s): %s holds for %.1f%% of accesses\n"
+          c.Checker.c_type c.Checker.c_member
+          (Rule.access_to_string c.Checker.c_kind)
+          (Rule.to_string c.Checker.c_rule)
+          (100. *. c.Checker.c_support.Lockdoc_core.Hypothesis.sr))
+    checked

@@ -1,0 +1,58 @@
+type verdict = Correct | Ambivalent | Incorrect | Unobserved
+
+type checked = {
+  c_type : string;
+  c_member : string;
+  c_kind : Rule.access;
+  c_rule : Rule.t;
+  c_support : Hypothesis.support;
+  c_verdict : verdict;
+}
+
+let verdict_to_string = function
+  | Correct -> "correct"
+  | Ambivalent -> "ambivalent"
+  | Incorrect -> "incorrect"
+  | Unobserved -> "unobserved"
+
+let check_rule dataset ~ty ~member ~kind rule =
+  let observations =
+    Dataset.merged_base_type dataset ty
+    |> List.filter (fun (o : Dataset.obs) ->
+           o.Dataset.o_member = member && o.Dataset.o_kind = kind)
+  in
+  let support = Hypothesis.support_of rule observations in
+  let verdict =
+    if observations = [] then Unobserved
+    else if support.Hypothesis.sr >= 1. then Correct
+    else if support.Hypothesis.sa = 0 then Incorrect
+    else Ambivalent
+  in
+  { c_type = ty; c_member = member; c_kind = kind; c_rule = rule;
+    c_support = support; c_verdict = verdict }
+
+type summary = {
+  s_type : string;
+  s_rules : int;
+  s_unobserved : int;
+  s_observed : int;
+  s_correct : int;
+  s_ambivalent : int;
+  s_incorrect : int;
+}
+
+let summarise checked ty =
+  let rows = List.filter (fun c -> c.c_type = ty) checked in
+  let count verdict =
+    List.length (List.filter (fun c -> c.c_verdict = verdict) rows)
+  in
+  let unobserved = count Unobserved in
+  {
+    s_type = ty;
+    s_rules = List.length rows;
+    s_unobserved = unobserved;
+    s_observed = List.length rows - unobserved;
+    s_correct = count Correct;
+    s_ambivalent = count Ambivalent;
+    s_incorrect = count Incorrect;
+  }

@@ -1,0 +1,115 @@
+module Schema = Lockdoc_db.Schema
+module Store = Lockdoc_db.Store
+module Event = Lockdoc_trace.Event
+
+type obs = {
+  o_member : string;
+  o_kind : Rule.access;
+  o_locks : Lockdesc.t list;
+  o_accesses : int list;
+}
+
+type t = { store : Store.t; groups : (string, obs list) Hashtbl.t }
+
+let store t = t.store
+
+(* Reader-side acquisitions are marked by decorating the descriptor name
+   with "[r]" when side sensitivity is on — an extension over the paper's
+   model, which treats reader and writer acquisitions of rwlocks/rwsems
+   as the same lock (Sec. 2.2 lists the variants; Sec. 8 leaves richer
+   models to future work). *)
+let decorate_shared desc =
+  match desc with
+  | Lockdesc.Global name -> Lockdesc.Global (name ^ "[r]")
+  | Lockdesc.Es member -> Lockdesc.Es (member ^ "[r]")
+  | Lockdesc.Eo (member, ty) -> Lockdesc.Eo (member ^ "[r]", ty)
+
+let locks_of_txn ?(side_sensitive = false) store ~accessed_alloc txn_id =
+  let txn = Store.txn store txn_id in
+  List.map
+    (fun held ->
+      let desc =
+        Lockdesc.classify ~store ~accessed_alloc
+          (Store.lock store held.Schema.h_lock)
+      in
+      if side_sensitive && held.Schema.h_side = Event.Shared then
+        decorate_shared desc
+      else desc)
+    txn.Schema.tx_locks
+
+let observations_of_accesses ?(wor = true) ?side_sensitive store accesses =
+  (* Fold per (allocation, member, transaction). Lock-free accesses are
+     singletons keyed by their own access id. *)
+  let table : (int * string * int, Rule.access * int list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let order = ref [] in
+  List.iter
+    (fun (a : Schema.access) ->
+      let key =
+        match a.Schema.ac_txn with
+        | Some txn -> (a.Schema.ac_alloc, a.Schema.ac_member, txn)
+        | None -> (a.Schema.ac_alloc, a.Schema.ac_member, -1 - a.Schema.ac_id)
+      in
+      let kind =
+        match a.Schema.ac_kind with Event.Read -> Rule.R | Event.Write -> Rule.W
+      in
+      match Hashtbl.find_opt table key with
+      | None ->
+          Hashtbl.replace table key (kind, [ a.Schema.ac_id ]);
+          order := key :: !order
+      | Some (prev_kind, ids) ->
+          (* Write-over-read: one write makes the observation a write.
+             With [wor] off (ablation) the first access kind sticks. *)
+          let kind =
+            if wor then
+              if prev_kind = Rule.W || kind = Rule.W then Rule.W else Rule.R
+            else prev_kind
+          in
+          Hashtbl.replace table key (kind, a.Schema.ac_id :: ids))
+    accesses;
+  List.rev_map
+    (fun ((alloc, member, txn) as key) ->
+      let kind, ids = Hashtbl.find table key in
+      let locks =
+        if txn >= 0 then locks_of_txn ?side_sensitive store ~accessed_alloc:alloc txn
+        else []
+      in
+      { o_member = member; o_kind = kind; o_locks = locks; o_accesses = List.rev ids })
+    !order
+
+let of_store ?wor ?side_sensitive store =
+  let groups = Hashtbl.create 32 in
+  List.iter
+    (fun key ->
+      let accesses = Store.accesses_of_type store key in
+      Hashtbl.replace groups key
+        (observations_of_accesses ?wor ?side_sensitive store accesses))
+    (Store.type_keys store);
+  { store; groups }
+
+let type_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] |> List.sort String.compare
+
+let observations t key = Option.value ~default:[] (Hashtbl.find_opt t.groups key)
+
+let members_observed t key =
+  observations t key
+  |> List.map (fun o -> (o.o_member, o.o_kind))
+  |> List.sort_uniq compare
+
+let by_member t key ~member ~kind =
+  List.filter
+    (fun o -> o.o_member = member && o.o_kind = kind)
+    (observations t key)
+
+let merged_base_type t base =
+  let prefix = base ^ ":" in
+  let matches key =
+    key = base
+    || String.length key > String.length prefix
+       && String.sub key 0 (String.length prefix) = prefix
+  in
+  type_keys t
+  |> List.filter matches
+  |> List.concat_map (observations t)

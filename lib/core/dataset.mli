@@ -1,0 +1,48 @@
+(** Observations: the folded access matrix LockDoc derives rules from.
+
+    One observation is "member [m] of one object instance was accessed
+    (r/w) within one transaction, with this ordered held-lock list"
+    (paper Sec. 4.2):
+
+    - accesses of the same member in the same transaction fold into one
+      observation (the {e Folded} column of Tab. 1);
+    - an observation containing both reads and writes counts as a write
+      ({e WoR}, write-over-read);
+    - lock-free accesses (no transaction) are singleton observations with
+      an empty lock list;
+    - held locks are classified positionally ({!Lockdesc}) relative to
+      the accessed instance. *)
+
+type obs = {
+  o_member : string;
+  o_kind : Rule.access;
+  o_locks : Lockdesc.t list;  (** acquisition order, deduplicated later *)
+  o_accesses : int list;  (** underlying access-row ids (trace order) *)
+}
+
+type t
+(** Observations grouped by type key ("inode:ext4", "dentry", …). *)
+
+val of_store : ?wor:bool -> ?side_sensitive:bool -> Lockdoc_db.Store.t -> t
+(** [wor] (default true) applies write-over-read folding; pass [false]
+    for the ablation where mixed observations keep their first access
+    kind. [side_sensitive] (default false) distinguishes reader-side
+    acquisitions of rwlocks/rwsems/RCU by decorating the descriptor with
+    "[r]" — an extension beyond the paper's model. *)
+
+val store : t -> Lockdoc_db.Store.t
+
+val type_keys : t -> string list
+
+val observations : t -> string -> obs list
+(** All observations for a type key, in first-access order. *)
+
+val members_observed : t -> string -> (string * Rule.access) list
+(** Distinct (member, access kind) pairs with at least one observation. *)
+
+val by_member : t -> string -> member:string -> kind:Rule.access -> obs list
+
+val merged_base_type : t -> string -> obs list
+(** Observations for a base type across all its subclasses (["inode"]
+    collects every ["inode:*"] key) — the view the documentation checker
+    uses, since source comments do not distinguish subclasses. *)

@@ -1,0 +1,57 @@
+type mined = {
+  m_type : string;
+  m_member : string;
+  m_kind : Rule.access;
+  m_total : int;
+  m_winner : Rule.t;
+  m_support : Hypothesis.support;
+  m_hypotheses : Hypothesis.scored list;
+}
+
+let default_tac = 0.9
+
+let derive_observations ?strategy ?(tac = default_tac) ~ty ~member ~kind
+    observations =
+  let hypotheses = Hypothesis.enumerate observations in
+  let winner = Selection.select ?strategy ~tac hypotheses in
+  {
+    m_type = ty;
+    m_member = member;
+    m_kind = kind;
+    m_total = List.length observations;
+    m_winner = winner.Hypothesis.rule;
+    m_support = winner.Hypothesis.support;
+    m_hypotheses = hypotheses;
+  }
+
+let derive_member ?strategy ?tac dataset key ~member ~kind =
+  let observations = Dataset.by_member dataset key ~member ~kind in
+  derive_observations ?strategy ?tac ~ty:key ~member ~kind observations
+
+let derive_merged ?strategy ?tac dataset base =
+  let observations = Dataset.merged_base_type dataset base in
+  let keys =
+    List.map (fun (o : Dataset.obs) -> (o.Dataset.o_member, o.Dataset.o_kind)) observations
+    |> List.sort_uniq compare
+  in
+  List.map
+    (fun (member, kind) ->
+      let obs =
+        List.filter
+          (fun (o : Dataset.obs) ->
+            o.Dataset.o_member = member && o.Dataset.o_kind = kind)
+          observations
+      in
+      derive_observations ?strategy ?tac ~ty:base ~member ~kind obs)
+    keys
+
+let derive_type ?strategy ?tac dataset key =
+  Dataset.members_observed dataset key
+  |> List.map (fun (member, kind) ->
+         derive_member ?strategy ?tac dataset key ~member ~kind)
+
+let derive_all ?strategy ?tac dataset =
+  Dataset.type_keys dataset
+  |> List.concat_map (derive_type ?strategy ?tac dataset)
+
+let needs_no_lock mined = Rule.equal mined.m_winner Rule.no_lock

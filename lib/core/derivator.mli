@@ -1,0 +1,51 @@
+(** The locking-rule derivator (paper phase ❷): per (type key, member,
+    access kind), enumerate hypotheses, score them, and pick the winner. *)
+
+type mined = {
+  m_type : string;  (** type key, e.g. ["inode:ext4"] *)
+  m_member : string;
+  m_kind : Rule.access;
+  m_total : int;  (** observations of this member/kind *)
+  m_winner : Rule.t;
+  m_support : Hypothesis.support;  (** support of the winner *)
+  m_hypotheses : Hypothesis.scored list;  (** all scored hypotheses *)
+}
+
+val derive_observations :
+  ?strategy:Selection.strategy ->
+  ?tac:float ->
+  ty:string ->
+  member:string ->
+  kind:Rule.access ->
+  Dataset.obs list ->
+  mined
+(** Derive from an explicit observation list (used for merged base-type
+    views). *)
+
+val derive_merged :
+  ?strategy:Selection.strategy -> ?tac:float -> Dataset.t -> string ->
+  mined list
+(** Derive rules for a base type with all subclasses merged — the view
+    the generated fs/inode.c documentation of paper Fig. 8 takes. *)
+
+val derive_member :
+  ?strategy:Selection.strategy ->
+  ?tac:float ->
+  Dataset.t ->
+  string ->
+  member:string ->
+  kind:Rule.access ->
+  mined
+(** Derive one member's rule. [tac] defaults to 0.9 (paper Sec. 7.4,
+    adopted from Engler et al.). *)
+
+val derive_type :
+  ?strategy:Selection.strategy -> ?tac:float -> Dataset.t -> string ->
+  mined list
+(** All observed members of a type key, reads and writes separately. *)
+
+val derive_all :
+  ?strategy:Selection.strategy -> ?tac:float -> Dataset.t -> mined list
+
+val needs_no_lock : mined -> bool
+(** The winner is the "no lock" rule (the #Nl columns of paper Tab. 6). *)

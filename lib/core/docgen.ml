@@ -1,0 +1,62 @@
+let wrap_members members =
+  (* Break the member list into comment lines of at most ~64 chars. *)
+  let rec lines acc current = function
+    | [] -> List.rev (if current = "" then acc else current :: acc)
+    | m :: rest ->
+        let candidate = if current = "" then m else current ^ ", " ^ m in
+        if String.length candidate > 64 then lines (current :: acc) m rest
+        else lines acc candidate rest
+  in
+  lines [] "" members
+
+let generate ?kind ~title mined =
+  let mined =
+    match kind with
+    | None -> mined
+    | Some k -> List.filter (fun m -> m.Derivator.m_kind = k) mined
+  in
+  let groups : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let group_order = ref [] in
+  List.iter
+    (fun (m : Derivator.mined) ->
+      let rule_str = Rule.to_string m.Derivator.m_winner in
+      let cell =
+        match Hashtbl.find_opt groups rule_str with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            Hashtbl.replace groups rule_str cell;
+            group_order := rule_str :: !group_order;
+            cell
+      in
+      cell := m.Derivator.m_member :: !cell)
+    mined;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "/*\n";
+  Buffer.add_string buf (Printf.sprintf " * %s locking rules:\n *\n" title);
+  let emit_group header members =
+    Buffer.add_string buf (Printf.sprintf " * %s\n" header);
+    List.iter
+      (fun line -> Buffer.add_string buf (Printf.sprintf " *   %s\n" line))
+      (wrap_members (List.sort String.compare members))
+  in
+  let ordered = List.rev !group_order in
+  (* "No locks needed" first, as in the paper's Fig. 8. *)
+  (match Hashtbl.find_opt groups "nolock" with
+  | Some cell -> emit_group "No locks needed for:" (List.rev !cell)
+  | None -> ());
+  List.iter
+    (fun rule_str ->
+      if rule_str <> "nolock" then
+        let cell = Hashtbl.find groups rule_str in
+        emit_group (Printf.sprintf "%s protects:" rule_str) (List.rev !cell))
+    ordered;
+  Buffer.add_string buf " */";
+  Buffer.contents buf
+
+let member_line (m : Derivator.mined) =
+  Printf.sprintf "%-28s %s  %-40s sa=%d sr=%.2f%%" m.Derivator.m_member
+    (Rule.access_to_string m.Derivator.m_kind)
+    (Rule.to_string m.Derivator.m_winner)
+    m.Derivator.m_support.Hypothesis.sa
+    (100. *. m.Derivator.m_support.Hypothesis.sr)

@@ -1,0 +1,13 @@
+(** The documentation generator (paper Sec. 5.5 / Fig. 8): render mined
+    locking rules as a source-comment block that could replace the
+    hand-written documentation in, e.g., fs/inode.c. *)
+
+val generate : ?kind:Rule.access -> title:string -> Derivator.mined list -> string
+(** [generate ~title mined] groups members by their winning rule and
+    emits a C-comment block: a "No locks needed for:" section followed by
+    one "<rule> protects:" section per distinct rule. With [?kind], only
+    rules for that access kind are rendered (Fig. 8 shows write rules). *)
+
+val member_line :
+  Derivator.mined -> string
+(** One-line summary "member r/w rule (sa, sr%)" used by the CLI. *)

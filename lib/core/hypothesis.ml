@@ -1,0 +1,62 @@
+type support = { sa : int; sr : float }
+
+type scored = { rule : Rule.t; support : support }
+
+let support_of rule observations =
+  let total = List.length observations in
+  let sa =
+    List.fold_left
+      (fun acc (o : Dataset.obs) ->
+        if Rule.complies ~rule ~held:o.Dataset.o_locks then acc + 1 else acc)
+      0 observations
+  in
+  { sa; sr = (if total = 0 then 0. else float_of_int sa /. float_of_int total) }
+
+let sort_scored scored =
+  List.sort
+    (fun a b ->
+      match Int.compare b.support.sa a.support.sa with
+      | 0 -> (
+          match Int.compare (List.length b.rule) (List.length a.rule) with
+          | 0 -> Rule.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+    scored
+
+let score_all rules observations =
+  List.map (fun rule -> { rule; support = support_of rule observations }) rules
+  |> sort_scored
+
+let dedup_rules rules =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun rule ->
+      let key = Rule.to_string rule in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    rules
+
+let enumerate observations =
+  let candidate_rules =
+    List.concat_map
+      (fun (o : Dataset.obs) -> Rule.subsequences o.Dataset.o_locks)
+      observations
+    |> dedup_rules
+  in
+  (* [Rule.subsequences] of any combination includes []; on an empty
+     observation list still offer the no-lock rule. *)
+  let candidate_rules =
+    if candidate_rules = [] then [ Rule.no_lock ] else candidate_rules
+  in
+  score_all candidate_rules observations
+
+let enumerate_exhaustive ?(max_locks = 4) observations =
+  let union =
+    List.concat_map (fun (o : Dataset.obs) -> o.Dataset.o_locks) observations
+    |> List.sort_uniq Lockdesc.compare
+  in
+  if List.length union > max_locks then enumerate observations
+  else score_all (Rule.permuted_subsets union) observations

@@ -1,0 +1,28 @@
+(** Locking-rule hypotheses and their support (paper Sec. 4.3 / 5.4).
+
+    For one (member, access kind) the hypothesis space is every ordered
+    subset of every observed lock combination — this enumerates exactly
+    the hypotheses with absolute support ≥ 1 without iterating over all
+    lock combinations in the system (Sec. 5.4). Support of a hypothesis:
+
+    - absolute [sa] — number of observations complying with it;
+    - relative [sr] — [sa] divided by the number of observations of the
+      member. *)
+
+type support = { sa : int; sr : float }
+
+type scored = { rule : Rule.t; support : support }
+
+val support_of : Rule.t -> Dataset.obs list -> support
+(** Score one rule against the observations of a member. *)
+
+val enumerate : Dataset.obs list -> scored list
+(** Observed-combination enumeration (Sec. 5.4): ordered subsets of each
+    observed combination, deduplicated, scored; always contains the
+    "no lock" rule. Sorted by descending [sa], then more locks first. *)
+
+val enumerate_exhaustive : ?max_locks:int -> Dataset.obs list -> scored list
+(** The naïve Sec. 4.3 enumeration: all subsets of the union of observed
+    locks in every possible order (so hypotheses with [sa = 0] appear,
+    as in the paper's Tab. 2). [max_locks] (default 4) caps the union
+    size; beyond it, falls back to {!enumerate}. *)

@@ -1,0 +1,173 @@
+module Schema = Lockdoc_db.Schema
+module Store = Lockdoc_db.Store
+module Srcloc = Lockdoc_trace.Srcloc
+
+type lock_class = Static of string | Member of string * string
+
+let class_to_string = function
+  | Static name -> name
+  | Member (ty, member) -> Printf.sprintf "%s.%s" ty member
+
+type edge = {
+  e_from : lock_class;
+  e_to : lock_class;
+  e_count : int;
+  e_example : Srcloc.t;
+}
+
+type report = {
+  classes : lock_class list;
+  edges : edge list;
+  cycles : lock_class list list;
+  self_nesting : edge list;
+}
+
+let class_of store (lock : Schema.lock) =
+  match lock.Schema.lk_parent with
+  | None -> Static lock.Schema.lk_name
+  | Some (al_id, member) ->
+      let al = Store.allocation store al_id in
+      let dt = Store.data_type store al.Schema.al_type in
+      Member (dt.Schema.dt_name, member)
+
+let analyse store =
+  let edges : (lock_class * lock_class, int * Srcloc.t) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  let classes : (lock_class, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Every transaction's ordered held list contributes consecutive-pair
+     edges: each lock depends on everything acquired before it. Using the
+     final acquisition (the txn rows record every configuration, so every
+     prefix appears as its own txn) avoids double counting. *)
+  let n = Store.n_txns store in
+  for i = 0 to n - 1 do
+    let txn = Store.txn store i in
+    match List.rev txn.Schema.tx_locks with
+    | [] -> ()
+    | last :: before_rev ->
+        let last_class = class_of store (Store.lock store last.Schema.h_lock) in
+        Hashtbl.replace classes last_class ();
+        List.iter
+          (fun held ->
+            let from_class =
+              class_of store (Store.lock store held.Schema.h_lock)
+            in
+            Hashtbl.replace classes from_class ();
+            let key = (from_class, last_class) in
+            let count, example =
+              Option.value
+                ~default:(0, last.Schema.h_loc)
+                (Hashtbl.find_opt edges key)
+            in
+            Hashtbl.replace edges key (count + 1, example))
+          before_rev
+  done;
+  let all_edges =
+    Hashtbl.fold
+      (fun (e_from, e_to) (e_count, e_example) acc ->
+        { e_from; e_to; e_count; e_example } :: acc)
+      edges []
+    |> List.sort (fun a b ->
+           compare
+             (class_to_string a.e_from, class_to_string a.e_to)
+             (class_to_string b.e_from, class_to_string b.e_to))
+  in
+  let self_nesting, order_edges =
+    List.partition (fun e -> e.e_from = e.e_to) all_edges
+  in
+  (* Cycle search over distinct classes (the graph is small: tens of
+     classes). A cycle is reported once, anchored at its smallest node. *)
+  let successors c =
+    List.filter_map
+      (fun e -> if e.e_from = c then Some e.e_to else None)
+      order_edges
+  in
+  let all_classes =
+    Hashtbl.fold (fun c () acc -> c :: acc) classes []
+    |> List.sort (fun a b -> compare (class_to_string a) (class_to_string b))
+  in
+  let cycles = ref [] in
+  let rec dfs anchor path node =
+    List.iter
+      (fun next ->
+        if next = anchor then begin
+          let cycle = List.rev (node :: path) in
+          if not (List.mem cycle !cycles) then cycles := cycle :: !cycles
+        end
+        else if
+          (not (List.mem next path))
+          && next <> node
+          && compare (class_to_string next) (class_to_string anchor) > 0
+          (* only walk through nodes larger than the anchor, so each
+             cycle is discovered exactly once *)
+        then dfs anchor (node :: path) next)
+      (successors node)
+  in
+  List.iter (fun c -> dfs c [] c) all_classes;
+  {
+    classes = all_classes;
+    edges = order_edges;
+    cycles = List.rev !cycles;
+    self_nesting;
+  }
+
+let render report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "lockdep: %d lock classes, %d ordered pairs\n"
+       (List.length report.classes)
+       (List.length report.edges));
+  if report.cycles = [] then
+    Buffer.add_string buf "no lock-order cycles detected\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "%d potential deadlock cycle(s):\n"
+         (List.length report.cycles));
+    List.iter
+      (fun cycle ->
+        let names = List.map class_to_string cycle in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s\n" (String.concat " -> " names)
+             (List.hd names));
+        (* Show one witness edge per direction of the cycle. *)
+        let rec witness = function
+          | a :: (b :: _ as rest) ->
+              (match
+                 List.find_opt (fun e -> e.e_from = a && e.e_to = b) report.edges
+               with
+              | Some e ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "    %s taken under %s at %s (%d times)\n"
+                       (class_to_string b) (class_to_string a)
+                       (Srcloc.to_string e.e_example) e.e_count)
+              | None -> ());
+              witness rest
+          | [ last ] -> (
+              match
+                List.find_opt
+                  (fun e -> e.e_from = last && e.e_to = List.hd cycle)
+                  report.edges
+              with
+              | Some e ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "    %s taken under %s at %s (%d times)\n"
+                       (class_to_string (List.hd cycle))
+                       (class_to_string last)
+                       (Srcloc.to_string e.e_example) e.e_count)
+              | None -> ())
+          | [] -> ()
+        in
+        witness cycle)
+      report.cycles
+  end;
+  if report.self_nesting <> [] then begin
+    Buffer.add_string buf "same-class nesting (needs nesting annotations):\n";
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s within itself at %s (%d times)\n"
+             (class_to_string e.e_from)
+             (Srcloc.to_string e.e_example) e.e_count))
+      report.self_nesting
+  end;
+  Buffer.contents buf

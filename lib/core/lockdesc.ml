@@ -1,0 +1,60 @@
+type t = Global of string | Es of string | Eo of string * string
+
+let to_string = function
+  | Global name -> name
+  | Es member -> Printf.sprintf "ES(%s)" member
+  | Eo (member, ty) -> Printf.sprintf "EO(%s in %s)" member ty
+
+let strip_parens prefix s =
+  let plen = String.length prefix + 1 in
+  if
+    String.length s > plen
+    && String.sub s 0 (plen - 1) = prefix
+    && s.[plen - 1] = '('
+    && s.[String.length s - 1] = ')'
+  then Some (String.sub s plen (String.length s - plen - 1))
+  else None
+
+let of_string s =
+  let s = String.trim s in
+  match strip_parens "ES" s with
+  | Some member -> Es member
+  | None -> (
+      match strip_parens "EO" s with
+      | Some inner -> (
+          match String.index_opt inner ' ' with
+          | Some _ -> (
+              (* "member in type" *)
+              match String.split_on_char ' ' inner with
+              | [ member; "in"; ty ] -> Eo (member, ty)
+              | _ -> failwith ("Lockdesc.of_string: bad EO spec " ^ s))
+          | None -> failwith ("Lockdesc.of_string: bad EO spec " ^ s))
+      | None -> (
+          match strip_parens "G" s with
+          | Some name -> Global name
+          | None ->
+              if s = "" then failwith "Lockdesc.of_string: empty descriptor"
+              else Global s))
+
+let compare a b =
+  match (a, b) with
+  | Global x, Global y -> String.compare x y
+  | Global _, _ -> -1
+  | _, Global _ -> 1
+  | Es x, Es y -> String.compare x y
+  | Es _, _ -> -1
+  | _, Es _ -> 1
+  | Eo (m1, t1), Eo (m2, t2) -> (
+      match String.compare t1 t2 with 0 -> String.compare m1 m2 | c -> c)
+
+let equal a b = compare a b = 0
+
+let classify ~store ~accessed_alloc (lock : Lockdoc_db.Schema.lock) =
+  match lock.Lockdoc_db.Schema.lk_parent with
+  | None -> Global lock.Lockdoc_db.Schema.lk_name
+  | Some (al_id, member) ->
+      if al_id = accessed_alloc then Es member
+      else
+        let al = Lockdoc_db.Store.allocation store al_id in
+        let dt = Lockdoc_db.Store.data_type store al.Lockdoc_db.Schema.al_type in
+        Eo (member, dt.Lockdoc_db.Schema.dt_name)

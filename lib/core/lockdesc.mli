@@ -1,0 +1,37 @@
+(** Lock descriptors: how a held lock relates to the accessed object.
+
+    LockDoc abstracts lock {e instances} into three positional classes
+    (paper Sec. 7.3, Tab. 5/8, Fig. 8):
+
+    - a statically allocated global lock ("inode_hash_lock");
+    - [ES] — a lock embedded in the {e same} object instance the access
+      goes to ("ES(i_lock in inode)");
+    - [EO] — a lock embedded in some {e other} object, of possibly the
+      same or a different type ("EO(wb.list_lock in backing_dev_info)").
+
+    Two transactions protecting different inodes by their own [i_lock]
+    thereby support the same rule. *)
+
+type t =
+  | Global of string
+  | Es of string  (** member name of the lock in the accessed object *)
+  | Eo of string * string  (** lock member name, owning data type *)
+
+val to_string : t -> string
+(** Paper notation: ["inode_hash_lock"], ["ES(i_lock)"],
+    ["EO(wb.list_lock in backing_dev_info)"]. *)
+
+val of_string : string -> t
+(** Accepts the {!to_string} forms plus an explicit ["G(name)"] for
+    globals. Raises [Failure] on malformed input. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val classify :
+  store:Lockdoc_db.Store.t ->
+  accessed_alloc:int ->
+  Lockdoc_db.Schema.lock ->
+  t
+(** Positional classification of a held lock relative to the accessed
+    allocation. *)

@@ -1,0 +1,157 @@
+module Event = Lockdoc_trace.Event
+module Trace = Lockdoc_trace.Trace
+module Schema = Lockdoc_db.Schema
+module Store = Lockdoc_db.Store
+
+type stat = {
+  s_class : Lockdep.lock_class;
+  s_acquisitions : int;
+  s_reader_acquisitions : int;
+  s_instances : int;
+  s_total_hold : int;
+  s_max_hold : int;
+  s_accesses_under : int;
+}
+
+let mean_hold s =
+  if s.s_acquisitions = 0 then 0.
+  else float_of_int s.s_total_hold /. float_of_int s.s_acquisitions
+
+type acc = {
+  mutable acquisitions : int;
+  mutable reader_acquisitions : int;
+  instances : (int, unit) Hashtbl.t;
+  mutable total_hold : int;
+  mutable max_hold : int;
+  mutable accesses_under : int;
+}
+
+let fresh () =
+  {
+    acquisitions = 0;
+    reader_acquisitions = 0;
+    instances = Hashtbl.create 8;
+    total_hold = 0;
+    max_hold = 0;
+    accesses_under = 0;
+  }
+
+let analyse trace store =
+  let stats : (Lockdep.lock_class, acc) Hashtbl.t = Hashtbl.create 64 in
+  let acc_of cls =
+    match Hashtbl.find_opt stats cls with
+    | Some a -> a
+    | None ->
+        let a = fresh () in
+        Hashtbl.replace stats cls a;
+        a
+  in
+  (* Lock classes come from the store's lock table (it knows parentage);
+     resolve a raw pointer to its class via the most recent lock row. *)
+  let class_by_ptr : (int, Lockdep.lock_class) Hashtbl.t = Hashtbl.create 128 in
+  Store.iter_locks store (fun lk ->
+      let cls =
+        match lk.Schema.lk_parent with
+        | None -> Lockdep.Static lk.Schema.lk_name
+        | Some (al_id, member) ->
+            let al = Store.allocation store al_id in
+            let dt = Store.data_type store al.Schema.al_type in
+            Lockdep.Member (dt.Schema.dt_name, member)
+      in
+      Hashtbl.replace class_by_ptr lk.Schema.lk_ptr cls);
+  (* Hold spans: per lock pointer, remember the acquisition event index
+     (a stack, for reentrant locks like RCU). *)
+  let open_acquires : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx ev ->
+      match ev with
+      | Event.Lock_acquire { lock_ptr; side; _ } -> (
+          match Hashtbl.find_opt class_by_ptr lock_ptr with
+          | None -> ()
+          | Some cls ->
+              let a = acc_of cls in
+              a.acquisitions <- a.acquisitions + 1;
+              if side = Event.Shared then
+                a.reader_acquisitions <- a.reader_acquisitions + 1;
+              Hashtbl.replace a.instances lock_ptr ();
+              let stack =
+                match Hashtbl.find_opt open_acquires lock_ptr with
+                | Some s -> s
+                | None ->
+                    let s = ref [] in
+                    Hashtbl.replace open_acquires lock_ptr s;
+                    s
+              in
+              stack := idx :: !stack)
+      | Event.Lock_release { lock_ptr; _ } -> (
+          match Hashtbl.find_opt open_acquires lock_ptr with
+          | Some ({ contents = start :: rest } as stack) ->
+              stack := rest;
+              (match Hashtbl.find_opt class_by_ptr lock_ptr with
+              | Some cls ->
+                  let a = acc_of cls in
+                  let span = idx - start in
+                  a.total_hold <- a.total_hold + span;
+                  if span > a.max_hold then a.max_hold <- span
+              | None -> ())
+          | Some { contents = [] } | None -> ())
+      | Event.Alloc _ | Event.Free _ | Event.Mem_access _ | Event.Fun_enter _
+      | Event.Fun_exit _ | Event.Ctx_switch _ -> ())
+    trace.Trace.events;
+  (* Accesses made while a class was held, from the store's txns. *)
+  Store.iter_accesses store (fun a ->
+      match a.Schema.ac_txn with
+      | None -> ()
+      | Some txn_id ->
+          let txn = Store.txn store txn_id in
+          List.iter
+            (fun h ->
+              let lk = Store.lock store h.Schema.h_lock in
+              match Hashtbl.find_opt class_by_ptr lk.Schema.lk_ptr with
+              | Some cls ->
+                  let acc = acc_of cls in
+                  acc.accesses_under <- acc.accesses_under + 1
+              | None -> ())
+            txn.Schema.tx_locks);
+  Hashtbl.fold
+    (fun cls a rows ->
+      {
+        s_class = cls;
+        s_acquisitions = a.acquisitions;
+        s_reader_acquisitions = a.reader_acquisitions;
+        s_instances = Hashtbl.length a.instances;
+        s_total_hold = a.total_hold;
+        s_max_hold = a.max_hold;
+        s_accesses_under = a.accesses_under;
+      }
+      :: rows)
+    stats []
+  |> List.sort (fun a b -> Int.compare b.s_acquisitions a.s_acquisitions)
+
+let render ?(top = 15) stats =
+  let table =
+    Lockdoc_util.Tablefmt.create
+      ~header:
+        [ "Lock class"; "Acq"; "Reader"; "Inst"; "Mean hold"; "Max hold";
+          "Accesses" ]
+  in
+  Lockdoc_util.Tablefmt.set_align table
+    Lockdoc_util.Tablefmt.[ Left; Right; Right; Right; Right; Right; Right ];
+  List.iteri
+    (fun i s ->
+      if i < top then
+        Lockdoc_util.Tablefmt.add_row table
+          [
+            Lockdep.class_to_string s.s_class;
+            string_of_int s.s_acquisitions;
+            string_of_int s.s_reader_acquisitions;
+            string_of_int s.s_instances;
+            Printf.sprintf "%.1f" (mean_hold s);
+            string_of_int s.s_max_hold;
+            string_of_int s.s_accesses_under;
+          ])
+    stats;
+  Printf.sprintf "lockmeter: %d lock classes, top %d by acquisitions\n%s"
+    (List.length stats)
+    (min top (List.length stats))
+    (Lockdoc_util.Tablefmt.render table)

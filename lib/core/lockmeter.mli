@@ -1,0 +1,30 @@
+(** A miniature Lockmeter: per-lock-class usage statistics, the second
+    runtime-analysis baseline the paper discusses (Sec. 3.2, Bryant &
+    Hawkes' Lockmeter).
+
+    Where LockDoc asks "which locks protect this member?" and lockdep
+    asks "are locks ordered consistently?", Lockmeter profiles {e how}
+    locks are used: acquisition counts, reader/writer split, hold spans
+    (measured in trace events, our stand-in for cycles), and how many
+    distinct instances share a class. This is the bottleneck-hunting view
+    of the same trace. *)
+
+type stat = {
+  s_class : Lockdep.lock_class;
+  s_acquisitions : int;
+  s_reader_acquisitions : int;
+  s_instances : int;  (** distinct lock objects in this class *)
+  s_total_hold : int;  (** summed hold spans, in trace events *)
+  s_max_hold : int;
+  s_accesses_under : int;  (** member accesses made while held *)
+}
+
+val mean_hold : stat -> float
+
+val analyse : Lockdoc_trace.Trace.t -> Lockdoc_db.Store.t -> stat list
+(** Walk the raw trace once for hold spans (acquire → release, per lock
+    instance) and combine with the store's transaction data for the
+    access counts. Sorted by descending acquisition count. *)
+
+val render : ?top:int -> stat list -> string
+(** Lockmeter-style table of the [top] (default 15) busiest classes. *)

@@ -1,0 +1,69 @@
+type relation = {
+  r_protected_type : string;
+  r_lock_owner : string;
+  r_lock_member : string;
+  r_members : (string * Rule.access) list;
+}
+
+let base_of key =
+  match String.index_opt key ':' with
+  | None -> key
+  | Some i -> String.sub key 0 i
+
+let analyse mined =
+  let table : (string * string * string, (string * Rule.access) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (m : Derivator.mined) ->
+      List.iter
+        (fun desc ->
+          match desc with
+          | Lockdesc.Eo (lock_member, owner) ->
+              let key = (base_of m.Derivator.m_type, owner, lock_member) in
+              let cell =
+                match Hashtbl.find_opt table key with
+                | Some cell -> cell
+                | None ->
+                    let cell = ref [] in
+                    Hashtbl.replace table key cell;
+                    cell
+              in
+              let entry = (m.Derivator.m_member, m.Derivator.m_kind) in
+              if not (List.mem entry !cell) then cell := entry :: !cell
+          | Lockdesc.Global _ | Lockdesc.Es _ -> ())
+        m.Derivator.m_winner)
+    mined;
+  Hashtbl.fold
+    (fun (r_protected_type, r_lock_owner, r_lock_member) cell acc ->
+      {
+        r_protected_type;
+        r_lock_owner;
+        r_lock_member;
+        r_members = List.sort compare !cell;
+      }
+      :: acc)
+    table []
+  |> List.sort (fun a b ->
+         compare
+           (a.r_protected_type, a.r_lock_owner, a.r_lock_member)
+           (b.r_protected_type, b.r_lock_owner, b.r_lock_member))
+
+let render relations =
+  if relations = [] then "no cross-object protection relations mined\n"
+  else
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      "cross-object protection relations (mined EO rules):\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s.%s protects in %s:\n" r.r_lock_owner
+             r.r_lock_member r.r_protected_type);
+        List.iter
+          (fun (member, kind) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s (%s)\n" member (Rule.access_to_string kind)))
+          r.r_members)
+      relations;
+    Buffer.contents buf

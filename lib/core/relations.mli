@@ -1,0 +1,26 @@
+(** Object-interrelation report — the paper's future-work direction
+    (Sec. 8): "acquire lock L in the list head before accessing a member
+    of a list element".
+
+    Every mined embedded-other (EO) rule is evidence of such an
+    interrelation: members of one type are protected by a lock living in
+    an instance of another type. This module aggregates the EO winners
+    into a protection graph between data types, which is exactly the
+    structure needed to phrase rules like "the buffer_head's state lock
+    protects its journal_head's fields". *)
+
+type relation = {
+  r_protected_type : string;  (** base type whose members are protected *)
+  r_lock_owner : string;  (** type the lock is embedded in *)
+  r_lock_member : string;  (** the lock *)
+  r_members : (string * Rule.access) list;  (** protected members *)
+}
+
+val analyse : Derivator.mined list -> relation list
+(** Group the EO components of all winning rules. Subclass-qualified
+    types are collapsed to their base type; rules whose winner is
+    "no lock" or purely ES/global contribute nothing. Sorted by
+    (protected type, owner, lock). *)
+
+val render : relation list -> string
+(** One block per relation: "T.member_lock protects in U: m1 (w), …". *)

@@ -1,0 +1,117 @@
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+type json =
+  | S of string
+  | I of int
+  | F of float
+  | L of json list
+  | O of (string * json) list
+
+let rec encode buf = function
+  | S s -> buf_add_json_string buf s
+  | I i -> Buffer.add_string buf (string_of_int i)
+  | F f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
+  | L items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          encode buf item)
+        items;
+      Buffer.add_char buf ']'
+  | O fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          buf_add_json_string buf key;
+          Buffer.add_char buf ':';
+          encode buf value)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 1024 in
+  encode buf json;
+  Buffer.contents buf
+
+let rule_json rule = S (Rule.to_string rule)
+
+let support_json (s : Hypothesis.support) =
+  O [ ("sa", I s.Hypothesis.sa); ("sr", F s.Hypothesis.sr) ]
+
+let mined_to_json mined =
+  to_string
+    (L
+       (List.map
+          (fun (m : Derivator.mined) ->
+            O
+              [
+                ("type", S m.Derivator.m_type);
+                ("member", S m.Derivator.m_member);
+                ("access", S (Rule.access_to_string m.Derivator.m_kind));
+                ("observations", I m.Derivator.m_total);
+                ("rule", rule_json m.Derivator.m_winner);
+                ("support", support_json m.Derivator.m_support);
+                ( "hypotheses",
+                  L
+                    (List.map
+                       (fun (h : Hypothesis.scored) ->
+                         O
+                           [
+                             ("rule", rule_json h.Hypothesis.rule);
+                             ("support", support_json h.Hypothesis.support);
+                           ])
+                       m.Derivator.m_hypotheses) );
+              ])
+          mined))
+
+let violations_to_json violations =
+  to_string
+    (L
+       (List.map
+          (fun (v : Violation.violation) ->
+            O
+              [
+                ("type", S v.Violation.v_type);
+                ("member", S v.Violation.v_member);
+                ("access", S (Rule.access_to_string v.Violation.v_kind));
+                ("rule", rule_json v.Violation.v_rule);
+                ( "held",
+                  L (List.map (fun d -> S (Lockdesc.to_string d)) v.Violation.v_held)
+                );
+                ("events", I v.Violation.v_events);
+                ("location", S (Lockdoc_trace.Srcloc.to_string v.Violation.v_loc));
+                ("stack", L (List.map (fun f -> S f) v.Violation.v_stack));
+              ])
+          violations))
+
+let checked_to_json checked =
+  to_string
+    (L
+       (List.map
+          (fun (c : Checker.checked) ->
+            O
+              [
+                ("type", S c.Checker.c_type);
+                ("member", S c.Checker.c_member);
+                ("access", S (Rule.access_to_string c.Checker.c_kind));
+                ("rule", rule_json c.Checker.c_rule);
+                ("support", support_json c.Checker.c_support);
+                ("verdict", S (Checker.verdict_to_string c.Checker.c_verdict));
+              ])
+          checked))

@@ -1,0 +1,18 @@
+(** Machine-readable export of mined rules and violations.
+
+    The documentation generator emits human-oriented source comments
+    (Fig. 8); this module emits the same information as JSON so editor
+    tooling, CI checks, or the paper's hypothetical "locking linter" can
+    consume it. The encoder is self-contained (no JSON dependency) and
+    escapes strings per RFC 8259. *)
+
+val mined_to_json : Derivator.mined list -> string
+(** JSON array; one object per (type, member, direction) with the winning
+    rule, support, and every scored hypothesis. *)
+
+val violations_to_json : Violation.violation list -> string
+(** JSON array; one object per violating observation with the expected
+    rule, held locks, location, and stack. *)
+
+val checked_to_json : Checker.checked list -> string
+(** JSON array of documentation-check results. *)

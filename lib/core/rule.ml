@@ -1,0 +1,76 @@
+type t = Lockdesc.t list
+
+type access = R | W
+
+let no_lock = []
+
+let to_string = function
+  | [] -> "nolock"
+  | locks -> String.concat " -> " (List.map Lockdesc.to_string locks)
+
+let parse s =
+  match String.trim s with
+  | "nolock" | "" -> []
+  | s ->
+      (* Split on "->"; descriptors never contain '>'. *)
+      String.split_on_char '>' s
+      |> List.map (fun part ->
+             let part = String.trim part in
+             let part =
+               if String.length part > 0 && part.[String.length part - 1] = '-'
+               then String.sub part 0 (String.length part - 1)
+               else part
+             in
+             String.trim part)
+      |> List.filter (fun part -> part <> "")
+      |> List.map Lockdesc.of_string
+
+let equal a b = List.equal Lockdesc.equal a b
+
+let compare a b = List.compare Lockdesc.compare a b
+
+let access_to_string = function R -> "r" | W -> "w"
+
+let complies ~rule ~held =
+  let rec go rule held =
+    match (rule, held) with
+    | [], _ -> true
+    | _, [] -> false
+    | r :: rrest, h :: hrest ->
+        if Lockdesc.equal r h then go rrest hrest else go rule hrest
+  in
+  go rule held
+
+(* Keep the first occurrence of each lock (re-acquisitions of recursive
+   locks appear twice in a held list). *)
+let dedup locks =
+  let rec go seen = function
+    | [] -> []
+    | l :: rest ->
+        if List.exists (Lockdesc.equal l) seen then go seen rest
+        else l :: go (l :: seen) rest
+  in
+  go [] locks
+
+let subsequences locks =
+  let locks = dedup locks in
+  List.fold_right
+    (fun lock acc -> List.map (fun sub -> lock :: sub) acc @ acc)
+    locks [ [] ]
+
+let permuted_subsets locks =
+  let locks = dedup locks in
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest ->
+        (x :: y :: rest)
+        :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        List.concat_map (insert_everywhere x) (permutations rest)
+  in
+  subsequences locks
+  |> List.concat_map permutations
+  |> List.sort_uniq compare

@@ -1,0 +1,40 @@
+(** Locking rules: an ordered sequence of lock descriptors that must be
+    held — and must have been acquired in this relative order — for an
+    access (paper Sec. 5.4).
+
+    The empty sequence is the "no lock needed" rule. Extra unrelated
+    locks held around an access do not violate a rule: compliance is
+    subsequence containment, not equality. *)
+
+type t = Lockdesc.t list
+
+type access = R | W
+
+val no_lock : t
+
+val to_string : t -> string
+(** ["nolock"] or descriptors joined with [" -> "]. *)
+
+val parse : string -> t
+(** Inverse of {!to_string}; also the format used by the documented-rule
+    corpus. Raises [Failure]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val access_to_string : access -> string
+(** ["r"] / ["w"]. *)
+
+val complies : rule:t -> held:Lockdesc.t list -> bool
+(** [complies ~rule ~held]: every lock of [rule] appears in [held], in
+    the same relative order ([rule] is a subsequence of [held]). *)
+
+val subsequences : Lockdesc.t list -> t list
+(** All ordered subsets of a held-lock list (duplicates removed first),
+    including the empty rule — the hypothesis space contributed by one
+    observed lock combination (paper Sec. 5.4). *)
+
+val permuted_subsets : Lockdesc.t list -> t list
+(** All subsets of a lock set in {e every} order, as in the naïve
+    enumeration of paper Sec. 4.3 (Tab. 2). Exponential — callers cap the
+    set size. *)

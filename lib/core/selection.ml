@@ -1,0 +1,52 @@
+type strategy = Lockdoc | Naive
+
+let nolock_scored scored =
+  match
+    List.find_opt (fun s -> Rule.equal s.Hypothesis.rule Rule.no_lock) scored
+  with
+  | Some s -> s
+  | None -> invalid_arg "Selection.select: no-lock hypothesis missing"
+
+let select ?(strategy = Lockdoc) ~tac scored =
+  let accepted =
+    List.filter (fun s -> s.Hypothesis.support.Hypothesis.sr >= tac) scored
+  in
+  match strategy with
+  | Lockdoc ->
+      (* Lowest sr in the accepted group; ties prefer more locks, then a
+         deterministic notation order. *)
+      let better a b =
+        let sra = a.Hypothesis.support.Hypothesis.sr
+        and srb = b.Hypothesis.support.Hypothesis.sr in
+        if sra < srb then true
+        else if sra > srb then false
+        else
+          let la = List.length a.Hypothesis.rule
+          and lb = List.length b.Hypothesis.rule in
+          if la > lb then true
+          else if la < lb then false
+          else Rule.compare a.Hypothesis.rule b.Hypothesis.rule < 0
+      in
+      List.fold_left
+        (fun best s -> if better s best then s else best)
+        (nolock_scored scored) accepted
+  | Naive ->
+      let with_locks =
+        List.filter (fun s -> s.Hypothesis.rule <> Rule.no_lock) accepted
+      in
+      let best_locked =
+        List.fold_left
+          (fun best s ->
+            match best with
+            | None -> Some s
+            | Some b ->
+                if
+                  s.Hypothesis.support.Hypothesis.sr
+                  > b.Hypothesis.support.Hypothesis.sr
+                then Some s
+                else best)
+          None with_locks
+      in
+      (match best_locked with
+      | Some s -> s
+      | None -> nolock_scored scored)

@@ -1,0 +1,32 @@
+(** The rule-violation finder (paper Sec. 5.5 / 7.5): assuming the mined
+    rules are correct, locate the accesses that break them and hand the
+    developer everything needed to investigate — member, expected locks,
+    locks actually held, source location and stack trace. *)
+
+type violation = {
+  v_type : string;  (** type key *)
+  v_member : string;
+  v_kind : Rule.access;
+  v_rule : Rule.t;  (** the violated (mined) rule *)
+  v_held : Lockdesc.t list;  (** locks actually held *)
+  v_events : int;  (** folded accesses in this observation *)
+  v_loc : Lockdoc_trace.Srcloc.t;  (** site of the first offending access *)
+  v_stack : string list;  (** innermost frame first *)
+}
+
+val find : Dataset.t -> Derivator.mined list -> violation list
+(** Scan every mined rule with sr < 1 for non-complying observations.
+    Rules whose winner is "no lock" cannot be violated. *)
+
+type summary = {
+  vs_type : string;
+  vs_events : int;  (** rule-violating memory-access events *)
+  vs_members : int;  (** distinct members involved *)
+  vs_contexts : int;  (** distinct (location, stack) contexts *)
+}
+
+val summarise : violation list -> string -> summary
+(** Per-type aggregate (paper Tab. 7). *)
+
+val contexts : violation list -> (Lockdoc_trace.Srcloc.t * string list) list
+(** Distinct contexts over a violation list. *)

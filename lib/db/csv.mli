@@ -1,0 +1,27 @@
+(** CSV export/import of the relational trace store.
+
+    The paper's post-processing emits CSV tables and bulk-loads them into
+    MariaDB (Sec. 6); this module reproduces that interface so a store
+    can be archived, inspected with standard tools, or reloaded without
+    re-importing the raw trace. One file per relation:
+
+    - [data_types.csv] — id, name, layout
+    - [allocations.csv] — id, ptr, size, type id, subclass, start, end
+    - [locks.csv] — id, ptr, kind, name, parent allocation, parent member
+    - [txns.csv] — id, ctx, held list (lock id / side / location triples)
+    - [accesses.csv] — id, event, allocation, member, kind, txn, location,
+      stack id, ctx
+    - [stacks.csv] — id, frames (innermost first)
+
+    Fields are separated by [';']; no field produced by the simulator
+    contains one. *)
+
+val export : dir:string -> Store.t -> unit
+(** Write all six relations into [dir] (created if missing). *)
+
+val import : dir:string -> Store.t
+(** Rebuild a store from {!export} output. Raises [Failure] or
+    [Sys_error] on malformed input. *)
+
+val files : string list
+(** The relation file names, in load order. *)

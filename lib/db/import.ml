@@ -1,0 +1,274 @@
+module Event = Lockdoc_trace.Event
+module Layout = Lockdoc_trace.Layout
+module IntMap = Map.Make (Int)
+
+type irq_mode = Inherit | Separate
+
+type stats = {
+  total_events : int;
+  lock_ops : int;
+  mem_accesses : int;
+  accesses_kept : int;
+  filtered_fn : int;
+  filtered_member : int;
+  filtered_kind : int;
+  unresolved : int;
+  unbalanced_releases : int;
+  allocations : int;
+  frees : int;
+  locks_static : int;
+  locks_embedded : int;
+  txns : int;
+}
+
+(* One held lock together with the transaction opened by its acquisition;
+   popping back to it resumes that transaction (paper Sec. 4.2). *)
+type held_entry = { entry : Schema.held; opened_txn : int }
+
+type ctx_state = {
+  pid : int;
+  mutable frames : string list; (* innermost first *)
+  mutable held : held_entry list; (* oldest first *)
+  mutable base_txn : int option; (* txn inherited from the interrupted flow *)
+}
+
+let cur_txn ctx =
+  match List.rev ctx.held with
+  | last :: _ -> Some last.opened_txn
+  | [] -> ctx.base_txn
+
+let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
+  let store = Store.create () in
+  let dt_ids = Hashtbl.create 32 in
+  List.iter
+    (fun layout ->
+      let dt = Store.add_data_type store layout in
+      Hashtbl.replace dt_ids dt.Schema.dt_name dt.Schema.dt_id)
+    trace.Lockdoc_trace.Trace.layouts;
+
+  (* Live-object state. *)
+  let live_allocs = ref IntMap.empty (* base ptr -> al_id *) in
+  let live_locks = Hashtbl.create 256 (* lock ptr -> lk_id *) in
+  let locks_of_alloc = Hashtbl.create 256 (* al_id -> lock ptr list *) in
+
+  (* Per-control-flow state. *)
+  let ctxs = Hashtbl.create 32 in
+  let current = ref { pid = 0; frames = []; held = []; base_txn = None } in
+  Hashtbl.replace ctxs 0 !current;
+
+  (* Counters. *)
+  let lock_ops = ref 0
+  and mem_accesses = ref 0
+  and kept = ref 0
+  and f_fn = ref 0
+  and f_member = ref 0
+  and f_kind = ref 0
+  and unresolved = ref 0
+  and unbalanced = ref 0
+  and allocs = ref 0
+  and frees = ref 0
+  and locks_static = ref 0
+  and locks_embedded = ref 0 in
+
+  let find_alloc ptr =
+    match IntMap.find_last_opt (fun base -> base <= ptr) !live_allocs with
+    | Some (base, al_id) ->
+        let al = Store.allocation store al_id in
+        if ptr < base + al.Schema.al_size then Some al else None
+    | None -> None
+  in
+
+  let resolve_lock ptr kind name =
+    match Hashtbl.find_opt live_locks ptr with
+    | Some lk_id -> Store.lock store lk_id
+    | None ->
+        let parent =
+          match find_alloc ptr with
+          | None -> None
+          | Some al ->
+              let dt = Store.data_type store al.Schema.al_type in
+              let offset = ptr - al.Schema.al_ptr in
+              Option.map
+                (fun m -> (al.Schema.al_id, m.Layout.m_name))
+                (Layout.member_at dt.Schema.dt_layout offset)
+        in
+        (match parent with
+        | None -> incr locks_static
+        | Some (al_id, _) ->
+            incr locks_embedded;
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt locks_of_alloc al_id)
+            in
+            Hashtbl.replace locks_of_alloc al_id (ptr :: existing));
+        let lk = Store.add_lock store ~ptr ~kind ~name ~parent in
+        Hashtbl.replace live_locks ptr lk.Schema.lk_id;
+        lk
+  in
+
+  (* Rebuild the nested transactions above a removal point: their opened
+     transactions included the removed lock, so they get fresh rows. *)
+  let reopen_txns ctx kept_prefix tail =
+    let rebuilt =
+      List.fold_left
+        (fun prefix he ->
+          let held_list = List.map (fun e -> e.entry) prefix @ [ he.entry ] in
+          let tx = Store.add_txn store ~locks:held_list ~ctx:ctx.pid in
+          prefix @ [ { he with opened_txn = tx.Schema.tx_id } ])
+        kept_prefix tail
+    in
+    ctx.held <- rebuilt
+  in
+
+  let handle_acquire ctx ~lock_ptr ~kind ~side ~name ~loc =
+    let lk = resolve_lock lock_ptr kind name in
+    let entry =
+      { Schema.h_lock = lk.Schema.lk_id; h_side = side; h_loc = loc }
+    in
+    let held_list = List.map (fun e -> e.entry) ctx.held @ [ entry ] in
+    let tx = Store.add_txn store ~locks:held_list ~ctx:ctx.pid in
+    ctx.held <- ctx.held @ [ { entry; opened_txn = tx.Schema.tx_id } ]
+  in
+
+  let handle_release ctx ~lock_ptr =
+    match Hashtbl.find_opt live_locks lock_ptr with
+    | None -> incr unbalanced
+    | Some lk_id ->
+        (* Drop the most recent occurrence of this lock. *)
+        let rec split_last_match rev_seen = function
+          | [] -> None
+          | he :: rest when he.entry.Schema.h_lock = lk_id
+                            && not (List.exists
+                                      (fun h -> h.entry.Schema.h_lock = lk_id)
+                                      rest) ->
+              Some (List.rev rev_seen, rest)
+          | he :: rest -> split_last_match (he :: rev_seen) rest
+        in
+        (match split_last_match [] ctx.held with
+        | None -> incr unbalanced
+        | Some (prefix, []) -> ctx.held <- prefix
+        | Some (prefix, tail) -> reopen_txns ctx prefix tail)
+  in
+
+  Array.iteri
+    (fun idx ev ->
+      match ev with
+      | Event.Ctx_switch { pid; kind } -> (
+          match kind with
+          | Event.Task -> (
+              match Hashtbl.find_opt ctxs pid with
+              | Some st -> current := st
+              | None ->
+                  let st = { pid; frames = []; held = []; base_txn = None } in
+                  Hashtbl.replace ctxs pid st;
+                  current := st)
+          | Event.Softirq | Event.Hardirq ->
+              (* Handlers run to completion: always a fresh state. *)
+              let st =
+                match irq_mode with
+                | Separate -> { pid; frames = []; held = []; base_txn = None }
+                | Inherit ->
+                    {
+                      pid;
+                      frames = [];
+                      held = (!current).held;
+                      base_txn = (!current).base_txn;
+                    }
+              in
+              current := st)
+      | Event.Alloc { ptr; size; data_type; subclass } ->
+          incr allocs;
+          let ty =
+            match Hashtbl.find_opt dt_ids data_type with
+            | Some id -> id
+            | None -> failwith ("Import: unknown data type " ^ data_type)
+          in
+          let al =
+            Store.add_allocation store ~ptr ~size ~ty ~subclass ~start:idx
+          in
+          live_allocs := IntMap.add ptr al.Schema.al_id !live_allocs
+      | Event.Free { ptr } -> (
+          incr frees;
+          match IntMap.find_opt ptr !live_allocs with
+          | None -> ()
+          | Some al_id ->
+              (Store.allocation store al_id).Schema.al_end <- Some idx;
+              live_allocs := IntMap.remove ptr !live_allocs;
+              (match Hashtbl.find_opt locks_of_alloc al_id with
+              | None -> ()
+              | Some ptrs ->
+                  List.iter (Hashtbl.remove live_locks) ptrs;
+                  Hashtbl.remove locks_of_alloc al_id))
+      | Event.Lock_acquire { lock_ptr; kind; side; name; loc } ->
+          incr lock_ops;
+          handle_acquire !current ~lock_ptr ~kind ~side ~name ~loc
+      | Event.Lock_release { lock_ptr; loc = _ } ->
+          incr lock_ops;
+          handle_release !current ~lock_ptr
+      | Event.Fun_enter { fn; loc = _ } ->
+          (!current).frames <- fn :: (!current).frames
+      | Event.Fun_exit { fn } ->
+          let rec pop = function
+            | [] -> []
+            | frame :: rest -> if frame = fn then rest else pop rest
+          in
+          (!current).frames <- pop (!current).frames
+      | Event.Mem_access { ptr; size = _; kind; loc } -> (
+          incr mem_accesses;
+          match find_alloc ptr with
+          | None -> incr unresolved
+          | Some al -> (
+              let dt = Store.data_type store al.Schema.al_type in
+              let offset = ptr - al.Schema.al_ptr in
+              match Layout.member_at dt.Schema.dt_layout offset with
+              | None -> incr unresolved
+              | Some m ->
+                  let ctx = !current in
+                  if
+                    (filter.Filter.drop_lock_members && m.Layout.m_kind = Layout.Lock)
+                    || (filter.Filter.drop_atomic_members
+                        && m.Layout.m_kind = Layout.Atomic)
+                  then incr f_kind
+                  else if
+                    Filter.member_blacklisted filter ~ty:dt.Schema.dt_name
+                      ~member:m.Layout.m_name
+                  then incr f_member
+                  else if Filter.fn_blacklisted filter ctx.frames then incr f_fn
+                  else begin
+                    incr kept;
+                    let stack = Store.intern_stack store ctx.frames in
+                    ignore
+                      (Store.add_access store ~event:idx ~alloc:al.Schema.al_id
+                         ~member:m.Layout.m_name ~kind ~txn:(cur_txn ctx) ~loc
+                         ~stack ~ctx:ctx.pid)
+                  end)))
+    trace.Lockdoc_trace.Trace.events;
+
+  let stats =
+    {
+      total_events = Array.length trace.Lockdoc_trace.Trace.events;
+      lock_ops = !lock_ops;
+      mem_accesses = !mem_accesses;
+      accesses_kept = !kept;
+      filtered_fn = !f_fn;
+      filtered_member = !f_member;
+      filtered_kind = !f_kind;
+      unresolved = !unresolved;
+      unbalanced_releases = !unbalanced;
+      allocations = !allocs;
+      frees = !frees;
+      locks_static = !locks_static;
+      locks_embedded = !locks_embedded;
+      txns = Store.n_txns store;
+    }
+  in
+  (store, stats)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>events: %d@ lock ops: %d@ memory accesses: %d (kept %d)@ filtered: \
+     %d fn / %d member / %d kind@ unresolved: %d, unbalanced releases: %d@ \
+     allocations: %d, frees: %d@ locks: %d static + %d embedded@ \
+     transactions: %d@]"
+    s.total_events s.lock_ops s.mem_accesses s.accesses_kept s.filtered_fn
+    s.filtered_member s.filtered_kind s.unresolved s.unbalanced_releases
+    s.allocations s.frees s.locks_static s.locks_embedded s.txns

@@ -1,0 +1,39 @@
+(** Trace post-processing: turn a raw event stream into the relational
+    store (paper phase ❶, Sec. 5.3/6).
+
+    The importer replays the single-core event stream, keeping per-control-
+    flow state (function stack, ordered held-lock list, current transaction)
+    across {!Lockdoc_trace.Event.Ctx_switch} boundaries. A transaction
+    starts at a lock acquisition and is resumed when a nested acquisition
+    is released again (paper Sec. 4.2); out-of-order releases rebuild the
+    affected nested transactions. *)
+
+type irq_mode =
+  | Inherit
+      (** paper behaviour on a single core: an interrupt handler observes
+          the interrupted flow's held locks (plus the synthetic
+          softirq/hardirq pseudo-locks the kernel emits on entry) *)
+  | Separate
+      (** ablation: handlers start with a clean lock set *)
+
+type stats = {
+  total_events : int;
+  lock_ops : int;  (** acquisitions + releases *)
+  mem_accesses : int;  (** raw memory-access events *)
+  accesses_kept : int;
+  filtered_fn : int;  (** dropped: init/teardown or ignored helper on stack *)
+  filtered_member : int;  (** dropped: black-listed member *)
+  filtered_kind : int;  (** dropped: lock-typed or atomic member *)
+  unresolved : int;  (** accesses outside any live monitored allocation *)
+  unbalanced_releases : int;  (** releases of locks not held by the flow *)
+  allocations : int;
+  frees : int;
+  locks_static : int;
+  locks_embedded : int;
+  txns : int;
+}
+
+val run : ?filter:Filter.t -> ?irq_mode:irq_mode -> Lockdoc_trace.Trace.t -> Store.t * stats
+(** [run trace] imports with {!Filter.default} and [Inherit]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

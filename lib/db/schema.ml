@@ -1,0 +1,48 @@
+type data_type = {
+  dt_id : int;
+  dt_name : string;
+  dt_layout : Lockdoc_trace.Layout.t;
+}
+
+type allocation = {
+  al_id : int;
+  al_ptr : int;
+  al_size : int;
+  al_type : int;
+  al_subclass : string option;
+  al_start : int;
+  mutable al_end : int option;
+}
+
+type lock = {
+  lk_id : int;
+  lk_ptr : int;
+  lk_kind : Lockdoc_trace.Event.lock_kind;
+  lk_name : string;
+  lk_parent : (int * string) option;
+}
+
+type held = {
+  h_lock : int;
+  h_side : Lockdoc_trace.Event.lock_side;
+  h_loc : Lockdoc_trace.Srcloc.t;
+}
+
+type txn = { tx_id : int; tx_locks : held list; tx_ctx : int }
+
+type access = {
+  ac_id : int;
+  ac_event : int;
+  ac_alloc : int;
+  ac_member : string;
+  ac_kind : Lockdoc_trace.Event.access_kind;
+  ac_txn : int option;
+  ac_loc : Lockdoc_trace.Srcloc.t;
+  ac_stack : int;
+  ac_ctx : int;
+}
+
+let type_key dt al =
+  match al.al_subclass with
+  | None -> dt.dt_name
+  | Some sub -> dt.dt_name ^ ":" ^ sub

@@ -1,0 +1,61 @@
+(** Row types of the relational trace store.
+
+    This mirrors the paper's database schema (Fig. 6): memory [access]es go
+    to [allocation]s which are instances of observed [data_type]s; accesses
+    under locks belong to a [txn] which references held [lock]s in locking
+    order; each access carries a [stack] trace. Subclasses (paper Sec. 5.3,
+    item 1) are recorded on the allocation. *)
+
+type data_type = {
+  dt_id : int;
+  dt_name : string;
+  dt_layout : Lockdoc_trace.Layout.t;
+}
+
+type allocation = {
+  al_id : int;
+  al_ptr : int;
+  al_size : int;
+  al_type : int;  (** [data_type] id *)
+  al_subclass : string option;
+  al_start : int;  (** event index of the allocation *)
+  mutable al_end : int option;  (** event index of the free, if any *)
+}
+
+type lock = {
+  lk_id : int;
+  lk_ptr : int;
+  lk_kind : Lockdoc_trace.Event.lock_kind;
+  lk_name : string;
+  lk_parent : (int * string) option;
+      (** [(allocation id, member name)] for locks embedded in a monitored
+          structure; [None] for statically allocated locks. *)
+}
+
+type held = {
+  h_lock : int;  (** [lock] id *)
+  h_side : Lockdoc_trace.Event.lock_side;
+  h_loc : Lockdoc_trace.Srcloc.t;  (** acquisition site *)
+}
+
+type txn = {
+  tx_id : int;
+  tx_locks : held list;  (** in acquisition order, oldest first *)
+  tx_ctx : int;  (** control-flow pid *)
+}
+
+type access = {
+  ac_id : int;
+  ac_event : int;  (** index into the source trace *)
+  ac_alloc : int;
+  ac_member : string;
+  ac_kind : Lockdoc_trace.Event.access_kind;
+  ac_txn : int option;  (** [None] = no locks held *)
+  ac_loc : Lockdoc_trace.Srcloc.t;
+  ac_stack : int;  (** interned stack-trace id *)
+  ac_ctx : int;
+}
+
+val type_key : data_type -> allocation -> string
+(** Derivation key: ["inode:ext4"] for subclassed types, the plain type
+    name otherwise. *)

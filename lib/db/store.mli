@@ -1,0 +1,69 @@
+(** The in-memory relational trace store.
+
+    Substitutes the paper's MariaDB instance: tables are growable arrays
+    with hash indexes, and the analysis-phase "queries" are the accessor
+    functions below. Rows are created exclusively by {!Import}. *)
+
+open Schema
+
+type t
+
+val create : unit -> t
+
+(** {2 Row creation (used by Import)} *)
+
+val add_data_type : t -> Lockdoc_trace.Layout.t -> data_type
+val add_allocation :
+  t -> ptr:int -> size:int -> ty:int -> subclass:string option -> start:int ->
+  allocation
+val add_lock :
+  t ->
+  ptr:int ->
+  kind:Lockdoc_trace.Event.lock_kind ->
+  name:string ->
+  parent:(int * string) option ->
+  lock
+val add_txn : t -> locks:held list -> ctx:int -> txn
+val add_access :
+  t ->
+  event:int ->
+  alloc:int ->
+  member:string ->
+  kind:Lockdoc_trace.Event.access_kind ->
+  txn:int option ->
+  loc:Lockdoc_trace.Srcloc.t ->
+  stack:int ->
+  ctx:int ->
+  access
+val intern_stack : t -> string list -> int
+(** Stacks are interned; innermost frame first. *)
+
+(** {2 Lookup} *)
+
+val data_type : t -> int -> data_type
+val data_type_by_name : t -> string -> data_type option
+val allocation : t -> int -> allocation
+val lock : t -> int -> lock
+val txn : t -> int -> txn
+val access : t -> int -> access
+val stack : t -> int -> string list
+
+val n_accesses : t -> int
+val n_txns : t -> int
+val n_locks : t -> int
+val n_allocations : t -> int
+val n_data_types : t -> int
+val n_stacks : t -> int
+
+val iter_accesses : t -> (access -> unit) -> unit
+val iter_allocations : t -> (allocation -> unit) -> unit
+val iter_locks : t -> (lock -> unit) -> unit
+
+val type_keys : t -> string list
+(** All distinct derivation keys ("inode:ext4", "dentry", …), sorted. *)
+
+val accesses_of_type : t -> string -> access list
+(** Accesses whose allocation has the given type key, in trace order. *)
+
+val layout_of_key : t -> string -> Lockdoc_trace.Layout.t option
+(** Layout of the underlying data type of a type key. *)

@@ -1,0 +1,38 @@
+(** Fig. 1: increase of lock usage and lines of code, Linux 3.0 → 4.18. *)
+
+module Tablefmt = Lockdoc_util.Tablefmt
+module Figure1 = Lockdoc_kstats.Figure1
+
+let render () =
+  let rows = Figure1.rows () in
+  let table =
+    Tablefmt.create
+      ~header:
+        [ "Version"; "LoC (scanned)"; "LoC (full-scale)"; "Spinlock"; "Mutex"; "RCU" ]
+  in
+  Tablefmt.set_align table
+    [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+      Tablefmt.Right; Tablefmt.Right ];
+  List.iter
+    (fun (r : Figure1.row) ->
+      Tablefmt.add_row table
+        [
+          r.Figure1.version;
+          string_of_int r.Figure1.loc;
+          string_of_int r.Figure1.loc_full;
+          string_of_int r.Figure1.spinlock;
+          string_of_int r.Figure1.mutex;
+          string_of_int r.Figure1.rcu;
+        ])
+    rows;
+  let g = Figure1.growth rows in
+  String.concat "\n"
+    [
+      "Figure 1 — lock usage and LoC, v3.0..v4.18 (LoC 1:100, locks 1:10)";
+      Tablefmt.render table;
+      Printf.sprintf
+        "growth v3.0 -> v4.18: LoC %+.0f%% (paper: +73%%), spinlock %+.0f%% \
+         (paper: +45%%), mutex %+.0f%% (paper: +81%%), RCU %+.0f%%"
+        g.Figure1.loc_pct g.Figure1.spinlock_pct g.Figure1.mutex_pct
+        g.Figure1.rcu_pct;
+    ]

@@ -1,0 +1,12 @@
+(** Fig. 8: generated locking documentation for fs/inode.c — the
+    documentation-generator output over the merged inode subclasses. *)
+
+module Derivator = Lockdoc_core.Derivator
+module Docgen = Lockdoc_core.Docgen
+module Rule = Lockdoc_core.Rule
+
+let render (ctx : Context.t) =
+  let mined = Derivator.derive_merged ctx.Context.dataset "inode" in
+  let writes = Docgen.generate ~kind:Rule.W ~title:"inode" mined in
+  "Figure 8 — generated locking documentation for fs/inode.c (write rules)\n\n"
+  ^ writes

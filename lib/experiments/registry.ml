@@ -1,0 +1,90 @@
+type experiment = {
+  id : string;
+  title : string;
+  needs_context : bool;
+  render : Context.t Lazy.t -> string;
+}
+
+let without_ctx f = fun (_ : Context.t Lazy.t) -> f ()
+
+let with_ctx f = fun ctx -> f (Lazy.force ctx)
+
+let all =
+  [
+    {
+      id = "fig1";
+      title = "Lock usage and LoC growth, Linux 3.0-4.18";
+      needs_context = false;
+      render = without_ctx Fig1.render;
+    };
+    {
+      id = "tab1";
+      title = "Clock example: observed/folded/WoR access matrix";
+      needs_context = false;
+      render = without_ctx Clock.render_tab1_only;
+    };
+    {
+      id = "tab2";
+      title = "Clock example: hypotheses for writes to `minutes'";
+      needs_context = false;
+      render = without_ctx Clock.render_tab2_only;
+    };
+    {
+      id = "tab3";
+      title = "Code coverage of the benchmark mix";
+      needs_context = true;
+      render = with_ctx Tab3.render;
+    };
+    {
+      id = "sec72";
+      title = "Tracing and derivation statistics";
+      needs_context = true;
+      render = with_ctx Sec72.render;
+    };
+    {
+      id = "tab4";
+      title = "Validation of documented locking rules";
+      needs_context = true;
+      render = with_ctx Tab4.render;
+    };
+    {
+      id = "tab5";
+      title = "Documented struct inode rules in detail";
+      needs_context = true;
+      render = with_ctx Tab5.render;
+    };
+    {
+      id = "tab6";
+      title = "Mined locking rules per data type";
+      needs_context = true;
+      render = with_ctx Tab6.render;
+    };
+    {
+      id = "fig7";
+      title = "No-lock fraction vs acceptance threshold";
+      needs_context = true;
+      render = with_ctx Fig7.render;
+    };
+    {
+      id = "fig8";
+      title = "Generated locking documentation for fs/inode.c";
+      needs_context = true;
+      render = with_ctx Fig8.render;
+    };
+    {
+      id = "tab7";
+      title = "Locking-rule violations per data type";
+      needs_context = true;
+      render = with_ctx Tab7.render;
+    };
+    {
+      id = "tab8";
+      title = "Locking-rule violation examples";
+      needs_context = true;
+      render = with_ctx Tab8.render;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all

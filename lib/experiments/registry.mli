@@ -1,0 +1,15 @@
+(** Experiment registry: every table and figure of the paper's evaluation,
+    addressable by id, sharing one lazily built {!Context}. *)
+
+type experiment = {
+  id : string;  (** "fig1", "tab5", … *)
+  title : string;
+  needs_context : bool;  (** false for fig1/tab1/tab2 (own pipelines) *)
+  render : Context.t Lazy.t -> string;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val ids : string list

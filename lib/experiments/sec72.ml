@@ -1,0 +1,37 @@
+(** Sec. 7.2: tracing and derivation statistics — event volumes, lock
+    population, and per-phase runtimes. *)
+
+module Import = Lockdoc_db.Import
+
+let render (ctx : Context.t) =
+  let s = ctx.Context.import_stats in
+  let timing name =
+    match List.assoc_opt name ctx.Context.timings with
+    | Some dt -> Printf.sprintf "%.2f s" dt
+    | None -> "-"
+  in
+  String.concat "\n"
+    [
+      "Sec. 7.2 — tracing and locking-rule derivation statistics";
+      Printf.sprintf "recorded events:          %d" s.Import.total_events;
+      Printf.sprintf "  locking operations:     %d" s.Import.lock_ops;
+      Printf.sprintf "  memory accesses:        %d (%d after filtering)"
+        s.Import.mem_accesses s.Import.accesses_kept;
+      Printf.sprintf "  allocations:            %d" s.Import.allocations;
+      Printf.sprintf "  deallocations:          %d" s.Import.frees;
+      Printf.sprintf "distinct locks:           %d (%d static, %d embedded)"
+        (s.Import.locks_static + s.Import.locks_embedded)
+        s.Import.locks_static s.Import.locks_embedded;
+      Printf.sprintf "transactions:             %d" s.Import.txns;
+      Printf.sprintf "filtered accesses:        %d init/teardown+helpers, %d \
+                      black-listed members, %d lock/atomic members"
+        s.Import.filtered_fn s.Import.filtered_member s.Import.filtered_kind;
+      Printf.sprintf "phase runtimes: tracing %s, import %s, observations %s, \
+                      derivation %s, counterexample extraction %s"
+        (timing "tracing") (timing "import") (timing "observations")
+        (timing "derivation") (timing "counterexamples");
+      Printf.sprintf "rule-violating observations: %d"
+        (List.length ctx.Context.violations);
+      "(paper, full-scale: 27.4M events, 41 589 locks — 821 static + 40 768 \
+       embedded; tracing 34 min, derivation 3.02 s)";
+    ]

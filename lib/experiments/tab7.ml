@@ -1,0 +1,32 @@
+(** Tab. 7: summary of locking-rule violations per data type. *)
+
+module Tablefmt = Lockdoc_util.Tablefmt
+module Violation = Lockdoc_core.Violation
+
+let violations (ctx : Context.t) = ctx.Context.violations
+
+let render (ctx : Context.t) =
+  let violations = violations ctx in
+  let table =
+    Tablefmt.create ~header:[ "Data Type"; "Events"; "Members"; "Contexts" ]
+  in
+  Tablefmt.set_align table
+    [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ];
+  let total_events = ref 0 and total_contexts = ref 0 in
+  List.iter
+    (fun key ->
+      let s = Violation.summarise violations key in
+      total_events := !total_events + s.Violation.vs_events;
+      total_contexts := !total_contexts + s.Violation.vs_contexts;
+      Tablefmt.add_row table
+        [
+          key;
+          string_of_int s.Violation.vs_events;
+          string_of_int s.Violation.vs_members;
+          string_of_int s.Violation.vs_contexts;
+        ])
+    (Lockdoc_core.Dataset.type_keys ctx.Context.dataset);
+  Printf.sprintf
+    "Table 7 — locking-rule violations (total: %d events at %d contexts)\n%s\n\
+     (paper: 52 452 events at 986 contexts; buffer_head dominates)"
+    !total_events !total_contexts (Tablefmt.render table)

@@ -1,0 +1,68 @@
+(** Tab. 8: example rule violations with the context information the
+    rule-violation finder hands the developer. *)
+
+module Tablefmt = Lockdoc_util.Tablefmt
+module Violation = Lockdoc_core.Violation
+module Rule = Lockdoc_core.Rule
+module Lockdesc = Lockdoc_core.Lockdesc
+module Srcloc = Lockdoc_trace.Srcloc
+
+(* The paper's three showcase rows: the inode hash mystery, the journal
+   commit peek, and the libfs d_subdirs walk. *)
+let showcases = [
+  [ ("inode:ext4", "i_hash"); ("inode:rootfs", "i_hash") ];
+  [ ("journal_t", "j_committing_transaction") ];
+  [ ("dentry", "d_subdirs") ];
+]
+
+let held_to_string held =
+  match held with
+  | [] -> "(none)"
+  | locks -> String.concat " -> " (List.map Lockdesc.to_string locks)
+
+let pick violations candidates =
+  List.find_map
+    (fun (ty, member) ->
+      List.find_opt
+        (fun v -> v.Violation.v_type = ty && v.Violation.v_member = member)
+        violations)
+    candidates
+
+let render (ctx : Context.t) =
+  let violations = Tab7.violations ctx in
+  let table =
+    Tablefmt.create
+      ~header:[ "Data Type/Member"; "Rule"; "Locks held"; "Location"; "Top frame" ]
+  in
+  let add v =
+    Tablefmt.add_row table
+      [
+        Printf.sprintf "%s.%s" v.Violation.v_type v.Violation.v_member;
+        Rule.to_string v.Violation.v_rule;
+        held_to_string v.Violation.v_held;
+        Srcloc.to_string v.Violation.v_loc;
+        (match v.Violation.v_stack with frame :: _ -> frame | [] -> "?");
+      ]
+  in
+  let shown =
+    List.filter_map (pick violations) showcases
+  in
+  let shown =
+    if shown <> [] then shown
+    else
+      (* Fall back to the first violation of three distinct types. *)
+      let rec take_diverse seen acc = function
+        | [] -> List.rev acc
+        | v :: rest ->
+            if List.length acc >= 3 then List.rev acc
+            else if List.mem v.Violation.v_type seen then
+              take_diverse seen acc rest
+            else take_diverse (v.Violation.v_type :: seen) (v :: acc) rest
+      in
+      take_diverse [] [] violations
+  in
+  List.iter add shown;
+  "Table 8 — locking-rule violation examples\n" ^ Tablefmt.render table
+  ^ "\n(paper: inode:ext4.i_hash at fs/inode.c:507, journal_t.\
+     j_committing_transaction at fs/ext4/inode.c:4685, dentry.d_subdirs at \
+     fs/libfs.c:104)"

@@ -1,0 +1,151 @@
+(** Writeback / backing_dev_info subsystem (mm/backing-dev.c,
+    mm/page-writeback.c, fs/fs-writeback.c).
+
+    The per-writeback fields ([wb.*] lists, timestamps, bandwidth) are
+    protected by the embedded [wb.list_lock]; work queueing uses
+    [wb.work_lock]; the global bdi list uses the static [bdi_lock].
+    The dirty-throttling path reads the bandwidth estimates lock-free, as
+    Linux does — those reads are part of the backing_dev_info violations
+    in the paper's Tab. 7. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let bdi_list : bdi list ref = ref []
+
+let () = Kernel.add_boot_hook (fun () -> bdi_list := [])
+
+let bdi_register bdi =
+  fn "mm/backing-dev.c" 18 "bdi_register" @@ fun () ->
+  Lock.spin_lock Globals.bdi_lock;
+  Memory.write bdi.bdi_inst "bdi_list" 1;
+  bdi_list := bdi :: !bdi_list;
+  Lock.spin_unlock Globals.bdi_lock;
+  Memory.write bdi.bdi_inst "ra_pages" 32;
+  Memory.write bdi.bdi_inst "capabilities" 1
+
+let bdi_unregister bdi =
+  fn "mm/backing-dev.c" 14 "bdi_unregister" @@ fun () ->
+  Lock.spin_lock Globals.bdi_lock;
+  Memory.write bdi.bdi_inst "bdi_list" 0;
+  bdi_list := List.filter (fun b -> b != bdi) !bdi_list;
+  Lock.spin_unlock Globals.bdi_lock
+
+let wb_queue_work bdi =
+  fn "fs/fs-writeback.c" 16 "wb_queue_work" @@ fun () ->
+  Lock.spin_lock bdi.wb_work_lock;
+  Memory.write bdi.bdi_inst "wb.work_list" 1;
+  Memory.write bdi.bdi_inst "wb.dwork" 1;
+  Lock.spin_unlock bdi.wb_work_lock
+
+let wb_update_bandwidth bdi =
+  fn "mm/page-writeback.c" 34 "wb_update_bandwidth" @@ fun () ->
+  Lock.spin_lock bdi.wb_list_lock;
+  Memory.write bdi.bdi_inst "wb.bw_time_stamp" 1;
+  Memory.modify bdi.bdi_inst "wb.written_stamp" (fun v -> v + 1);
+  Memory.modify bdi.bdi_inst "wb.dirtied_stamp" (fun v -> v + 1);
+  Memory.modify bdi.bdi_inst "wb.write_bandwidth" (fun v -> (v + 100) / 2);
+  Memory.modify bdi.bdi_inst "wb.avg_write_bandwidth" (fun v -> (v + 100) / 2);
+  Memory.modify bdi.bdi_inst "wb.dirty_ratelimit" (fun v -> (v + 10) / 2);
+  Memory.modify bdi.bdi_inst "wb.balanced_dirty_ratelimit" (fun v -> (v + 10) / 2);
+  Lock.spin_unlock bdi.wb_list_lock
+
+(* Dirty throttling snapshots the rate estimates under the list lock on
+   the common path, but a fast-path flavour reads them lock-free — the
+   backing_dev_info violations of the paper's Tab. 7. *)
+let throttle_nolock_fault = Fault.site ~period:14 "balance_dirty_pages_nolock"
+
+let balance_dirty_pages bdi =
+  fn "mm/page-writeback.c" 40 "balance_dirty_pages" @@ fun () ->
+  let snapshot () =
+    ignore (Memory.read bdi.bdi_inst "wb.dirty_ratelimit");
+    ignore (Memory.read bdi.bdi_inst "wb.avg_write_bandwidth");
+    ignore (Memory.read bdi.bdi_inst "wb.dirty_exceeded");
+    ignore (Memory.read bdi.bdi_inst "wb.balanced_dirty_ratelimit")
+  in
+  if Fault.fire throttle_nolock_fault then snapshot ()
+  else begin
+    Lock.spin_lock bdi.wb_list_lock;
+    snapshot ();
+    Lock.spin_unlock bdi.wb_list_lock
+  end;
+  ignore (Memory.read bdi.bdi_inst "ra_pages")
+
+(* The periodic flusher: walk b_dirty under wb.list_lock, then write the
+   inodes back. *)
+let wb_do_writeback bdi =
+  fn "fs/fs-writeback.c" 36 "wb_do_writeback" @@ fun () ->
+  Lock.spin_lock bdi.wb_work_lock;
+  ignore (Memory.read bdi.bdi_inst "wb.work_list");
+  Memory.write bdi.bdi_inst "wb.work_list" 0;
+  Lock.spin_unlock bdi.wb_work_lock;
+  Lock.spin_lock bdi.wb_list_lock;
+  Memory.write bdi.bdi_inst "wb.last_old_flush" 1;
+  Memory.modify bdi.bdi_inst "wb.state" (fun s -> s lor 0x1);
+  (* Pin each inode under the list lock (the section is non-preemptible,
+     so the I_FREEING check and the reference grab are atomic against
+     iput's teardown decision), skipping inodes being torn down. *)
+  let dirty =
+    List.filter
+      (fun (i : Obj.inode) ->
+        ignore (Memory.read i.i_inst "i_io_list");
+        ignore (Memory.read i.i_inst "dirtied_when");
+        (* i_state peek without the inode's i_lock. *)
+        let state = Memory.read i.i_inst "i_state" in
+        if state land 0x20 (* I_FREEING *) = 0 then begin
+          Memory.atomic_inc i.i_inst "i_count";
+          Memory.write i.i_inst "i_io_list" 0;
+          true
+        end
+        else false)
+      bdi.b_dirty
+  in
+  bdi.b_dirty <- [];
+  Memory.write bdi.bdi_inst "wb.b_io" 0;
+  Lock.spin_unlock bdi.wb_list_lock;
+  List.iter
+    (fun i ->
+      Lock.down_read i.Obj.i_sb.Obj.s_umount;
+      Vfs_super.writeback_single_inode i;
+      Lock.up_read i.Obj.i_sb.Obj.s_umount;
+      Vfs_inode.iput i)
+    dirty;
+  Lock.spin_lock bdi.wb_list_lock;
+  Memory.modify bdi.bdi_inst "wb.state" (fun s -> s land lnot 0x1);
+  Memory.modify bdi.bdi_inst "wb.completions" (fun c -> c + 1);
+  Lock.spin_unlock bdi.wb_list_lock;
+  wb_update_bandwidth bdi
+
+(* Timer-interrupt path: peeks the dirty list head lock-free to decide
+   whether to kick the flusher. *)
+let wakeup_flusher_irq bdi =
+  fn "mm/backing-dev.c" 10 "laptop_mode_timer_fn" @@ fun () ->
+  ignore (Memory.read bdi.bdi_inst "wb.state");
+  ignore (Memory.read bdi.bdi_inst "wb.last_old_flush");
+  if bdi.b_dirty <> [] then begin
+    Lock.spin_lock bdi.wb_work_lock;
+    Memory.write bdi.bdi_inst "wb.work_list" 1;
+    Lock.spin_unlock bdi.wb_work_lock
+  end
+
+(* Cold declarations (coverage denominators outside fs/). *)
+let () =
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"mm/backing-dev.c" ~span name))
+    [
+      ("wb_congested_get_create", 24); ("wb_congested_put", 14);
+      ("cgwb_create", 40); ("wb_memcg_offline", 16); ("wb_blkcg_offline", 14);
+      ("bdi_debug_stats_show", 26); ("congestion_wait", 12);
+      ("wait_iff_congested", 20);
+    ];
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"mm/page-writeback.c" ~span name))
+    [
+      ("domain_dirty_limits", 30); ("wb_position_ratio", 44);
+      ("wb_dirty_limits", 22); ("writeback_set_ratelimit", 12);
+      ("laptop_io_completion", 6); ("laptop_sync_completion", 10);
+      ("tag_pages_for_writeback", 18); ("write_cache_pages", 50);
+    ]

@@ -1,0 +1,103 @@
+(** Block-device layer (fs/block_dev.c).
+
+    [bd_mutex] protects the open/close state; the registry uses the
+    global [bdev_lock]. One size read happens lock-free in the IO path —
+    the single block_device violation of the paper's Tab. 7. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let bdev_list : bdev list ref = ref []
+
+let () = Kernel.add_boot_hook (fun () -> bdev_list := [])
+
+let bdget dev =
+  fn "fs/block_dev.c" 22 "bdget" @@ fun () ->
+  Lock.spin_lock Globals.bdev_lock;
+  let found =
+    List.find_opt
+      (fun b ->
+        ignore (Memory.read b.bd_inst "bd_list");
+        Memory.read b.bd_inst "bd_dev" = dev)
+      !bdev_list
+  in
+  Lock.spin_unlock Globals.bdev_lock;
+  match found with
+  | Some b -> b
+  | None ->
+      let b = alloc_bdev () in
+      Memory.write b.bd_inst "bd_dev" dev;
+      Lock.spin_lock Globals.bdev_lock;
+      Memory.write b.bd_inst "bd_list" 1;
+      bdev_list := b :: !bdev_list;
+      Lock.spin_unlock Globals.bdev_lock;
+      b
+
+let blkdev_get bdev holder =
+  fn "fs/block_dev.c" 40 "blkdev_get" @@ fun () ->
+  Lock.mutex_lock bdev.bd_mutex;
+  Memory.modify bdev.bd_inst "bd_openers" (fun o -> o + 1);
+  Memory.write bdev.bd_inst "bd_holder" holder;
+  Memory.modify bdev.bd_inst "bd_holders" (fun h -> h + 1);
+  ignore (Memory.read bdev.bd_inst "bd_invalidated");
+  Memory.write bdev.bd_inst "bd_invalidated" 0;
+  Memory.write bdev.bd_inst "bd_block_size" 4096;
+  Lock.mutex_unlock bdev.bd_mutex
+
+let blkdev_put bdev =
+  fn "fs/block_dev.c" 26 "blkdev_put" @@ fun () ->
+  Lock.mutex_lock bdev.bd_mutex;
+  Memory.modify bdev.bd_inst "bd_openers" (fun o -> max 0 (o - 1));
+  Memory.modify bdev.bd_inst "bd_holders" (fun h -> max 0 (h - 1));
+  if Memory.read bdev.bd_inst "bd_openers" = 0 then
+    Memory.write bdev.bd_inst "bd_holder" 0;
+  Lock.mutex_unlock bdev.bd_mutex
+
+let bd_set_size bdev size =
+  fn "fs/block_dev.c" 14 "bd_set_size" @@ fun () ->
+  Lock.mutex_lock bdev.bd_mutex;
+  Memory.write bdev.bd_inst "bd_block_size" size;
+  Memory.write bdev.bd_inst "bd_part_count" 1;
+  Lock.mutex_unlock bdev.bd_mutex
+
+(* Lock-free size read in the IO submission path (the Tab. 7 block_device
+   violation). *)
+let blkdev_io_peek_fault = Fault.site ~period:37 "blkdev_direct_io_nolock"
+
+let blkdev_direct_io bdev =
+  fn "fs/block_dev.c" 24 "blkdev_direct_IO" @@ fun () ->
+  if Fault.fire blkdev_io_peek_fault then
+    ignore (Memory.read bdev.bd_inst "bd_block_size")
+  else begin
+    Lock.mutex_lock bdev.bd_mutex;
+    ignore (Memory.read bdev.bd_inst "bd_block_size");
+    ignore (Memory.read bdev.bd_inst "bd_openers");
+    Lock.mutex_unlock bdev.bd_mutex
+  end
+
+let freeze_bdev bdev =
+  fn "fs/block_dev.c" 20 "freeze_bdev" @@ fun () ->
+  Lock.mutex_lock bdev.bd_fsfreeze_mutex;
+  Memory.modify bdev.bd_inst "bd_fsfreeze_count" (fun c -> c + 1);
+  Lock.mutex_unlock bdev.bd_fsfreeze_mutex
+
+let thaw_bdev bdev =
+  fn "fs/block_dev.c" 18 "thaw_bdev" @@ fun () ->
+  Lock.mutex_lock bdev.bd_fsfreeze_mutex;
+  Memory.modify bdev.bd_inst "bd_fsfreeze_count" (fun c -> max 0 (c - 1));
+  Lock.mutex_unlock bdev.bd_fsfreeze_mutex
+
+let () =
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/block_dev.c" ~span name))
+    [
+      ("bd_acquire", 20); ("bd_forget", 14); ("bd_may_claim", 16);
+      ("bd_prepare_to_claim", 22); ("bd_start_claiming", 28);
+      ("bd_link_disk_holder", 26); ("bd_unlink_disk_holder", 16);
+      ("blkdev_writepage", 8); ("blkdev_readpage", 8); ("blkdev_write_begin", 10);
+      ("blkdev_write_end", 14); ("block_llseek", 12); ("blkdev_fsync", 14);
+      ("blkdev_open", 20); ("blkdev_close", 10); ("block_ioctl", 12);
+      ("blkdev_write_iter", 22); ("blkdev_read_iter", 14);
+    ]

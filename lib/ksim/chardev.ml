@@ -1,0 +1,61 @@
+(** Character-device registry (fs/char_dev.c).
+
+    Everything is protected by the global [cdev_lock]; the paper finds no
+    violations for struct cdev (Tab. 7: 0 events), so this subsystem is
+    deliberately disciplined. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let cdev_map : chardev list ref = ref []
+
+let () = Kernel.add_boot_hook (fun () -> cdev_map := [])
+
+let cdev_add cd dev count =
+  fn "fs/char_dev.c" 18 "cdev_add" @@ fun () ->
+  Lock.spin_lock Globals.cdev_lock;
+  Memory.write cd.cd_inst "dev" dev;
+  Memory.write cd.cd_inst "count" count;
+  Memory.write cd.cd_inst "list" 1;
+  Memory.write cd.cd_inst "ops" 1;
+  cdev_map := cd :: !cdev_map;
+  Lock.spin_unlock Globals.cdev_lock
+
+let cdev_del cd =
+  fn "fs/char_dev.c" 12 "cdev_del" @@ fun () ->
+  Lock.spin_lock Globals.cdev_lock;
+  Memory.write cd.cd_inst "list" 0;
+  cdev_map := List.filter (fun c -> c != cd) !cdev_map;
+  Lock.spin_unlock Globals.cdev_lock;
+  free_cdev cd
+
+let cdev_lookup dev =
+  fn "fs/char_dev.c" 20 "kobj_lookup" @@ fun () ->
+  Lock.spin_lock Globals.cdev_lock;
+  let found =
+    List.find_opt
+      (fun c ->
+        ignore (Memory.read c.cd_inst "list");
+        ignore (Memory.read c.cd_inst "count");
+        Memory.read c.cd_inst "dev" = dev)
+      !cdev_map
+  in
+  (match found with
+  | Some c ->
+      ignore (Memory.read c.cd_inst "ops");
+      ignore (Memory.read c.cd_inst "owner")
+  | None -> ());
+  Lock.spin_unlock Globals.cdev_lock;
+  found
+
+let () =
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/char_dev.c" ~span name))
+    [
+      ("register_chrdev_region", 22); ("alloc_chrdev_region", 14);
+      ("__register_chrdev", 26); ("unregister_chrdev_region", 12);
+      ("chrdev_open", 34); ("cd_forget", 14); ("cdev_purge", 12);
+      ("base_probe", 6);
+    ]

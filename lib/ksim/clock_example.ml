@@ -1,0 +1,59 @@
+(** The contrived shared-clock example of paper Sec. 4 (Fig. 4).
+
+    [seconds] is protected by [sec_lock]; carrying into [minutes]
+    additionally takes [min_lock] (transaction b nested in transaction a).
+    The trace contains 1000 correct executions — hence 16 carries — plus
+    one execution of a faulty variant that forgot [min_lock], reproducing
+    the exact support values of the paper's Tab. 1 and Tab. 2:
+    sa(no lock) = sa(sec_lock) = 17, sa(sec_lock → min_lock) =
+    sa(min_lock) = 16, sa(min_lock → sec_lock) = 0. *)
+
+module Event = Lockdoc_trace.Event
+module Layout = Lockdoc_trace.Layout
+
+let layout =
+  Layout.make ~name:"clock"
+    [ ("seconds", 8, Layout.Data); ("minutes", 8, Layout.Data) ]
+
+let sec_lock = Lock.static ~kind:Event.Spinlock "sec_lock"
+let min_lock = Lock.static ~kind:Event.Spinlock "min_lock"
+
+let fn name body = Kernel.fn_scope ~file:"kernel/clock.c" ~span:12 name body
+
+let tick clock =
+  fn "clock_tick" @@ fun () ->
+  Lock.spin_lock sec_lock;
+  (* seconds = seconds + 1 — one read, one write. *)
+  Memory.modify clock "seconds" (fun s -> s + 1);
+  (* if (seconds == 60) — the second read of transaction a. *)
+  if Memory.read clock "seconds" = 60 then begin
+    Lock.spin_lock min_lock;
+    Memory.write clock "seconds" 0;
+    Memory.modify clock "minutes" (fun m -> m + 1);
+    Lock.spin_unlock min_lock
+  end;
+  Lock.spin_unlock sec_lock
+
+(* The deviant sibling: the developer forgot min_lock (paper Sec. 4.1). *)
+let tick_faulty clock =
+  fn "clock_tick_buggy" @@ fun () ->
+  Lock.spin_lock sec_lock;
+  Memory.modify clock "seconds" (fun s -> s + 1);
+  if Memory.read clock "seconds" >= 0 (* the buggy carry path *) then begin
+    Memory.write clock "seconds" 0;
+    Memory.modify clock "minutes" (fun m -> m + 1)
+  end;
+  Lock.spin_unlock sec_lock
+
+let run ?(ticks = 1000) () =
+  let trace, _cov =
+    Kernel.run ~layouts:[ layout ] (fun () ->
+        Kernel.spawn "clock" (fun () ->
+            let clock = Memory.alloc layout in
+            for _ = 1 to ticks do
+              tick clock
+            done;
+            tick_faulty clock;
+            Memory.free clock))
+  in
+  trace

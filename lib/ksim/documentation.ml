@@ -1,0 +1,202 @@
+(** The officially documented locking rules of the simulated kernel —
+    the corpus the locking-rule checker validates (paper Sec. 7.3,
+    Tab. 4/5).
+
+    These transcribe what the source-code comments of the simulated
+    kernel "claim" (mirroring fs/inode.c, include/linux/dcache.h,
+    include/linux/jbd2.h and include/linux/journal-head.h in Linux 4.10).
+    Deliberately, some claims disagree with what the code does — that
+    disagreement is the experiment.
+
+    Rule notation (parsed by [Lockdoc_core.Rule.parse]):
+    - ["nolock"] — no lock required;
+    - ["G(name)"] — a global (statically allocated) lock;
+    - ["ES(member)"] — a lock embedded in the same structure instance;
+    - ["EO(member in type)"] — a lock embedded in another structure;
+    - [" -> "] separates locks that must be taken in this order. *)
+
+type access = R | W
+
+type doc_rule = {
+  d_type : string;  (** data type name (not subclass-qualified) *)
+  d_member : string;
+  d_access : access;
+  d_rule : string;
+}
+
+let r ty member access rule =
+  { d_type = ty; d_member = member; d_access = access; d_rule = rule }
+
+(* struct inode — the 14 rules scattered over fs/inode.c and
+   include/linux/fs.h (11 observable, 3 about members the benchmarks
+   never touch). *)
+let inode_rules =
+  [
+    r "inode" "i_bytes" W "ES(i_lock)";
+    r "inode" "i_state" W "ES(i_lock)";
+    r "inode" "i_hash" W "G(inode_hash_lock) -> ES(i_lock)";
+    r "inode" "i_blocks" W "ES(i_lock)";
+    r "inode" "i_lru" R "ES(i_lock)";
+    r "inode" "i_lru" W "ES(i_lock)";
+    r "inode" "i_state" R "ES(i_lock)";
+    r "inode" "i_size" R "ES(i_lock)";
+    r "inode" "i_hash" R "G(inode_hash_lock) -> ES(i_lock)";
+    r "inode" "i_blocks" R "ES(i_lock)";
+    r "inode" "i_size" W "ES(i_lock)";
+    (* Never exercised by the benchmark mix: *)
+    r "inode" "i_wb_list" W "ES(i_lock)";
+    r "inode" "i_devices" W "ES(i_lock)";
+    r "inode" "i_fsnotify_mask" W "ES(i_rwsem)";
+  ]
+
+(* struct dentry — include/linux/dcache.h line 83 ff. style. *)
+let dentry_rules =
+  [
+    r "dentry" "d_flags" W "ES(d_lock)";
+    r "dentry" "d_flags" R "ES(d_lock)";
+    r "dentry" "d_count" W "ES(d_lock)";
+    r "dentry" "d_count" R "ES(d_lock)";
+    r "dentry" "d_name" W "EO(d_lock in dentry)";
+    r "dentry" "d_name" R "ES(d_lock)";
+    r "dentry" "d_parent" W "ES(d_lock)";
+    r "dentry" "d_parent" R "ES(d_lock)";
+    r "dentry" "d_subdirs" W "ES(d_lock)";
+    r "dentry" "d_subdirs" R "ES(d_lock)";
+    r "dentry" "d_child" W "EO(d_lock in dentry)";
+    r "dentry" "d_child" R "EO(d_lock in dentry)";
+    r "dentry" "d_lru" W "EO(s_dentry_lru_lock in super_block)";
+    r "dentry" "d_lru" R "EO(s_dentry_lru_lock in super_block)";
+    r "dentry" "d_hash" W "G(dentry_hash_lock)";
+    r "dentry" "d_hash" R "G(dentry_hash_lock)";
+    r "dentry" "d_inode" W "ES(d_lock)";
+    r "dentry" "d_inode" R "ES(d_lock)";
+    r "dentry" "d_time" W "ES(d_lock)";
+    r "dentry" "d_iname" W "ES(d_lock)";
+    r "dentry" "d_iname" R "nolock";
+  ]
+
+(* struct journal_head — include/linux/journal-head.h annotates each
+   field with its lock ([jbd_lock_bh_state] is our b_state_lock). *)
+let journal_head_rules =
+  [
+    r "journal_head" "b_bh" R "nolock";
+    r "journal_head" "b_transaction" W "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_transaction" R "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_modified" W "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_modified" R "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_frozen_data" W "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_frozen_data" R "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_committed_data" W "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_committed_data" R "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_next_transaction" R "EO(b_state_lock in buffer_head)";
+    (* The documentation claims the BH state lock for the list pointers;
+       the code files them under j_list_lock. *)
+    r "journal_head" "b_jlist" W "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_jlist" R "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_tnext" W "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_tnext" R "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_tprev" W "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_tprev" R "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_cp_transaction" W "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_cp_transaction" R "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_cpnext" W "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_cpnext" R "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_cpprev" W "EO(j_list_lock in journal_t)";
+    r "journal_head" "b_frozen_triggers" R "EO(b_state_lock in buffer_head)";
+    (* Never exercised: *)
+    r "journal_head" "b_triggers" W "EO(b_state_lock in buffer_head)";
+    r "journal_head" "b_triggers" R "EO(b_state_lock in buffer_head)";
+  ]
+
+(* transaction_t — include/linux/jbd2.h around line 543. *)
+let transaction_rules =
+  [
+    r "transaction_t" "t_journal" R "nolock";
+    r "transaction_t" "t_tid" R "nolock";
+    r "transaction_t" "t_state" W "EO(j_state_lock in journal_t)";
+    r "transaction_t" "t_state" R "ES(t_handle_lock)";
+    r "transaction_t" "t_nr_buffers" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_nr_buffers" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_buffers" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_buffers" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_checkpoint_list" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_checkpoint_list" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_expires" W "ES(t_handle_lock)";
+    r "transaction_t" "t_expires" R "ES(t_handle_lock)";
+    r "transaction_t" "t_requested" W "ES(t_handle_lock)";
+    r "transaction_t" "t_max_wait" W "ES(t_handle_lock)";
+    r "transaction_t" "t_start" W "EO(j_state_lock in journal_t)";
+    r "transaction_t" "t_start_time" W "EO(j_state_lock in journal_t)";
+    r "transaction_t" "t_journal" W "nolock";
+    r "transaction_t" "t_requested" R "ES(t_handle_lock)";
+    r "transaction_t" "t_max_wait" R "ES(t_handle_lock)";
+    r "transaction_t" "t_start" R "EO(j_state_lock in journal_t)";
+    (* Never exercised by the mix: *)
+    r "transaction_t" "t_reserved_list" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_reserved_list" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_forget" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_forget" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_checkpoint_io_list" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_checkpoint_io_list" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_shadow_list" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_shadow_list" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_log_list" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_log_list" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_log_start" W "EO(j_state_lock in journal_t)";
+    r "transaction_t" "t_log_start" R "EO(j_state_lock in journal_t)";
+    r "transaction_t" "t_inode_list" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_inode_list" R "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_cpnext" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_cpprev" W "EO(j_list_lock in journal_t)";
+    r "transaction_t" "t_need_data_flush" W "EO(j_state_lock in journal_t)";
+    r "transaction_t" "t_synchronous_commit" W "nolock";
+  ]
+
+(* journal_t — include/linux/jbd2.h around line 795. *)
+let journal_rules =
+  [
+    r "journal_t" "j_flags" W "ES(j_state_lock)";
+    r "journal_t" "j_flags" R "ES(j_state_lock)";
+    r "journal_t" "j_running_transaction" W "ES(j_state_lock)";
+    r "journal_t" "j_running_transaction" R "ES(j_state_lock)";
+    r "journal_t" "j_committing_transaction" W "ES(j_state_lock)";
+    r "journal_t" "j_committing_transaction" R "ES(j_state_lock)";
+    r "journal_t" "j_checkpoint_transactions" W "ES(j_list_lock)";
+    r "journal_t" "j_commit_sequence" W "ES(j_state_lock)";
+    r "journal_t" "j_commit_sequence" R "ES(j_state_lock)";
+    r "journal_t" "j_commit_request" W "ES(j_state_lock)";
+    r "journal_t" "j_commit_request" R "ES(j_state_lock)";
+    r "journal_t" "j_transaction_sequence" W "ES(j_state_lock)";
+    r "journal_t" "j_tail_sequence" W "ES(j_state_lock)";
+    r "journal_t" "j_tail" W "ES(j_state_lock)";
+    r "journal_t" "j_free" W "ES(j_state_lock)";
+    r "journal_t" "j_revoke" W "ES(j_revoke_lock)";
+    r "journal_t" "j_revoke" R "ES(j_revoke_lock)";
+    r "journal_t" "j_transaction_sequence" R "ES(j_state_lock)";
+    r "journal_t" "j_free" R "ES(j_state_lock)";
+    r "journal_t" "j_head" R "ES(j_state_lock)";
+    r "journal_t" "j_revoke_table" W "ES(j_revoke_lock)";
+    (* Documented under j_state_lock, actually kept under the dedicated
+       statistics/history locks: *)
+    r "journal_t" "j_average_commit_time" W "ES(j_state_lock)";
+    r "journal_t" "j_overall_stats" W "ES(j_state_lock)";
+    r "journal_t" "j_running_stats" W "ES(j_state_lock)";
+    (* Never exercised by the mix: *)
+    r "journal_t" "j_errno" W "ES(j_state_lock)";
+    r "journal_t" "j_errno" R "ES(j_state_lock)";
+    r "journal_t" "j_barrier_count" R "ES(j_state_lock)";
+    r "journal_t" "j_head" W "ES(j_state_lock)";
+    r "journal_t" "j_last" W "ES(j_state_lock)";
+    r "journal_t" "j_first" W "ES(j_state_lock)";
+    r "journal_t" "j_blk_offset" R "nolock";
+    r "journal_t" "j_maxlen" R "nolock";
+  ]
+
+let rules =
+  inode_rules @ dentry_rules @ journal_head_rules @ transaction_rules
+  @ journal_rules
+
+let rules_for ty = List.filter (fun dr -> dr.d_type = ty) rules
+
+let checked_types =
+  [ "inode"; "journal_head"; "transaction_t"; "journal_t"; "dentry" ]

@@ -1,0 +1,49 @@
+type site = {
+  s_name : string;
+  mutable period : int;
+  mutable visits : int;
+  mutable fired : int;
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 32
+let enabled = ref true
+
+let () =
+  Kernel.add_boot_hook (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          s.visits <- 0;
+          s.fired <- 0)
+        registry)
+
+let site ?period name =
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+        let s = { s_name = name; period = 0; visits = 0; fired = 0 } in
+        Hashtbl.replace registry name s;
+        s
+  in
+  (match period with Some p -> s.period <- p | None -> ());
+  s
+
+let fire s =
+  s.visits <- s.visits + 1;
+  if !enabled && s.period > 0 && s.visits mod s.period = 0 then begin
+    s.fired <- s.fired + 1;
+    true
+  end
+  else false
+
+let set_period name p = (Hashtbl.find registry name).period <- p
+
+let set_enabled b = enabled := b
+
+let sorted f =
+  Hashtbl.fold (fun _ s acc -> f s :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sites () = sorted (fun s -> (s.s_name, s.period))
+
+let fired_counts () = sorted (fun s -> (s.s_name, s.fired))

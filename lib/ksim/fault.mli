@@ -1,0 +1,33 @@
+(** Deterministic locking-fault injection.
+
+    LockDoc's core assumption is that locking bugs are {e rare}: the
+    system takes the correct locks most of the time and the few deviations
+    are the interesting signal (paper Sec. 4.1). Subsystem code marks
+    "sloppy" paths with a fault site; a site fires on every [period]-th
+    visit, which keeps runs reproducible and lets tests assert exact
+    violation counts. A period of 0 disables the site. *)
+
+type site
+
+val site : ?period:int -> string -> site
+(** Declare (or look up) a site. The default period is 0 (never fires);
+    subsystems pass their intended rarity, e.g. [~period:50]. Declaring an
+    existing name returns the original site; an explicit [period] updates
+    it. *)
+
+val fire : site -> bool
+(** Count a visit; [true] on every [period]-th one (while injection is
+    globally enabled). *)
+
+val set_period : string -> int -> unit
+(** Raises [Not_found] for unknown sites. *)
+
+val set_enabled : bool -> unit
+(** Globally enable/disable injection (default: enabled). Visit counters
+    still advance while disabled. *)
+
+val sites : unit -> (string * int) list
+(** All declared sites with their periods, sorted by name. *)
+
+val fired_counts : unit -> (string * int) list
+(** How often each site fired in the current run (reset at boot). *)

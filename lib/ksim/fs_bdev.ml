@@ -1,0 +1,63 @@
+(** bdev pseudo-filesystem: inodes backing block devices
+    (fs/block_dev.c).
+
+    The device inode's size is updated while holding the device's
+    [bd_mutex] (as [bd_set_size] really does), so inode:bdev mines an
+    embedded-other rule pointing into block_device — one of the
+    cross-structure rules that make subclassing worthwhile. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+(* Device inodes carry their block_device in the unrolled union member. *)
+let bdev_table : (int * bdev) list ref = ref []
+
+let () = Kernel.add_boot_hook (fun () -> bdev_table := [])
+
+let bdev_new_inode sb =
+  fn "fs/block_dev.c" 18 "bdget_inode" @@ fun () ->
+  let inode = Vfs_inode.new_inode sb in
+  let bdev = Blockdev.bdget (inode.i_inst.Memory.base land 0xff) in
+  bdev_table := (inode.i_inst.Memory.base, bdev) :: !bdev_table;
+  Memory.write inode.i_inst "i_bdev" bdev.bd_inst.Memory.base;
+  Memory.write inode.i_inst "i_mode" 0o60600;
+  Memory.write inode.i_inst "i_rdev" (Memory.read bdev.bd_inst "bd_dev");
+  inode
+
+let bdev_of inode = List.assq inode.i_inst.Memory.base !bdev_table
+
+let bdev_read inode =
+  fn "fs/block_dev.c" 14 "blkdev_read_iter_sim" @@ fun () ->
+  ignore (Memory.read inode.i_inst "i_bdev");
+  ignore (Vfs_inode.i_size_read inode);
+  Blockdev.blkdev_direct_io (bdev_of inode)
+
+let bdev_write inode n =
+  fn "fs/block_dev.c" 20 "blkdev_write_iter_sim" @@ fun () ->
+  let bdev = bdev_of inode in
+  Lock.mutex_lock bdev.bd_mutex;
+  (* bd_set_size writes the backing inode's size under bd_mutex. *)
+  Vfs_inode.i_size_write inode n;
+  Memory.write bdev.bd_inst "bd_block_size" 4096;
+  Lock.mutex_unlock bdev.bd_mutex;
+  Vfs_inode.mark_inode_dirty inode
+
+let bdev_evict inode =
+  fn "fs/block_dev.c" 12 "bdev_evict_inode" @@ fun () ->
+  Memory.write inode.i_inst "i_bdev" 0;
+  bdev_table := List.filter (fun (k, _) -> k <> inode.i_inst.Memory.base) !bdev_table
+
+let fstype =
+  {
+    fs_name = "bdev";
+    fs_file = "fs/block_dev.c";
+    fs_ops =
+      {
+        op_new_inode = bdev_new_inode;
+        op_read = bdev_read;
+        op_write = bdev_write;
+        op_setattr = Fs_common.simple_setattr;
+        op_evict = bdev_evict;
+      };
+  }

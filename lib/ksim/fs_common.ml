@@ -1,0 +1,88 @@
+(** Generic file operations shared by the simulated filesystems —
+    the libfs/generic_file_* layer of the kernel.
+
+    Subclasses of [struct inode] (paper Sec. 5.3, item 1) are realised by
+    giving each filesystem its own [fs_ops]; LockDoc derives rules per
+    subclass, so the per-fs differences in locking discipline matter. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+(* The common read path: everything is lock-free, as in
+   generic_file_read_iter on the buffered fast path. *)
+let generic_read inode =
+  fn "mm/filemap.c" 30 "generic_file_read_iter" @@ fun () ->
+  (* Lock-free pending-writeback peek, as the real fast path does. *)
+  ignore (Memory.read inode.i_inst "i_state");
+  ignore (Vfs_inode.i_size_read inode);
+  ignore (Memory.read inode.i_inst "i_data.nrpages");
+  ignore (Memory.read inode.i_inst "i_data.flags");
+  ignore (Memory.read inode.i_inst "i_blkbits");
+  Vfs_inode.touch_atime inode
+
+(* The common write path: i_rwsem for writing, size under the seqcount,
+   block accounting under i_lock, then dirty marking. *)
+let generic_write inode n =
+  fn "mm/filemap.c" 34 "generic_file_write_iter" @@ fun () ->
+  Lock.down_write inode.i_rwsem;
+  let size = Vfs_inode.i_size_read inode in
+  Vfs_inode.i_size_write inode (size + n);
+  Memory.modify inode.i_inst "i_data.nrpages" (fun p -> p + (n / 4096) + 1);
+  Vfs_inode.file_update_time inode;
+  Lock.up_write inode.i_rwsem;
+  Vfs_inode.inode_add_bytes inode n;
+  Vfs_inode.mark_inode_dirty inode;
+  Bdi.balance_dirty_pages inode.i_sb.s_bdi
+
+let generic_truncate inode =
+  fn "mm/truncate.c" 24 "truncate_inode_pages" @@ fun () ->
+  Lock.down_write inode.i_rwsem;
+  Vfs_inode.i_size_write inode 0;
+  Lock.spin_lock inode.i_tree_lock;
+  Memory.write inode.i_inst "i_data.nrpages" 0;
+  Memory.write inode.i_inst "i_data.nrexceptional" 0;
+  Lock.spin_unlock inode.i_tree_lock;
+  Lock.up_write inode.i_rwsem
+
+let simple_setattr inode ~mode ~uid =
+  (* notify_change already holds i_rwsem and wrote the common fields. *)
+  fn "fs/libfs.c" 12 "simple_setattr_fs" @@ fun () ->
+  ignore mode;
+  ignore uid;
+  Memory.modify inode.i_inst "i_generation" (fun g -> g + 1)
+
+let generic_evict inode =
+  fn "fs/inode.c" 16 "truncate_inode_pages_final" @@ fun () ->
+  Lock.spin_lock inode.i_tree_lock;
+  Memory.write inode.i_inst "i_data.nrpages" 0;
+  Lock.spin_unlock inode.i_tree_lock;
+  ignore (Memory.read inode.i_inst "i_data.host")
+
+(* Assemble a simple in-memory filesystem (ramfs shape). *)
+let simple_fstype ?(file = "fs/ramfs/inode.c") name =
+  {
+    fs_name = name;
+    fs_file = file;
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = generic_read;
+        op_write = generic_write;
+        op_setattr = simple_setattr;
+        op_evict = generic_evict;
+      };
+  }
+
+(* Symlinks: the target pointer lives in the unrolled union member
+   [i_link]; reading a symlink is lock-free (RCU walk). *)
+let set_link inode target =
+  fn "fs/namei.c" 10 "inode_set_link" @@ fun () ->
+  Lock.down_write inode.i_rwsem;
+  Memory.write inode.i_inst "i_link" target;
+  Memory.write inode.i_inst "i_mode" 0o120777;
+  Lock.up_write inode.i_rwsem
+
+let get_link inode =
+  fn "fs/namei.c" 8 "get_link" @@ fun () ->
+  Lock.with_rcu (fun () -> Memory.read inode.i_inst "i_link")

@@ -1,0 +1,150 @@
+(** The remaining inode subclasses of the evaluation (paper Tab. 6):
+    rootfs (ramfs), sysfs, devtmpfs, sockfs, debugfs and anon_inodefs.
+
+    Their profiles differ on purpose: rootfs/devtmpfs behave like a full
+    in-memory filesystem, sysfs keeps attribute writes under [i_rwsem],
+    sockfs and anon_inodefs are read-mostly, and debugfs is barely
+    exercised at all (the paper derives a single write rule for it). *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let rootfs = Fs_common.simple_fstype ~file:"fs/ramfs/inode.c" "rootfs"
+
+(* {2 sysfs: attribute files} *)
+
+let sysfs_read inode =
+  fn "fs/sysfs/file.c" 16 "sysfs_kf_read" @@ fun () ->
+  ignore (Memory.read inode.i_inst "i_mode");
+  ignore (Memory.read inode.i_inst "i_private");
+  ignore (Memory.read inode.i_inst "i_atime")
+
+let sysfs_write inode n =
+  fn "fs/sysfs/file.c" 18 "sysfs_kf_write" @@ fun () ->
+  Lock.down_write inode.i_rwsem;
+  Memory.write inode.i_inst "i_private" n;
+  Memory.write inode.i_inst "i_mtime" 1;
+  Lock.up_write inode.i_rwsem
+
+let sysfs_setattr inode ~mode ~uid =
+  fn "fs/sysfs/dir.c" 12 "sysfs_setattr" @@ fun () ->
+  ignore uid;
+  Memory.write inode.i_inst "i_private" mode
+
+let sysfs =
+  {
+    fs_name = "sysfs";
+    fs_file = "fs/sysfs/file.c";
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = sysfs_read;
+        op_write = sysfs_write;
+        op_setattr = sysfs_setattr;
+        op_evict = Fs_common.generic_evict;
+      };
+  }
+
+(* {2 devtmpfs: device nodes} *)
+
+let devtmpfs_new_inode sb =
+  fn "drivers/base/devtmpfs.c" 20 "devtmpfs_create_node" @@ fun () ->
+  let inode = Vfs_inode.new_inode sb in
+  Lock.down_write inode.i_rwsem;
+  Memory.write inode.i_inst "i_rdev" (inode.i_inst.Memory.base land 0xfff);
+  Memory.write inode.i_inst "i_mode" 0o20600;
+  Memory.write inode.i_inst "i_uid" 0;
+  Memory.write inode.i_inst "i_gid" 0;
+  Lock.up_write inode.i_rwsem;
+  inode
+
+let devtmpfs =
+  {
+    fs_name = "devtmpfs";
+    fs_file = "drivers/base/devtmpfs.c";
+    fs_ops =
+      {
+        op_new_inode = devtmpfs_new_inode;
+        op_read = Fs_common.generic_read;
+        op_write = Fs_common.generic_write;
+        op_setattr = Fs_common.simple_setattr;
+        op_evict = Fs_common.generic_evict;
+      };
+  }
+
+(* {2 sockfs: read-mostly pseudo inodes} *)
+
+let sockfs_read inode =
+  fn "net/socket.c" 14 "sockfs_peek" @@ fun () ->
+  ignore (Memory.read inode.i_inst "i_mode");
+  ignore (Memory.read inode.i_inst "i_flags");
+  ignore (Memory.read inode.i_inst "i_ino");
+  ignore (Memory.read inode.i_inst "i_private")
+
+let sockfs_write inode n =
+  fn "net/socket.c" 10 "sockfs_setstate" @@ fun () ->
+  Memory.write inode.i_inst "i_private" n
+
+let sockfs =
+  {
+    fs_name = "sockfs";
+    fs_file = "net/socket.c";
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = sockfs_read;
+        op_write = sockfs_write;
+        op_setattr = Fs_common.simple_setattr;
+        op_evict = Fs_common.generic_evict;
+      };
+  }
+
+(* {2 debugfs: barely exercised (one write rule in the paper)} *)
+
+let debugfs_write inode n =
+  fn "fs/debugfs/inode.c" 10 "debugfs_create_mode" @@ fun () ->
+  Memory.write inode.i_inst "i_private" n
+
+let debugfs =
+  {
+    fs_name = "debugfs";
+    fs_file = "fs/debugfs/inode.c";
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = (fun _ -> ());
+        op_write = debugfs_write;
+        op_setattr = Fs_common.simple_setattr;
+        op_evict = Fs_common.generic_evict;
+      };
+  }
+
+(* {2 anon_inodefs: the shared anonymous inode} *)
+
+let anon_read inode =
+  fn "fs/anon_inodes.c" 12 "anon_inode_peek" @@ fun () ->
+  ignore (Memory.read inode.i_inst "i_mode");
+  ignore (Memory.read inode.i_inst "i_flags");
+  ignore (Memory.read inode.i_inst "i_fop");
+  ignore (Memory.read inode.i_inst "i_state")
+
+let anon_write inode n =
+  fn "fs/anon_inodes.c" 8 "anon_inode_mark" @@ fun () ->
+  Lock.spin_lock inode.i_lock;
+  Memory.write inode.i_inst "i_state" n;
+  Lock.spin_unlock inode.i_lock
+
+let anon_inodefs =
+  {
+    fs_name = "anon_inodefs";
+    fs_file = "fs/anon_inodes.c";
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = anon_read;
+        op_write = anon_write;
+        op_setattr = Fs_common.simple_setattr;
+        op_evict = Fs_common.generic_evict;
+      };
+  }

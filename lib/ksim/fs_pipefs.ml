@@ -1,0 +1,59 @@
+(** pipefs: inodes whose payload is a pipe_inode_info (fs/pipe.c).
+
+    [op_new_inode] populates the unrolled union member [i_pipe]; data
+    movement goes through the {!Pipe} subsystem under the pipe mutex. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let get_pipe_inode sb =
+  fn "fs/pipe.c" 22 "get_pipe_inode" @@ fun () ->
+  let inode = Vfs_inode.new_inode sb in
+  let pipe = alloc_pipe () in
+  inode.i_pipe_obj <- Some pipe;
+  Memory.write inode.i_inst "i_pipe" pipe.p_inst.Memory.base;
+  Memory.write inode.i_inst "i_mode" 0o10600;
+  Pipe.pipe_open pipe ~reader:true;
+  Pipe.pipe_open pipe ~reader:false;
+  inode
+
+let pipe_of inode =
+  match inode.i_pipe_obj with
+  | Some p -> p
+  | None -> invalid_arg "pipefs: inode has no pipe"
+
+let pipefs_read inode =
+  fn "fs/pipe.c" 10 "fifo_pipe_read" @@ fun () ->
+  ignore (Memory.read inode.i_inst "i_pipe");
+  Pipe.pipe_read (pipe_of inode) 1
+
+let pipefs_write inode n =
+  fn "fs/pipe.c" 10 "fifo_pipe_write" @@ fun () ->
+  ignore (Memory.read inode.i_inst "i_pipe");
+  Pipe.pipe_write (pipe_of inode) n
+
+let pipefs_evict inode =
+  fn "fs/pipe.c" 12 "pipe_evict_inode" @@ fun () ->
+  (match inode.i_pipe_obj with
+  | Some pipe ->
+      Pipe.pipe_release pipe ~reader:true;
+      Pipe.pipe_release pipe ~reader:false;
+      free_pipe pipe;
+      inode.i_pipe_obj <- None
+  | None -> ());
+  Memory.write inode.i_inst "i_pipe" 0
+
+let fstype =
+  {
+    fs_name = "pipefs";
+    fs_file = "fs/pipe.c";
+    fs_ops =
+      {
+        op_new_inode = get_pipe_inode;
+        op_read = pipefs_read;
+        op_write = pipefs_write;
+        op_setattr = Fs_common.simple_setattr;
+        op_evict = pipefs_evict;
+      };
+  }

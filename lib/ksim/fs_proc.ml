@@ -1,0 +1,60 @@
+(** procfs (fs/proc/inode.c, fs/proc/generic.c).
+
+    proc only implements a subset of all filesystem operations and — as
+    the paper notes when motivating subclass-aware derivation (Sec. 5.3,
+    item 1) — does not lock-protect some members that disk filesystems
+    do: reads go straight to the fields, and the pseudo-file "write"
+    path only touches the private payload. *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let proc_read inode =
+  fn "fs/proc/inode.c" 20 "proc_reg_read" @@ fun () ->
+  (* Lock-free field reads: no i_rwsem, no seq section for i_size. *)
+  ignore (Memory.read inode.i_inst "i_mode");
+  ignore (Memory.read inode.i_inst "i_size");
+  ignore (Memory.read inode.i_inst "i_private");
+  ignore (Memory.read inode.i_inst "i_fop")
+
+let proc_write inode n =
+  fn "fs/proc/generic.c" 16 "proc_simple_write" @@ fun () ->
+  ignore n;
+  Memory.write inode.i_inst "i_private" n;
+  Memory.write inode.i_inst "i_mtime" 1
+
+let proc_setattr inode ~mode ~uid =
+  fn "fs/proc/inode.c" 14 "proc_notify_change" @@ fun () ->
+  ignore uid;
+  (* Mirrors the mode into the proc_dir_entry, lock-free. *)
+  Memory.write inode.i_inst "i_private" mode
+
+let proc_evict inode =
+  fn "fs/proc/inode.c" 12 "proc_evict_inode" @@ fun () ->
+  Memory.write inode.i_inst "i_private" 0
+
+let fstype =
+  {
+    fs_name = "proc";
+    fs_file = "fs/proc/inode.c";
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = proc_read;
+        op_write = proc_write;
+        op_setattr = proc_setattr;
+        op_evict = proc_evict;
+      };
+  }
+
+let () =
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/proc/inode.c" ~span name))
+    [
+      ("proc_alloc_inode", 16); ("proc_free_inode", 8); ("proc_entry_rundown", 18);
+      ("close_pdeo", 22); ("proc_reg_llseek", 12); ("proc_reg_mmap", 12);
+      ("proc_reg_open", 30); ("proc_reg_release", 14); ("proc_get_inode", 30);
+      ("proc_fill_super", 22);
+    ]

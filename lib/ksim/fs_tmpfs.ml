@@ -1,0 +1,52 @@
+(** tmpfs (mm/shmem.c): the in-memory filesystem.
+
+    Keeps the generic write discipline but additionally manages the
+    mapping's exceptional entries (swap slots) under the address-space
+    tree lock, giving its inode subclass a different mined-rule profile
+    than ext4 (paper Tab. 6, inode:tmpfs). *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let shmem_write inode n =
+  fn "mm/shmem.c" 36 "shmem_file_write_iter" @@ fun () ->
+  Fs_common.generic_write inode n;
+  Lock.spin_lock inode.i_tree_lock;
+  Memory.modify inode.i_inst "i_data.nrexceptional" (fun e -> max 0 e);
+  Memory.modify inode.i_inst "i_data.flags" (fun f -> f lor 0x1);
+  Lock.spin_unlock inode.i_tree_lock
+
+let shmem_read inode =
+  fn "mm/shmem.c" 26 "shmem_file_read_iter" @@ fun () ->
+  Fs_common.generic_read inode;
+  ignore (Memory.read inode.i_inst "i_data.gfp_mask")
+
+let shmem_evict inode =
+  fn "mm/shmem.c" 22 "shmem_evict_inode" @@ fun () ->
+  Lock.spin_lock inode.i_tree_lock;
+  Memory.write inode.i_inst "i_data.nrexceptional" 0;
+  Memory.write inode.i_inst "i_data.nrpages" 0;
+  Lock.spin_unlock inode.i_tree_lock
+
+let shmem_setattr inode ~mode ~uid =
+  fn "mm/shmem.c" 20 "shmem_setattr" @@ fun () ->
+  ignore mode;
+  ignore uid;
+  (* Holding i_rwsem via notify_change. *)
+  Memory.modify inode.i_inst "i_flags" (fun f -> f);
+  ignore (Vfs_inode.i_size_read inode)
+
+let fstype =
+  {
+    fs_name = "tmpfs";
+    fs_file = "mm/shmem.c";
+    fs_ops =
+      {
+        op_new_inode = (fun sb -> Vfs_inode.new_inode sb);
+        op_read = shmem_read;
+        op_write = shmem_write;
+        op_setattr = shmem_setattr;
+        op_evict = shmem_evict;
+      };
+  }

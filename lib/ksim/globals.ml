@@ -1,0 +1,12 @@
+module Event = Lockdoc_trace.Event
+
+let inode_hash_lock = Lock.static ~kind:Event.Spinlock "inode_hash_lock"
+let inode_lru_lock = Lock.static ~kind:Event.Spinlock "inode_lru_lock"
+let sb_lock = Lock.static ~kind:Event.Spinlock "sb_lock"
+let mount_lock = Lock.static ~kind:Event.Seqlock "mount_lock"
+let rename_lock = Lock.static ~kind:Event.Seqlock "rename_lock"
+let dentry_hash_lock = Lock.static ~kind:Event.Spinlock "dentry_hash_lock"
+let cdev_lock = Lock.static ~kind:Event.Spinlock "cdev_lock"
+let bdev_lock = Lock.static ~kind:Event.Spinlock "bdev_lock"
+let bdi_lock = Lock.static ~kind:Event.Spinlock "bdi_lock"
+let wq_lock = Lock.static ~kind:Event.Spinlock "wq_lock"

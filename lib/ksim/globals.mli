@@ -1,0 +1,27 @@
+(** Statically allocated kernel locks (the 821-ish "static" locks of the
+    paper's Sec. 7.2, scaled down).
+
+    These protect global structures: the inode hash table, the super-block
+    list, the dcache rename sequence, the global inode LRU (stand-in for
+    the per-sb list_lru), the character-device registry, the block-device
+    tree and the writeback/bdi list. *)
+
+val inode_hash_lock : Lock.t  (** spinlock; protects the inode hash table *)
+
+val inode_lru_lock : Lock.t  (** spinlock; protects the global inode LRU *)
+
+val sb_lock : Lock.t  (** spinlock; protects the super-block list *)
+
+val mount_lock : Lock.t  (** seqlock; mount topology *)
+
+val rename_lock : Lock.t  (** seqlock; dcache rename sequence *)
+
+val dentry_hash_lock : Lock.t  (** spinlock; dcache hash chains *)
+
+val cdev_lock : Lock.t  (** spinlock; character-device registry *)
+
+val bdev_lock : Lock.t  (** spinlock; block-device registry *)
+
+val bdi_lock : Lock.t  (** spinlock; global bdi list *)
+
+val wq_lock : Lock.t  (** spinlock; writeback work queue *)

@@ -1,0 +1,349 @@
+(** JBD2 journaling layer (fs/jbd2/journal.c, transaction.c, commit.c,
+    checkpoint.c) — the substrate behind the paper's transaction_t,
+    journal_t and journal_head results (Tab. 4/6/7).
+
+    Discipline mirrored from Linux 4.10:
+    - journal state ([j_running_transaction], [j_committing_transaction],
+      sequence numbers, [j_flags]) under the [j_state_lock] rwlock;
+    - buffer/checkpoint list linkage ([t_buffers], [t_nr_buffers],
+      [b_tnext]/[b_tprev], [b_cpnext]/[b_cpprev]) under [j_list_lock];
+    - per-journal_head fields ([b_modified], [b_frozen_data],
+      [b_transaction], [b_jlist]) under the owning buffer_head's state
+      lock — an EO rule on another data type;
+    - a commit-kick softirq reads journal state lock-free, and an ext4
+      fsync path peeks [j_committing_transaction] without the state lock
+      (the Tab. 8 journal_t violation). *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+(* {2 Handles / running transaction} *)
+
+let get_transaction journal =
+  fn "fs/jbd2/transaction.c" 20 "jbd2_get_transaction" @@ fun () ->
+  let txn = alloc_txn journal in
+  Lock.write_lock journal.j_state_lock;
+  Memory.write journal.j_inst "j_running_transaction" txn.t_inst.Memory.base;
+  Memory.modify journal.j_inst "j_transaction_sequence" (fun s -> s + 1);
+  Memory.write txn.t_inst "t_state" 1 (* T_RUNNING *);
+  Memory.write txn.t_inst "t_start" 1;
+  journal.j_running <- Some txn;
+  Lock.write_unlock journal.j_state_lock;
+  txn
+
+let journal_start journal =
+  fn "fs/jbd2/transaction.c" 34 "jbd2_journal_start" @@ fun () ->
+  Lock.read_lock journal.j_state_lock;
+  ignore (Memory.read journal.j_inst "j_flags");
+  ignore (Memory.read journal.j_inst "j_running_transaction");
+  ignore (Memory.read journal.j_inst "j_free");
+  Lock.read_unlock journal.j_state_lock;
+  (* Reserve a handle slot. The shadow check-and-increment is pure OCaml —
+     no preemption point — so commit (which waits for the shadow count to
+     drain) can never free a transaction we just joined. *)
+  let rec reserve () =
+    match journal.j_running with
+    | Some t when not t.t_locked ->
+        t.t_updates_shadow <- t.t_updates_shadow + 1;
+        t
+    | Some _ | None ->
+        let t = get_transaction journal in
+        if t.t_locked then reserve ()
+        else begin
+          t.t_updates_shadow <- t.t_updates_shadow + 1;
+          t
+        end
+  in
+  let txn = reserve () in
+  Memory.atomic_inc txn.t_inst "t_updates";
+  Memory.atomic_inc txn.t_inst "t_handle_count";
+  (* Handle bookkeeping under t_handle_lock. *)
+  Lock.spin_lock txn.t_handle_lock;
+  ignore (Memory.read txn.t_inst "t_state");
+  ignore (Memory.read txn.t_inst "t_tid");
+  (* Set the expiry once; later handles only read it. *)
+  if Memory.read txn.t_inst "t_expires" = 0 then
+    Memory.write txn.t_inst "t_expires" 100;
+  (* Deviation: t_start_time is kept under the handle lock although the
+     documentation prescribes the journal state lock. *)
+  Memory.write txn.t_inst "t_start_time" 1;
+  Lock.spin_unlock txn.t_handle_lock;
+  (* Deviation: the request counter is bumped lock-free. *)
+  Memory.modify txn.t_inst "t_requested" (fun r -> r + 1);
+  txn
+
+let journal_stop txn =
+  fn "fs/jbd2/transaction.c" 26 "jbd2_journal_stop" @@ fun () ->
+  Lock.spin_lock txn.t_handle_lock;
+  Memory.modify txn.t_inst "t_max_wait" (fun w -> max w 1);
+  Lock.spin_unlock txn.t_handle_lock;
+  ignore (Memory.atomic_dec_and_test txn.t_inst "t_updates");
+  txn.t_updates_shadow <- txn.t_updates_shadow - 1
+
+(* {2 Buffer access within a transaction} *)
+
+let journal_get_write_access txn bh =
+  fn "fs/jbd2/transaction.c" 44 "jbd2_journal_get_write_access" @@ fun () ->
+  let jh =
+    match bh.bh_jh with Some jh -> jh | None -> alloc_jh bh (Some txn)
+  in
+  (* journal_head fields under the BH state lock. *)
+  Lock.spin_lock bh.b_state_lock;
+  ignore (Memory.read jh.jh_inst "b_transaction");
+  ignore (Memory.read jh.jh_inst "b_modified");
+  ignore (Memory.read jh.jh_inst "b_committed_data");
+  Memory.write jh.jh_inst "b_transaction" txn.t_inst.Memory.base;
+  Memory.write jh.jh_inst "b_frozen_data" 0;
+  Memory.write bh.bh_inst "b_private" jh.jh_inst.Memory.base;
+  jh.jh_txn <- Some txn;
+  Lock.spin_unlock bh.b_state_lock;
+  (* File the buffer on the transaction's metadata list. *)
+  Lock.spin_lock txn.t_journal.j_list_lock;
+  Memory.write jh.jh_inst "b_tnext" txn.t_inst.Memory.base;
+  Memory.write jh.jh_inst "b_tprev" txn.t_inst.Memory.base;
+  Memory.write jh.jh_inst "b_jlist" 1 (* BJ_Metadata *);
+  Memory.modify txn.t_inst "t_nr_buffers" (fun n -> n + 1);
+  Memory.write txn.t_inst "t_buffers" jh.jh_inst.Memory.base;
+  if not (List.memq jh txn.t_jh_list) then txn.t_jh_list <- jh :: txn.t_jh_list;
+  Lock.spin_unlock txn.t_journal.j_list_lock;
+  jh
+
+let journal_dirty_metadata txn jh =
+  fn "fs/jbd2/transaction.c" 36 "jbd2_journal_dirty_metadata" @@ fun () ->
+  (* b_bh is stable after set-up; read it lock-free (documented nolock). *)
+  ignore (Memory.read jh.jh_inst "b_bh");
+  Lock.spin_lock jh.jh_bh.b_state_lock;
+  ignore (Memory.read jh.jh_inst "b_transaction");
+  Memory.write jh.jh_inst "b_modified" 1;
+  ignore (Memory.read jh.jh_inst "b_next_transaction");
+  Lock.spin_unlock jh.jh_bh.b_state_lock;
+  Lock.spin_lock txn.t_journal.j_list_lock;
+  ignore (Memory.read jh.jh_inst "b_jlist");
+  Lock.spin_unlock txn.t_journal.j_list_lock;
+  Buffer.mark_buffer_dirty jh.jh_bh
+
+let journal_forget txn jh =
+  fn "fs/jbd2/transaction.c" 30 "jbd2_journal_forget" @@ fun () ->
+  ignore (Memory.read jh.jh_inst "b_modified");
+  Lock.spin_lock jh.jh_bh.b_state_lock;
+  Memory.write jh.jh_inst "b_modified" 0;
+  Memory.write jh.jh_inst "b_transaction" 0;
+  jh.jh_txn <- None;
+  Lock.spin_unlock jh.jh_bh.b_state_lock;
+  Lock.spin_lock txn.t_journal.j_list_lock;
+  Memory.write jh.jh_inst "b_jlist" 0;
+  Memory.modify txn.t_inst "t_nr_buffers" (fun n -> max 0 (n - 1));
+  txn.t_jh_list <- List.filter (fun j -> j != jh) txn.t_jh_list;
+  Lock.spin_unlock txn.t_journal.j_list_lock;
+  (* The private pointer is cleared after both locks are gone. *)
+  Memory.write jh.jh_bh.bh_inst "b_private" 0
+
+(* {2 Commit} *)
+
+let commit_transaction journal =
+  fn "fs/jbd2/commit.c" 80 "jbd2_journal_commit_transaction" @@ fun () ->
+  match journal.j_running with
+  | None -> ()
+  | Some txn ->
+      (* Close the transaction to new handles and drain the open ones,
+         as jbd2_journal_commit_transaction does. *)
+      txn.t_locked <- true;
+      Kernel.wait_until "transaction updates drain" (fun () ->
+          txn.t_updates_shadow = 0);
+      (* The transaction's journal back-pointer is stable: lock-free. *)
+      ignore (Memory.read txn.t_inst "t_journal");
+      Lock.write_lock journal.j_state_lock;
+      Memory.write txn.t_inst "t_state" 2 (* T_LOCKED *);
+      Memory.write txn.t_inst "t_need_data_flush" 1;
+      Memory.write journal.j_inst "j_committing_transaction"
+        txn.t_inst.Memory.base;
+      Memory.write journal.j_inst "j_running_transaction" 0;
+      Memory.modify journal.j_inst "j_flags" (fun f -> f lor 0x2);
+      Memory.modify journal.j_inst "j_commit_sequence" (fun s -> s + 1);
+      Memory.write journal.j_inst "j_head" 1;
+      journal.j_committing <- Some txn;
+      journal.j_running <- None;
+      Lock.write_unlock journal.j_state_lock;
+      (* Write out the metadata buffers. *)
+      Lock.spin_lock journal.j_list_lock;
+      let jhs = txn.t_jh_list in
+      ignore (Memory.read txn.t_inst "t_nr_buffers");
+      ignore (Memory.read txn.t_inst "t_buffers");
+      List.iter
+        (fun jh ->
+          ignore (Memory.read jh.jh_inst "b_tnext");
+          ignore (Memory.read jh.jh_inst "b_tprev");
+          (* frozen data is inspected under the list lock, not the BH
+             state lock the documentation prescribes. *)
+          ignore (Memory.read jh.jh_inst "b_frozen_data");
+          ignore (Memory.read jh.jh_inst "b_frozen_triggers"))
+        jhs;
+      Lock.spin_unlock journal.j_list_lock;
+      List.iter
+        (fun jh ->
+          Buffer.submit_bh jh.jh_bh;
+          Buffer.mark_buffer_clean jh.jh_bh;
+          (* Post-write-out tail maintenance, lock-free. *)
+          Memory.write jh.jh_inst "b_frozen_data" 0;
+          Memory.write jh.jh_inst "b_tprev" 0;
+          ignore (Memory.read jh.jh_inst "b_cpnext"))
+        jhs;
+      (* Move to the checkpoint list. *)
+      Lock.spin_lock journal.j_list_lock;
+      List.iter
+        (fun jh ->
+          Memory.write jh.jh_inst "b_cp_transaction" txn.t_inst.Memory.base;
+          Memory.write jh.jh_inst "b_cpnext" txn.t_inst.Memory.base;
+          Memory.write jh.jh_inst "b_cpprev" txn.t_inst.Memory.base)
+        jhs;
+      Memory.write txn.t_inst "t_checkpoint_list"
+        (match jhs with jh :: _ -> jh.jh_inst.Memory.base | [] -> 0);
+      Memory.write txn.t_inst "t_cpnext" 0;
+      Memory.write txn.t_inst "t_cpprev" 0;
+      Lock.spin_unlock journal.j_list_lock;
+      Lock.write_lock journal.j_state_lock;
+      Memory.write txn.t_inst "t_state" 5 (* T_FINISHED *);
+      Memory.write journal.j_inst "j_committing_transaction" 0;
+      Memory.modify journal.j_inst "j_commit_request" (fun s -> s + 1);
+      journal.j_committing <- None;
+      journal.j_checkpoint <- txn :: journal.j_checkpoint;
+      Lock.write_unlock journal.j_state_lock;
+      (* Commit-time statistics, under their own locks. *)
+      Lock.spin_lock journal.j_history_lock;
+      Memory.modify journal.j_inst "j_average_commit_time" (fun t -> (t + 2) / 2);
+      Lock.spin_unlock journal.j_history_lock;
+      Lock.spin_lock journal.j_stats_lock;
+      Memory.modify journal.j_inst "j_overall_stats" (fun s -> s + 1);
+      Memory.write journal.j_inst "j_running_stats" 0;
+      Lock.spin_unlock journal.j_stats_lock
+
+let checkpoint journal =
+  fn "fs/jbd2/checkpoint.c" 40 "jbd2_log_do_checkpoint" @@ fun () ->
+  Lock.mutex_lock journal.j_checkpoint_mutex;
+  Lock.read_lock journal.j_state_lock;
+  ignore (Memory.read journal.j_inst "j_committing_transaction");
+  Lock.read_unlock journal.j_state_lock;
+  Lock.spin_lock journal.j_list_lock;
+  let done_txns = journal.j_checkpoint in
+  (* A journal head that was re-joined to a newer transaction stays alive;
+     it will be torn down when that transaction checkpoints. *)
+  let owned txn jh =
+    match jh.jh_txn with Some t -> t == txn | None -> true
+  in
+  List.iter
+    (fun txn ->
+      ignore (Memory.read txn.t_inst "t_checkpoint_list");
+      ignore (Memory.read txn.t_inst "t_tid");
+      (* Scan pass: pure reads for journal heads that moved on to a newer
+         transaction; clean-up writes only for the owned ones. *)
+      List.iter
+        (fun jh ->
+          ignore (Memory.read jh.jh_inst "b_cpnext");
+          ignore (Memory.read jh.jh_inst "b_cp_transaction");
+          if owned txn jh then begin
+            Memory.write jh.jh_inst "b_cpnext" 0;
+            Memory.write jh.jh_inst "b_cpprev" 0;
+            Memory.write jh.jh_inst "b_cp_transaction" 0
+          end)
+        txn.t_jh_list)
+    done_txns;
+  journal.j_checkpoint <- [];
+  Lock.spin_unlock journal.j_list_lock;
+  (* Tear down outside the list lock. *)
+  List.iter
+    (fun txn ->
+      List.iter
+        (fun jh ->
+          if owned txn jh then begin
+            let bh = jh.jh_bh in
+            free_jh jh;
+            Buffer.brelse bh
+          end)
+        txn.t_jh_list;
+      txn.t_jh_list <- [];
+      free_txn txn)
+    done_txns;
+  Lock.write_lock journal.j_state_lock;
+  Memory.modify journal.j_inst "j_tail_sequence" (fun s -> s + 1);
+  Memory.write journal.j_inst "j_tail" 0;
+  Memory.write journal.j_inst "j_free" 1024;
+  Lock.write_unlock journal.j_state_lock;
+  Lock.mutex_unlock journal.j_checkpoint_mutex
+
+(* The commit-kick path run from softirq context: lock-free peek at the
+   journal state (contributes the lock-free j_flags/j_commit_request
+   reads). *)
+let commit_timer_kick journal =
+  fn "fs/jbd2/journal.c" 14 "kjournald2_kick" @@ fun () ->
+  ignore (Memory.read journal.j_inst "j_flags");
+  ignore (Memory.read journal.j_inst "j_commit_sequence");
+  ignore (Memory.read journal.j_inst "j_running_transaction");
+  ignore (Memory.read journal.j_inst "j_commit_request")
+
+(* ext4 fsync peeks at the committing transaction holding only the file's
+   i_rwsem — the journal_t rule violation of paper Tab. 8. *)
+let peek_committing_nolock journal =
+  fn "fs/jbd2/journal.c" 10 "jbd2_peek_committing" @@ fun () ->
+  ignore (Memory.read journal.j_inst "j_committing_transaction")
+
+let wait_commit journal =
+  fn "fs/jbd2/journal.c" 18 "jbd2_log_wait_commit" @@ fun () ->
+  Lock.read_lock journal.j_state_lock;
+  ignore (Memory.read journal.j_inst "j_commit_sequence");
+  ignore (Memory.read journal.j_inst "j_commit_request");
+  ignore (Memory.read journal.j_inst "j_transaction_sequence");
+  ignore (Memory.read journal.j_inst "j_committing_transaction");
+  ignore (Memory.read journal.j_inst "j_head");
+  Lock.read_unlock journal.j_state_lock;
+  ignore (Memory.read journal.j_inst "j_head");
+  (* Peek at the committing transaction's state without its handle lock. *)
+  match journal.j_committing with
+  | Some txn ->
+      ignore (Memory.read txn.t_inst "t_state");
+      ignore (Memory.read txn.t_inst "t_checkpoint_list")
+  | None -> ()
+
+(* Revocation records, under j_revoke_lock. *)
+let journal_revoke journal blocknr =
+  fn "fs/jbd2/revoke.c" 24 "jbd2_journal_revoke" @@ fun () ->
+  Lock.spin_lock journal.j_revoke_lock;
+  ignore (Memory.read journal.j_inst "j_revoke");
+  Memory.write journal.j_inst "j_revoke" blocknr;
+  Memory.modify journal.j_inst "j_revoke_table" (fun t -> t + 1);
+  Lock.spin_unlock journal.j_revoke_lock
+
+(* Cold declarations (paper Tab. 3 denominators, fs/jbd2). *)
+let () =
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/jbd2/journal.c" ~span name))
+    [
+      ("jbd2_journal_extend", 30); ("jbd2_journal_lock_updates", 22);
+      ("jbd2_journal_flush", 30); ("jbd2_journal_abort", 16);
+      ("jbd2_journal_errno", 10); ("jbd2_journal_update_sb_log_tail", 18);
+      ("jbd2_journal_get_descriptor_buffer", 16);
+    ];
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/jbd2/transaction.c" ~span name))
+    [
+      ("jbd2_journal_get_undo_access", 28); ("start_this_handle", 50);
+      ("add_transaction_credits", 36); ("jbd2_journal_invalidatepage", 30);
+      ("journal_unmap_buffer", 44); ("jbd2_journal_refile_buffer", 20);
+      ("jbd2_journal_try_to_free_buffers", 24);
+    ];
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/jbd2/commit.c" ~span name))
+    [
+      ("journal_submit_data_buffers", 26);
+      ("journal_submit_commit_record", 22);
+    ];
+  List.iter
+    (fun (name, span) ->
+      ignore (Source.declare ~file:"fs/jbd2/checkpoint.c" ~span name))
+    [
+      ("jbd2_cleanup_journal_tail", 18);
+      ("__jbd2_journal_remove_checkpoint", 24);
+    ]

@@ -1,0 +1,52 @@
+(** JBD2 journaling layer (fs/jbd2) — the substrate behind the paper's
+    transaction_t, journal_t and journal_head results.
+
+    Journal state lives under the [j_state_lock] rwlock, list linkage
+    under [j_list_lock], journal-head payloads under the owning
+    buffer_head's state lock (an EO rule), and handle bookkeeping under
+    [t_handle_lock]. Commit drains open handles before locking the
+    transaction, exactly like the real [jbd2_journal_commit_transaction]. *)
+
+open Obj
+
+val journal_start : journal -> txn
+(** Open a handle on the running transaction (creating one if needed).
+    Must be paired with {!journal_stop}; commit waits for open handles. *)
+
+val journal_stop : txn -> unit
+
+val get_transaction : journal -> txn
+(** Install a fresh running transaction (normally via {!journal_start}). *)
+
+val journal_get_write_access : txn -> bh -> jh
+(** Attach (or reuse) the buffer's journal head and file it on the
+    transaction's metadata list. The journal head pins the buffer. *)
+
+val journal_dirty_metadata : txn -> jh -> unit
+val journal_forget : txn -> jh -> unit
+
+val commit_transaction : journal -> unit
+(** Close the running transaction to new handles, drain open ones, write
+    the metadata buffers out and move the transaction to the checkpoint
+    list. *)
+
+val checkpoint : journal -> unit
+(** Tear down committed transactions: free owned journal heads (releasing
+    their buffer pins) and advance the log tail. Journal heads re-joined
+    to a newer transaction survive until that one checkpoints. *)
+
+val journal_revoke : journal -> int -> unit
+(** Record a revocation under [j_revoke_lock]. *)
+
+val wait_commit : journal -> unit
+(** fsync-style wait: reads commit sequencing under the reader side of
+    [j_state_lock], plus a lock-free peek at the committing
+    transaction's state. *)
+
+val commit_timer_kick : journal -> unit
+(** The softirq commit kick: lock-free journal-state peeks (runs from
+    interrupt context). *)
+
+val peek_committing_nolock : journal -> unit
+(** The deliberate fsync fast-path peek at [j_committing_transaction]
+    without [j_state_lock] — the journal_t violation of paper Tab. 8. *)

@@ -1,0 +1,322 @@
+module Event = Lockdoc_trace.Event
+module Srcloc = Lockdoc_trace.Srcloc
+module Trace = Lockdoc_trace.Trace
+module Prng = Lockdoc_util.Prng
+
+exception Deadlock of string
+exception Stuck of string
+exception Sleep_in_atomic of string
+
+type config = {
+  seed : int;
+  hardirq_rate : float;
+  softirq_rate : float;
+  max_steps : int;
+}
+
+let default_config =
+  { seed = 42; hardirq_rate = 0.002; softirq_rate = 0.004; max_steps = 50_000_000 }
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Wait : (string * (unit -> bool)) -> unit Effect.t
+
+type frames = (Source.fn * int ref) list
+
+type task_state =
+  | New of (unit -> unit)
+  | Ready of (unit -> unit)
+  | Blocked of string * (unit -> bool) * (unit -> unit)
+  | Finished
+
+type task = {
+  pid : int;
+  t_name : string;
+  mutable st : task_state;
+  mutable frames : frames;
+}
+
+type run = {
+  cfg : config;
+  sink : Trace.sink;
+  rng : Prng.t;
+  cov : Source.coverage;
+  mutable tasks : task list;
+  mutable hardirqs : (string * (unit -> unit)) list;
+  mutable softirqs : (string * (unit -> unit)) list;
+  mutable cur : task option;
+  mutable irq_frames : frames;  (** frame stack while in IRQ context *)
+  mutable in_irq : bool;
+  mutable preempt_count : int;
+  mutable irq_off : bool;
+  mutable bh_off : bool;
+  mutable last_emitted_pid : int;
+  mutable next_pid : int;
+  mutable steps : int;
+}
+
+let boot_hooks : (unit -> unit) list ref = ref []
+
+let add_boot_hook f = boot_hooks := f :: !boot_hooks
+
+let the_run : run option ref = ref None
+
+let run_exn () =
+  match !the_run with
+  | Some r -> r
+  | None -> failwith "Kernel: no run in progress"
+
+(* {2 Instrumentation bus} *)
+
+let emit ev = Trace.emit (run_exn ()).sink ev
+
+let prng () = (run_exn ()).rng
+
+let in_irq () = (run_exn ()).in_irq
+
+let current_pid () =
+  let r = run_exn () in
+  if r.in_irq then -1 else match r.cur with Some t -> t.pid | None -> 0
+
+let cur_frames r = if r.in_irq then r.irq_frames else
+  match r.cur with Some t -> t.frames | None -> []
+
+let set_cur_frames r frames =
+  if r.in_irq then r.irq_frames <- frames
+  else match r.cur with Some t -> t.frames <- frames | None -> ()
+
+let debug_frames () = cur_frames (run_exn ())
+
+let here () =
+  let r = run_exn () in
+  match cur_frames r with
+  | [] -> Srcloc.none
+  | (fn, cursor) :: _ ->
+      incr cursor;
+      let line = fn.Source.fn_start + (!cursor mod fn.Source.fn_span) in
+      Source.mark_line r.cov fn line;
+      Srcloc.make fn.Source.fn_file line
+
+let fn_scope ~file ~span name body =
+  let r = run_exn () in
+  let fn = Source.declare ~file ~span name in
+  Source.mark_enter r.cov fn;
+  let loc = Srcloc.make fn.Source.fn_file fn.Source.fn_start in
+  emit (Event.Fun_enter { fn = name; loc });
+  set_cur_frames r ((fn, ref 0) :: cur_frames r);
+  let finish () =
+    (match cur_frames r with
+    | _ :: rest -> set_cur_frames r rest
+    | [] -> ());
+    emit (Event.Fun_exit { fn = name })
+  in
+  match body () with
+  | result ->
+      finish ();
+      result
+  | exception e ->
+      finish ();
+      raise e
+
+(* {2 Preemption / masking} *)
+
+let preempt_disable () =
+  let r = run_exn () in
+  r.preempt_count <- r.preempt_count + 1
+
+let preempt_enable () =
+  let r = run_exn () in
+  assert (r.preempt_count > 0);
+  r.preempt_count <- r.preempt_count - 1
+
+let preempt_disabled () = (run_exn ()).preempt_count > 0
+
+let local_irq_disable () = (run_exn ()).irq_off <- true
+let local_irq_enable () = (run_exn ()).irq_off <- false
+let local_bh_disable () = (run_exn ()).bh_off <- true
+let local_bh_enable () = (run_exn ()).bh_off <- false
+
+let preempt_point () =
+  let r = run_exn () in
+  if (not r.in_irq) && r.preempt_count = 0 then Effect.perform Yield
+
+let wait_until reason pred =
+  let r = run_exn () in
+  if r.in_irq then raise (Sleep_in_atomic ("irq handler blocks on " ^ reason));
+  if r.preempt_count > 0 then
+    raise (Sleep_in_atomic ("blocking on " ^ reason ^ " with preemption off"));
+  if not (pred ()) then Effect.perform (Wait (reason, pred))
+
+(* {2 Task and IRQ registration} *)
+
+let spawn name body =
+  let r = run_exn () in
+  let pid = r.next_pid in
+  r.next_pid <- pid + 1;
+  r.tasks <- r.tasks @ [ { pid; t_name = name; st = New body; frames = [] } ]
+
+let register_hardirq name body =
+  let r = run_exn () in
+  r.hardirqs <- r.hardirqs @ [ (name, body) ]
+
+let register_softirq name body =
+  let r = run_exn () in
+  r.softirqs <- r.softirqs @ [ (name, body) ]
+
+(* {2 Scheduler} *)
+
+(* Pseudo-lock addresses for synthetic hardirq/softirq "locks"
+   (paper Sec. 7.1). They live below the static-lock region. *)
+let hardirq_lock_ptr = 0x10
+let softirq_lock_ptr = 0x20
+
+let irq_pid = function Event.Hardirq -> 1001 | Event.Softirq -> 2001 | Event.Task -> 0
+
+let switch_to r pid kind =
+  if r.last_emitted_pid <> pid then begin
+    emit (Event.Ctx_switch { pid; kind });
+    r.last_emitted_pid <- pid
+  end
+
+let run_irq r kind (name, handler) =
+  let pid = irq_pid kind in
+  let interrupted = cur_frames r in
+  switch_to r pid
+    (match kind with Event.Hardirq -> Event.Hardirq | _ -> Event.Softirq);
+  r.in_irq <- true;
+  r.irq_frames <- [];
+  let lock_ptr, lock_name =
+    match kind with
+    | Event.Hardirq -> (hardirq_lock_ptr, "hardirq")
+    | _ -> (softirq_lock_ptr, "softirq")
+  in
+  emit
+    (Event.Lock_acquire
+       {
+         lock_ptr;
+         kind = Event.Pseudo;
+         side = Event.Exclusive;
+         name = lock_name;
+         loc = Srcloc.make ("kernel/" ^ name ^ ".c") 1;
+       });
+  let finish () =
+    emit (Event.Lock_release { lock_ptr; loc = Srcloc.none });
+    r.in_irq <- false;
+    r.irq_frames <- [];
+    ignore interrupted
+  in
+  (match handler () with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      raise e)
+
+let maybe_inject_irqs r =
+  if (not r.irq_off) && r.hardirqs <> [] && Prng.bernoulli r.rng r.cfg.hardirq_rate
+  then run_irq r Event.Hardirq (Prng.pick_list r.rng r.hardirqs);
+  if (not r.irq_off) && (not r.bh_off) && r.softirqs <> []
+     && Prng.bernoulli r.rng r.cfg.softirq_rate
+  then run_irq r Event.Softirq (Prng.pick_list r.rng r.softirqs)
+
+let resume r task =
+  r.cur <- Some task;
+  switch_to r task.pid Event.Task;
+  match task.st with
+  | New body ->
+      task.st <- Finished;
+      (* Deep handler: every later effect of this task lands here. *)
+      Effect.Deep.match_with
+        (fun () -> body ())
+        ()
+        {
+          retc = (fun () -> task.st <- Finished);
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      task.st <- Ready (fun () -> Effect.Deep.continue k ()))
+              | Wait (reason, pred) ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      task.st <-
+                        Blocked (reason, pred, fun () -> Effect.Deep.continue k ()))
+              | _ -> None);
+        }
+  | Ready k ->
+      task.st <- Finished;
+      (* If the resumed continuation performs an effect, the deep handler
+         installed at task start updates [task.st] before returning. *)
+      k ()
+  | Blocked (_, _, k) ->
+      task.st <- Finished;
+      k ()
+  | Finished -> assert false
+
+let runnable task =
+  match task.st with
+  | New _ | Ready _ -> true
+  | Blocked (_, pred, _) -> pred ()
+  | Finished -> false
+
+let schedule r =
+  let rec loop () =
+    r.steps <- r.steps + 1;
+    if r.steps > r.cfg.max_steps then raise (Stuck "scheduler step budget exhausted");
+    match List.filter runnable r.tasks with
+    | [] ->
+        let blocked =
+          List.filter_map
+            (fun t ->
+              match t.st with
+              | Blocked (reason, _, _) ->
+                  Some (Printf.sprintf "%s(%d): %s" t.t_name t.pid reason)
+              | New _ | Ready _ | Finished -> None)
+            r.tasks
+        in
+        if blocked <> [] then
+          raise (Deadlock (String.concat "; " blocked))
+    | candidates ->
+        let task = Prng.pick_list r.rng candidates in
+        maybe_inject_irqs r;
+        resume r task;
+        loop ()
+  in
+  loop ()
+
+let run ?(config = default_config) ~layouts setup =
+  let r =
+    {
+      cfg = config;
+      sink = Trace.sink ();
+      rng = Prng.of_int config.seed;
+      cov = Source.coverage ();
+      tasks = [];
+      hardirqs = [];
+      softirqs = [];
+      cur = None;
+      irq_frames = [];
+      in_irq = false;
+      preempt_count = 0;
+      irq_off = false;
+      bh_off = false;
+      last_emitted_pid = min_int;
+      next_pid = 1;
+      steps = 0;
+    }
+  in
+  the_run := Some r;
+  let finish () = the_run := None in
+  match
+    List.iter (fun hook -> hook ()) !boot_hooks;
+    setup ();
+    schedule r
+  with
+  | () ->
+      let trace = Trace.finish ~layouts r.sink in
+      finish ();
+      (trace, r.cov)
+  | exception e ->
+      finish ();
+      raise e

@@ -1,0 +1,88 @@
+(** The simulated kernel runtime.
+
+    Substitutes the paper's Bochs/FAIL* environment: a single-core machine
+    running cooperatively scheduled kernel control flows, with hard- and
+    soft-interrupt injection at preemption points, and an instrumentation
+    bus that appends every observable action (allocation, lock operation,
+    member access, function entry/exit, context switch) to a trace sink.
+
+    Kernel code (the subsystems under this directory) runs inside
+    {!spawn}ed tasks; synchronisation primitives in {!Lock} block through
+    {!wait_until} and create preemption points through {!preempt_point}.
+    Classic kernel discipline is enforced: sleeping with preemption
+    disabled raises, as does blocking inside an interrupt handler. *)
+
+exception Deadlock of string
+(** All remaining control flows are blocked with no interrupt able to make
+    progress; the payload lists who waits for what. *)
+
+exception Stuck of string
+(** The step budget was exhausted (runaway livelock guard). *)
+
+exception Sleep_in_atomic of string
+(** A control flow tried to block while preemption was disabled or from
+    interrupt context. *)
+
+type config = {
+  seed : int;
+  hardirq_rate : float;  (** injection probability per preemption point *)
+  softirq_rate : float;
+  max_steps : int;  (** scheduler-iteration budget *)
+}
+
+val default_config : config
+
+(** {2 Run lifecycle} *)
+
+val add_boot_hook : (unit -> unit) -> unit
+(** Modules with per-run global state (heap, static locks) register a
+    reset hook once at load time. *)
+
+val run :
+  ?config:config ->
+  layouts:Lockdoc_trace.Layout.t list ->
+  (unit -> unit) ->
+  Lockdoc_trace.Trace.t * Source.coverage
+(** [run ~layouts setup] boots a fresh kernel, calls [setup] (which spawns
+    tasks and registers interrupt handlers), schedules until every task
+    finished, and returns the recorded trace and coverage. *)
+
+val spawn : string -> (unit -> unit) -> unit
+val register_hardirq : string -> (unit -> unit) -> unit
+val register_softirq : string -> (unit -> unit) -> unit
+
+(** {2 Primitives used by kernel code and the Lock/Memory layers} *)
+
+val emit : Lockdoc_trace.Event.t -> unit
+val prng : unit -> Lockdoc_util.Prng.t
+val current_pid : unit -> int
+val in_irq : unit -> bool
+
+val fn_scope : file:string -> span:int -> string -> (unit -> 'a) -> 'a
+(** [fn_scope ~file ~span name body] — enter the simulated kernel function
+    [name] (declared on first use): emits [Fun_enter]/[Fun_exit], marks
+    coverage, and maintains the per-flow line cursor used by {!here}. *)
+
+val debug_frames : unit -> (Source.fn * int ref) list
+(** Current function-scope stack (diagnostics only). *)
+
+val here : unit -> Lockdoc_trace.Srcloc.t
+(** Current synthetic source location: the next line of the innermost
+    function scope; advances the cursor and marks line coverage. *)
+
+val preempt_point : unit -> unit
+(** Voluntary preemption point: may switch to another task and/or inject
+    interrupts. No-op while preemption is disabled or in IRQ context. *)
+
+val wait_until : string -> (unit -> bool) -> unit
+(** Block until the predicate holds. [reason] appears in {!Deadlock}
+    diagnostics. Re-checked by the scheduler; the predicate must not have
+    side effects. *)
+
+val preempt_disable : unit -> unit
+val preempt_enable : unit -> unit
+val local_irq_disable : unit -> unit
+val local_irq_enable : unit -> unit
+val local_bh_disable : unit -> unit
+val local_bh_enable : unit -> unit
+val preempt_disabled : unit -> bool

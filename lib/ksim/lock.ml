@@ -1,0 +1,256 @@
+module Event = Lockdoc_trace.Event
+
+exception Lock_error of string
+
+type t = {
+  l_name : string;
+  l_kind : Event.lock_kind;
+  l_ptr : int;
+  mutable owner : int option;  (** pid of the exclusive holder *)
+  mutable readers : int;
+  mutable count : int;  (** semaphore counter *)
+  mutable seq : int;  (** seqlock sequence *)
+}
+
+let name t = t.l_name
+let ptr t = t.l_ptr
+
+(* Static locks live in a reserved region below the heap; their state is
+   reset at boot so module-level lock variables survive across runs. *)
+let static_region = 0x1000
+let static_cursor = ref static_region
+let all_static : t list ref = ref []
+
+let () =
+  Kernel.add_boot_hook (fun () ->
+      List.iter
+        (fun l ->
+          l.owner <- None;
+          l.readers <- 0;
+          l.count <- 1;
+          l.seq <- 0)
+        !all_static)
+
+let make ~kind ~ptr name =
+  { l_name = name; l_kind = kind; l_ptr = ptr; owner = None; readers = 0; count = 1; seq = 0 }
+
+let static ~kind name =
+  let ptr = !static_cursor in
+  static_cursor := ptr + 0x10;
+  let l = make ~kind ~ptr name in
+  all_static := l :: !all_static;
+  l
+
+let embedded ~kind inst member =
+  make ~kind ~ptr:(Memory.member_ptr inst member) member
+
+let emit_acquire t side =
+  Kernel.emit
+    (Event.Lock_acquire
+       { lock_ptr = t.l_ptr; kind = t.l_kind; side; name = t.l_name; loc = Kernel.here () })
+
+let emit_release t =
+  Kernel.emit (Event.Lock_release { lock_ptr = t.l_ptr; loc = Kernel.here () })
+
+let self () = Kernel.current_pid ()
+
+let check_not_owner t op =
+  if t.owner = Some (self ()) then
+    raise (Lock_error (Printf.sprintf "%s: recursive %s on %s" op op t.l_name))
+
+let check_owner t op =
+  if t.owner <> Some (self ()) then
+    raise (Lock_error (Printf.sprintf "%s on %s which we do not hold" op t.l_name))
+
+let free t = t.owner = None && t.readers = 0
+
+(* Spin-style acquisition: on a single CPU a contended spinlock can only be
+   held by a preempted-out flow, so waiting must go through the scheduler.
+   Once [free] holds we take the lock without an intervening preemption
+   point, which makes the test-and-set atomic under cooperative
+   scheduling. *)
+let spin_acquire t =
+  check_not_owner t "spin_lock";
+  Kernel.preempt_point ();
+  if not (free t) then Kernel.wait_until ("spinlock " ^ t.l_name) (fun () -> free t);
+  t.owner <- Some (self ());
+  Kernel.preempt_disable ();
+  emit_acquire t Event.Exclusive
+
+let spin_release t =
+  check_owner t "spin_unlock";
+  t.owner <- None;
+  emit_release t;
+  Kernel.preempt_enable ()
+
+let spin_lock = spin_acquire
+let spin_unlock = spin_release
+
+let spin_lock_irq t =
+  Kernel.local_irq_disable ();
+  spin_acquire t
+
+let spin_unlock_irq t =
+  spin_release t;
+  Kernel.local_irq_enable ()
+
+let spin_lock_bh t =
+  Kernel.local_bh_disable ();
+  spin_acquire t
+
+let spin_unlock_bh t =
+  spin_release t;
+  Kernel.local_bh_enable ()
+
+let spin_trylock t =
+  if free t then begin
+    t.owner <- Some (self ());
+    Kernel.preempt_disable ();
+    emit_acquire t Event.Exclusive;
+    true
+  end
+  else false
+
+let read_lock t =
+  Kernel.preempt_point ();
+  if t.owner <> None then
+    Kernel.wait_until ("read_lock " ^ t.l_name) (fun () -> t.owner = None);
+  t.readers <- t.readers + 1;
+  Kernel.preempt_disable ();
+  emit_acquire t Event.Shared
+
+let read_unlock t =
+  if t.readers = 0 then raise (Lock_error ("read_unlock on free " ^ t.l_name));
+  t.readers <- t.readers - 1;
+  emit_release t;
+  Kernel.preempt_enable ()
+
+let write_lock t =
+  check_not_owner t "write_lock";
+  Kernel.preempt_point ();
+  if not (free t) then
+    Kernel.wait_until ("write_lock " ^ t.l_name) (fun () -> free t);
+  t.owner <- Some (self ());
+  Kernel.preempt_disable ();
+  emit_acquire t Event.Exclusive
+
+let write_unlock t =
+  check_owner t "write_unlock";
+  t.owner <- None;
+  emit_release t;
+  Kernel.preempt_enable ()
+
+let mutex_lock t =
+  check_not_owner t "mutex_lock";
+  Kernel.wait_until ("mutex " ^ t.l_name) (fun () -> t.owner = None);
+  t.owner <- Some (self ());
+  emit_acquire t Event.Exclusive
+
+let mutex_unlock t =
+  check_owner t "mutex_unlock";
+  t.owner <- None;
+  emit_release t
+
+let down t =
+  Kernel.wait_until ("semaphore " ^ t.l_name) (fun () -> t.count > 0);
+  t.count <- t.count - 1;
+  emit_acquire t Event.Exclusive
+
+let up t =
+  t.count <- t.count + 1;
+  emit_release t
+
+let down_read t =
+  Kernel.wait_until ("down_read " ^ t.l_name) (fun () -> t.owner = None);
+  t.readers <- t.readers + 1;
+  emit_acquire t Event.Shared
+
+let up_read t =
+  if t.readers = 0 then raise (Lock_error ("up_read on free " ^ t.l_name));
+  t.readers <- t.readers - 1;
+  emit_release t
+
+let down_write t =
+  check_not_owner t "down_write";
+  Kernel.wait_until ("down_write " ^ t.l_name) (fun () -> free t);
+  t.owner <- Some (self ());
+  emit_acquire t Event.Exclusive
+
+let up_write t =
+  check_owner t "up_write";
+  t.owner <- None;
+  emit_release t
+
+let downgrade_write t =
+  check_owner t "downgrade_write";
+  t.owner <- None;
+  t.readers <- t.readers + 1;
+  emit_release t;
+  emit_acquire t Event.Shared
+
+let rcu = static ~kind:Event.Rcu "rcu"
+
+(* call_rcu: deferred destruction until no reader section is active (a
+   cooperative single-CPU grace period). *)
+let rcu_callbacks : (unit -> unit) list ref = ref []
+
+let () = Kernel.add_boot_hook (fun () -> rcu_callbacks := [])
+
+let rcu_drain () =
+  if rcu.readers = 0 && !rcu_callbacks <> [] then begin
+    let pending = List.rev !rcu_callbacks in
+    rcu_callbacks := [];
+    List.iter (fun f -> f ()) pending
+  end
+
+let call_rcu f =
+  if rcu.readers = 0 then f () else rcu_callbacks := f :: !rcu_callbacks
+
+let rcu_read_lock () =
+  rcu.readers <- rcu.readers + 1;
+  emit_acquire rcu Event.Shared
+
+let rcu_read_unlock () =
+  if rcu.readers = 0 then raise (Lock_error "rcu_read_unlock outside section");
+  rcu.readers <- rcu.readers - 1;
+  emit_release rcu;
+  rcu_drain ()
+
+let write_seqlock t =
+  spin_acquire t;
+  t.seq <- t.seq + 1
+
+let write_sequnlock t =
+  t.seq <- t.seq + 1;
+  spin_release t
+
+let read_seq_section t body =
+  let rec attempt tries =
+    if tries > 8 then
+      raise (Lock_error ("read_seq_section starved on " ^ t.l_name));
+    let s0 = t.seq in
+    if s0 land 1 = 1 then begin
+      Kernel.preempt_point ();
+      attempt (tries + 1)
+    end
+    else begin
+      emit_acquire t Event.Shared;
+      let result = body () in
+      emit_release t;
+      if t.seq <> s0 then attempt (tries + 1) else result
+    end
+  in
+  attempt 0
+
+let scoped acquire release t body =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) body
+
+let with_spin t body = scoped spin_lock spin_unlock t body
+let with_mutex t body = scoped mutex_lock mutex_unlock t body
+let with_read t body = scoped down_read up_read t body
+let with_write t body = scoped down_write up_write t body
+
+let with_rcu body =
+  rcu_read_lock ();
+  Fun.protect ~finally:rcu_read_unlock body

@@ -1,0 +1,89 @@
+(** Synchronisation primitives of the simulated kernel.
+
+    One module covers the lock zoo the paper instruments (Sec. 7.1):
+    spinlocks, reader/writer locks, mutexes, semaphores, reader/writer
+    semaphores, RCU and seqlocks. Every acquisition/release emits a trace
+    event with the current synthetic source location. Classic Linux
+    discipline is enforced at simulation time: recursive exclusive
+    acquisition, unlocking a lock one does not hold, and sleeping in
+    atomic context all raise. *)
+
+exception Lock_error of string
+
+type t
+
+val name : t -> string
+val ptr : t -> int
+
+val static : kind:Lockdoc_trace.Event.lock_kind -> string -> t
+(** A statically allocated (global) lock; addresses come from a reserved
+    region below the heap. Safe to create at module-load time. *)
+
+val embedded : kind:Lockdoc_trace.Event.lock_kind -> Memory.instance -> string -> t
+(** A lock living inside a monitored structure: its address is the member's
+    address, so post-processing resolves it to (type, member). *)
+
+(** {2 Spinlocks} — disable preemption while held. *)
+
+val spin_lock : t -> unit
+val spin_unlock : t -> unit
+val spin_lock_irq : t -> unit
+val spin_unlock_irq : t -> unit
+val spin_lock_bh : t -> unit
+val spin_unlock_bh : t -> unit
+val spin_trylock : t -> bool
+
+(** {2 Reader/writer spinlocks} *)
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+(** {2 Blocking primitives} *)
+
+val mutex_lock : t -> unit
+val mutex_unlock : t -> unit
+val down : t -> unit
+val up : t -> unit
+val down_read : t -> unit
+val up_read : t -> unit
+val down_write : t -> unit
+val up_write : t -> unit
+val downgrade_write : t -> unit
+(** Convert a held write lock into a read lock (as in the kernel's
+    [downgrade_write]). *)
+
+(** {2 RCU} *)
+
+val rcu : t
+(** The global RCU "lock": reader sections are reentrant and never block. *)
+
+val rcu_read_lock : unit -> unit
+val rcu_read_unlock : unit -> unit
+
+val call_rcu : (unit -> unit) -> unit
+(** Run the callback once no RCU reader section is active: immediately if
+    none is, otherwise deferred until the last reader exits (the
+    cooperative equivalent of the kernel's [call_rcu]). Used to free
+    objects that lock-free walkers may still hold. *)
+
+(** {2 Seqlocks} *)
+
+val write_seqlock : t -> unit
+val write_sequnlock : t -> unit
+val read_seq_section : t -> (unit -> 'a) -> 'a
+(** Reader section with retry: re-executes the body (re-emitting its
+    accesses, like real retried code) when a writer raced it. *)
+
+(** {2 Scoped helpers} *)
+
+val with_spin : t -> (unit -> 'a) -> 'a
+val with_mutex : t -> (unit -> 'a) -> 'a
+val with_read : t -> (unit -> 'a) -> 'a
+(** rwsem reader side ([down_read]/[up_read]). *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** rwsem writer side. *)
+
+val with_rcu : (unit -> 'a) -> 'a

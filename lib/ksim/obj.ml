@@ -1,0 +1,365 @@
+(** The simulated kernel's object graph.
+
+    Wrapper records pair each monitored {!Memory.instance} with its
+    embedded lock objects and the OCaml-side structure (lists, parents)
+    that keeps the simulation consistent. Member reads/writes on the
+    instance produce the trace; the OCaml fields are the "shadow"
+    structure that actual behaviour relies on.
+
+    Constructors and destructors run inside function scopes that the
+    default import filter black-lists ("alloc_inode", "destroy_inode", …),
+    because init/teardown legitimately runs without locks (paper Sec. 5.3,
+    item 2). *)
+
+module Event = Lockdoc_trace.Event
+
+type fstype = {
+  fs_name : string;
+  fs_file : string;  (** source file of the fs-specific ops *)
+  mutable fs_ops : fs_ops;
+}
+
+and fs_ops = {
+  op_new_inode : sb -> inode;
+  op_read : inode -> unit;
+  op_write : inode -> int -> unit;
+  op_setattr : inode -> mode:int -> uid:int -> unit;
+  op_evict : inode -> unit;
+}
+
+and sb = {
+  sb_inst : Memory.instance;
+  s_umount : Lock.t;  (** rwsem *)
+  s_inode_list_lock : Lock.t;
+  s_inode_lru_lock : Lock.t;
+  s_dentry_lru_lock : Lock.t;
+  s_rename_mutex : Lock.t;
+  s_mount_seq : Lock.t;
+  fs : fstype;
+  s_bdi : bdi;
+  mutable s_inodes : inode list;
+  mutable s_dentry_lru : dentry list;
+  mutable s_journal : journal option;
+  mutable next_ino : int;
+}
+
+and inode = {
+  i_inst : Memory.instance;
+  i_lock : Lock.t;  (** spinlock *)
+  i_rwsem : Lock.t;  (** rwsem *)
+  i_size_seq : Lock.t;  (** seqcount *)
+  i_tree_lock : Lock.t;  (** address_space tree lock *)
+  i_sb : sb;
+  mutable i_bucket : int;  (** hash bucket index, or -1 *)
+  mutable i_pipe_obj : pipe option;
+  mutable i_nlink_shadow : int;
+}
+
+and dentry = {
+  d_inst : Memory.instance;
+  d_lock : Lock.t;  (** spinlock *)
+  d_seqc : Lock.t;  (** seqcount *)
+  d_sb : sb;
+  mutable d_parent : dentry option;
+  mutable d_children : dentry list;
+  mutable d_inode_obj : inode option;
+}
+
+and journal = {
+  j_inst : Memory.instance;
+  j_state_lock : Lock.t;  (** rwlock *)
+  j_list_lock : Lock.t;
+  j_revoke_lock : Lock.t;
+  j_barrier : Lock.t;  (** mutex *)
+  j_checkpoint_mutex : Lock.t;
+  j_stats_lock : Lock.t;
+  j_history_lock : Lock.t;
+  mutable j_running : txn option;
+  mutable j_committing : txn option;
+  mutable j_checkpoint : txn list;
+  mutable j_next_tid : int;
+}
+
+and txn = {
+  t_inst : Memory.instance;
+  t_handle_lock : Lock.t;
+  t_journal : journal;
+  mutable t_jh_list : jh list;
+  mutable t_updates_shadow : int;
+      (** open handles; commit waits for zero (like real JBD2) *)
+  mutable t_locked : bool;  (** no new handles may join *)
+}
+
+and jh = { jh_inst : Memory.instance; jh_bh : bh; mutable jh_txn : txn option }
+
+and bh = {
+  bh_inst : Memory.instance;
+  b_state_lock : Lock.t;
+  mutable bh_jh : jh option;
+}
+
+and bdi = {
+  bdi_inst : Memory.instance;
+  wb_list_lock : Lock.t;
+  wb_work_lock : Lock.t;
+  wb_lock : Lock.t;
+  wb_switch_rwsem : Lock.t;
+  mutable b_dirty : inode list;
+}
+
+and bdev = {
+  bd_inst : Memory.instance;
+  bd_mutex : Lock.t;
+  bd_fsfreeze_mutex : Lock.t;
+}
+
+and chardev = { cd_inst : Memory.instance }
+
+and pipe = { p_inst : Memory.instance; p_mutex : Lock.t }
+
+(* {2 Constructors / destructors} *)
+
+let scope file name body = Kernel.fn_scope ~file ~span:18 name body
+
+let alloc_bdi () =
+  scope "mm/backing-dev.c" "bdi_init" @@ fun () ->
+  let inst = Memory.alloc Structs.backing_dev_info in
+  List.iter
+    (fun m -> Memory.write inst m 0)
+    [ "ra_pages"; "io_pages"; "min_ratio"; "max_ratio"; "wb.state"; "wb.dirty_exceeded" ];
+  {
+    bdi_inst = inst;
+    wb_list_lock = Lock.embedded ~kind:Event.Spinlock inst "wb.list_lock";
+    wb_work_lock = Lock.embedded ~kind:Event.Spinlock inst "wb.work_lock";
+    wb_lock = Lock.embedded ~kind:Event.Spinlock inst "wb_lock";
+    wb_switch_rwsem = Lock.embedded ~kind:Event.Rwsem inst "wb_switch_rwsem";
+    b_dirty = [];
+  }
+
+let free_bdi bdi =
+  scope "mm/backing-dev.c" "bdi_exit" @@ fun () -> Memory.free bdi.bdi_inst
+
+let alloc_sb fs =
+  scope "fs/super.c" "sb_alloc_init" @@ fun () ->
+  let inst = Memory.alloc Structs.super_block in
+  List.iter
+    (fun m -> Memory.write inst m 0)
+    [
+      "s_dev"; "s_blocksize"; "s_blocksize_bits"; "s_maxbytes"; "s_flags";
+      "s_iflags"; "s_magic"; "s_count"; "s_time_gran"; "s_mode";
+    ];
+  let bdi = alloc_bdi () in
+  Memory.write inst "s_bdi" bdi.bdi_inst.Memory.base;
+  {
+    sb_inst = inst;
+    s_umount = Lock.embedded ~kind:Event.Rwsem inst "s_umount";
+    s_inode_list_lock = Lock.embedded ~kind:Event.Spinlock inst "s_inode_list_lock";
+    s_inode_lru_lock = Lock.embedded ~kind:Event.Spinlock inst "s_inode_lru_lock";
+    s_dentry_lru_lock = Lock.embedded ~kind:Event.Spinlock inst "s_dentry_lru_lock";
+    s_rename_mutex = Lock.embedded ~kind:Event.Mutex inst "s_vfs_rename_mutex";
+    s_mount_seq = Lock.embedded ~kind:Event.Seqlock inst "s_mount_lock";
+    fs;
+    s_bdi = bdi;
+    s_inodes = [];
+    s_dentry_lru = [];
+    s_journal = None;
+    next_ino = 1;
+  }
+
+let free_sb sb =
+  scope "fs/super.c" "destroy_super" @@ fun () ->
+  free_bdi sb.s_bdi;
+  Memory.free sb.sb_inst
+
+let alloc_inode sb =
+  scope "fs/inode.c" "alloc_inode" @@ fun () ->
+  let inst = Memory.alloc ~subclass:sb.fs.fs_name Structs.inode in
+  let ino = sb.next_ino in
+  sb.next_ino <- ino + 1;
+  Kernel.fn_scope ~file:"fs/inode.c" ~span:40 "inode_init_always" (fun () ->
+      Memory.write inst "i_sb" sb.sb_inst.Memory.base;
+      Memory.write inst "i_ino" ino;
+      Memory.write inst "i_mode" 0o644;
+      Memory.write inst "i_uid" 0;
+      Memory.write inst "i_gid" 0;
+      Memory.write inst "i_flags" 0;
+      Memory.write inst "i_nlink" 1;
+      Memory.write inst "i_size" 0;
+      Memory.write inst "i_bytes" 0;
+      Memory.write inst "i_blocks" 0;
+      Memory.write inst "i_state" 0;
+      Memory.write inst "i_version" 1;
+      Memory.write inst "i_generation" 0;
+      Memory.write inst "i_mapping" inst.Memory.base;
+      Memory.write inst "i_data.host" inst.Memory.base;
+      Memory.write inst "i_data.nrpages" 0;
+      Memory.write inst "i_data.gfp_mask" 0;
+      Memory.atomic_set inst "i_count" 1;
+      Memory.atomic_set inst "i_writecount" 0);
+  {
+    i_inst = inst;
+    i_lock = Lock.embedded ~kind:Event.Spinlock inst "i_lock";
+    i_rwsem = Lock.embedded ~kind:Event.Rwsem inst "i_rwsem";
+    i_size_seq = Lock.embedded ~kind:Event.Seqlock inst "i_size_seqcount";
+    i_tree_lock = Lock.embedded ~kind:Event.Spinlock inst "i_data.tree_lock";
+    i_sb = sb;
+    i_bucket = -1;
+    i_pipe_obj = None;
+    i_nlink_shadow = 1;
+  }
+
+let destroy_inode inode =
+  scope "fs/inode.c" "destroy_inode" @@ fun () ->
+  Memory.write inode.i_inst "i_state" 0;
+  Memory.free inode.i_inst
+
+let alloc_dentry sb parent =
+  scope "fs/dcache.c" "d_alloc_init" @@ fun () ->
+  let inst = Memory.alloc Structs.dentry in
+  Memory.write inst "d_flags" 0;
+  Memory.write inst "d_count" 1;
+  Memory.write inst "d_sb" sb.sb_inst.Memory.base;
+  Memory.write inst "d_name" 0;
+  Memory.write inst "d_time" 0;
+  (match parent with
+  | Some p -> Memory.write inst "d_parent" p.d_inst.Memory.base
+  | None -> Memory.write inst "d_parent" inst.Memory.base);
+  {
+    d_inst = inst;
+    d_lock = Lock.embedded ~kind:Event.Spinlock inst "d_lock";
+    d_seqc = Lock.embedded ~kind:Event.Seqlock inst "d_seq";
+    d_sb = sb;
+    d_parent = parent;
+    d_children = [];
+    d_inode_obj = None;
+  }
+
+let free_dentry dentry =
+  scope "fs/dcache.c" "dentry_free" @@ fun () -> Memory.free dentry.d_inst
+
+let alloc_journal () =
+  scope "fs/jbd2/journal.c" "jbd2_journal_init_common" @@ fun () ->
+  let inst = Memory.alloc Structs.journal in
+  List.iter
+    (fun m -> Memory.write inst m 0)
+    [
+      "j_flags"; "j_errno"; "j_format_version"; "j_head"; "j_tail"; "j_free";
+      "j_first"; "j_last"; "j_blocksize"; "j_maxlen"; "j_tail_sequence";
+      "j_transaction_sequence"; "j_commit_sequence"; "j_commit_request";
+      "j_max_transaction_buffers"; "j_commit_interval";
+    ];
+  {
+    j_inst = inst;
+    j_state_lock = Lock.embedded ~kind:Event.Rwlock inst "j_state_lock";
+    j_list_lock = Lock.embedded ~kind:Event.Spinlock inst "j_list_lock";
+    j_revoke_lock = Lock.embedded ~kind:Event.Spinlock inst "j_revoke_lock";
+    j_barrier = Lock.embedded ~kind:Event.Mutex inst "j_barrier";
+    j_checkpoint_mutex = Lock.embedded ~kind:Event.Mutex inst "j_checkpoint_mutex";
+    j_stats_lock = Lock.embedded ~kind:Event.Spinlock inst "j_stats_lock";
+    j_history_lock = Lock.embedded ~kind:Event.Spinlock inst "j_history_lock";
+    j_running = None;
+    j_committing = None;
+    j_checkpoint = [];
+    j_next_tid = 1;
+  }
+
+let free_journal j =
+  scope "fs/jbd2/journal.c" "jbd2_journal_destroy" @@ fun () ->
+  Memory.free j.j_inst
+
+let alloc_txn journal =
+  scope "fs/jbd2/transaction.c" "jbd2_transaction_init" @@ fun () ->
+  let inst = Memory.alloc Structs.transaction in
+  let tid = journal.j_next_tid in
+  journal.j_next_tid <- tid + 1;
+  Memory.write inst "t_journal" journal.j_inst.Memory.base;
+  Memory.write inst "t_tid" tid;
+  Memory.write inst "t_state" 0;
+  Memory.write inst "t_nr_buffers" 0;
+  Memory.atomic_set inst "t_updates" 0;
+  Memory.atomic_set inst "t_outstanding_credits" 0;
+  Memory.atomic_set inst "t_handle_count" 0;
+  {
+    t_inst = inst;
+    t_handle_lock = Lock.embedded ~kind:Event.Spinlock inst "t_handle_lock";
+    t_journal = journal;
+    t_jh_list = [];
+    t_updates_shadow = 0;
+    t_locked = false;
+  }
+
+let free_txn txn =
+  scope "fs/jbd2/transaction.c" "jbd2_transaction_free" @@ fun () ->
+  Memory.free txn.t_inst
+
+let alloc_bh () =
+  scope "fs/buffer.c" "buffer_head_init" @@ fun () ->
+  let inst = Memory.alloc Structs.buffer_head in
+  List.iter
+    (fun m -> Memory.write inst m 0)
+    [ "b_state"; "b_blocknr"; "b_size"; "b_data" ];
+  Memory.atomic_set inst "b_count" 1;
+  {
+    bh_inst = inst;
+    b_state_lock = Lock.embedded ~kind:Event.Spinlock inst "b_state_lock";
+    bh_jh = None;
+  }
+
+let free_bh bh =
+  scope "fs/buffer.c" "free_buffer_head" @@ fun () -> Memory.free bh.bh_inst
+
+let alloc_jh bh txn =
+  scope "fs/jbd2/journal.c" "journal_head_init" @@ fun () ->
+  let inst = Memory.alloc Structs.journal_head in
+  Memory.write inst "b_bh" bh.bh_inst.Memory.base;
+  Memory.write inst "b_jlist" 0;
+  Memory.write inst "b_modified" 0;
+  Memory.atomic_set inst "b_jcount" 1;
+  (* The journal head pins its buffer. *)
+  Memory.atomic_inc bh.bh_inst "b_count";
+  let jh = { jh_inst = inst; jh_bh = bh; jh_txn = txn } in
+  bh.bh_jh <- Some jh;
+  jh
+
+let free_jh jh =
+  scope "fs/jbd2/journal.c" "journal_head_free" @@ fun () ->
+  jh.jh_bh.bh_jh <- None;
+  Memory.free jh.jh_inst
+
+let alloc_bdev () =
+  scope "fs/block_dev.c" "bdev_alloc_init" @@ fun () ->
+  let inst = Memory.alloc Structs.block_device in
+  List.iter
+    (fun m -> Memory.write inst m 0)
+    [ "bd_dev"; "bd_openers"; "bd_holders"; "bd_block_size"; "bd_part_count"; "bd_invalidated" ];
+  {
+    bd_inst = inst;
+    bd_mutex = Lock.embedded ~kind:Event.Mutex inst "bd_mutex";
+    bd_fsfreeze_mutex = Lock.embedded ~kind:Event.Mutex inst "bd_fsfreeze_mutex";
+  }
+
+let free_bdev bdev =
+  scope "fs/block_dev.c" "bdev_free" @@ fun () -> Memory.free bdev.bd_inst
+
+let alloc_cdev () =
+  scope "fs/char_dev.c" "cdev_init" @@ fun () ->
+  let inst = Memory.alloc Structs.cdev in
+  Memory.write inst "dev" 0;
+  Memory.write inst "count" 0;
+  Memory.write inst "ops" 0;
+  { cd_inst = inst }
+
+let free_cdev cd =
+  scope "fs/char_dev.c" "cdev_free" @@ fun () -> Memory.free cd.cd_inst
+
+let alloc_pipe () =
+  scope "fs/pipe.c" "pipe_alloc_init" @@ fun () ->
+  let inst = Memory.alloc Structs.pipe_inode_info in
+  List.iter
+    (fun m -> Memory.write inst m 0)
+    [ "nrbufs"; "curbuf"; "readers"; "writers"; "waiting_writers"; "r_counter"; "w_counter" ];
+  Memory.write inst "buffers" 16;
+  { p_inst = inst; p_mutex = Lock.embedded ~kind:Event.Mutex inst "mutex" }
+
+let free_pipe pipe =
+  scope "fs/pipe.c" "free_pipe_info" @@ fun () -> Memory.free pipe.p_inst

@@ -1,0 +1,87 @@
+(** Pipe subsystem (fs/pipe.c).
+
+    The per-pipe mutex protects the ring state; poll peeks [nrbufs] and
+    the reader/writer counts without it (as fs/pipe.c really does), which
+    produces the small pipe_inode_info violation count of the paper's
+    Tab. 7 (9 events over 3 members). *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let pipe_lock pipe =
+  fn "fs/pipe.c" 6 "pipe_lock" @@ fun () -> Lock.mutex_lock pipe.p_mutex
+
+let pipe_unlock pipe =
+  fn "fs/pipe.c" 6 "pipe_unlock" @@ fun () -> Lock.mutex_unlock pipe.p_mutex
+
+let pipe_open pipe ~reader =
+  fn "fs/pipe.c" 16 "fifo_open" @@ fun () ->
+  pipe_lock pipe;
+  if reader then begin
+    Memory.modify pipe.p_inst "readers" (fun r -> r + 1);
+    Memory.modify pipe.p_inst "r_counter" (fun r -> r + 1)
+  end
+  else begin
+    Memory.modify pipe.p_inst "writers" (fun w -> w + 1);
+    Memory.modify pipe.p_inst "w_counter" (fun w -> w + 1)
+  end;
+  pipe_unlock pipe
+
+let pipe_release pipe ~reader =
+  fn "fs/pipe.c" 14 "pipe_release" @@ fun () ->
+  pipe_lock pipe;
+  if reader then Memory.modify pipe.p_inst "readers" (fun r -> max 0 (r - 1))
+  else Memory.modify pipe.p_inst "writers" (fun w -> max 0 (w - 1));
+  pipe_unlock pipe
+
+let pipe_write pipe n =
+  fn "fs/pipe.c" 40 "pipe_write" @@ fun () ->
+  pipe_lock pipe;
+  ignore (Memory.read pipe.p_inst "readers");
+  let bufs = Memory.read pipe.p_inst "nrbufs" in
+  let cap = Memory.read pipe.p_inst "buffers" in
+  if bufs < cap then begin
+    Memory.write pipe.p_inst "nrbufs" (min cap (bufs + n));
+    Memory.write pipe.p_inst "bufs" 1;
+    Memory.write pipe.p_inst "tmp_page" 1
+  end
+  else Memory.modify pipe.p_inst "waiting_writers" (fun w -> w + 1);
+  pipe_unlock pipe
+
+let pipe_read pipe n =
+  fn "fs/pipe.c" 36 "pipe_read" @@ fun () ->
+  pipe_lock pipe;
+  let bufs = Memory.read pipe.p_inst "nrbufs" in
+  if bufs > 0 then begin
+    Memory.write pipe.p_inst "nrbufs" (max 0 (bufs - n));
+    Memory.modify pipe.p_inst "curbuf" (fun c -> (c + 1) mod 16);
+    ignore (Memory.read pipe.p_inst "waiting_writers");
+    Memory.write pipe.p_inst "waiting_writers" 0
+  end
+  else ignore (Memory.read pipe.p_inst "writers");
+  pipe_unlock pipe
+
+(* Poll peeks the ring state without the pipe mutex. *)
+let pipe_poll pipe =
+  fn "fs/pipe.c" 18 "pipe_poll" @@ fun () ->
+  ignore (Memory.read pipe.p_inst "nrbufs");
+  ignore (Memory.read pipe.p_inst "readers");
+  ignore (Memory.read pipe.p_inst "writers")
+
+let pipe_fasync pipe =
+  fn "fs/pipe.c" 16 "pipe_fasync" @@ fun () ->
+  pipe_lock pipe;
+  Memory.write pipe.p_inst "fasync_readers" 1;
+  Memory.write pipe.p_inst "fasync_writers" 1;
+  pipe_unlock pipe
+
+let () =
+  List.iter
+    (fun (name, span) -> ignore (Source.declare ~file:"fs/pipe.c" ~span name))
+    [
+      ("pipe_double_lock", 14); ("generic_pipe_buf_steal", 16);
+      ("generic_pipe_buf_get", 6); ("generic_pipe_buf_confirm", 6);
+      ("generic_pipe_buf_release", 8); ("round_pipe_size", 10);
+      ("pipe_set_size", 28); ("pipe_ioctl", 18); ("fifo_open_wait", 20);
+    ]

@@ -1,0 +1,57 @@
+module Prng = Lockdoc_util.Prng
+
+type config = { kernel : Kernel.config; scale : int; faults : bool }
+
+let default_config = { kernel = Kernel.default_config; scale = 4; faults = true }
+
+let benchmark_mix ?(config = default_config) () =
+  Fault.set_enabled config.faults;
+  let n = config.scale in
+  Kernel.run ~config:config.kernel ~layouts:Structs.all (fun () ->
+      Kernel.spawn "init" (fun () ->
+          let env = Workloads.setup_env () in
+          let rng = Kernel.prng () in
+          let remaining = ref 0 in
+          let worker name body =
+            incr remaining;
+            let task_rng = Prng.split rng in
+            Kernel.spawn name (fun () ->
+                body task_rng;
+                decr remaining)
+          in
+          (* Interrupt sources: lock-free peeks guarded by the shutdown
+             flag so they never touch freed objects. *)
+          Kernel.register_hardirq "timer" (fun () ->
+              if not env.Workloads.shutting_down then
+                Bdi.wakeup_flusher_irq env.Workloads.ext4.Obj.s_bdi);
+          Kernel.register_softirq "block" (fun () ->
+              if not env.Workloads.shutting_down then
+                match env.Workloads.ext4.Obj.s_journal with
+                | Some j -> Jbd2.commit_timer_kick j
+                | None -> ());
+          (* The pipe pair shares one pipefs inode. *)
+          let pipe_inode = Vfs_inode.iget env.Workloads.pipefs 6500 in
+          worker "fs-bench-test2" (fun r -> Workloads.fs_bench env r (40 * n));
+          worker "fsstress-1" (fun r -> Workloads.fsstress env r (60 * n));
+          worker "fsstress-2" (fun r -> Workloads.fsstress env r (60 * n));
+          worker "fs_inod" (fun r -> Workloads.fs_inod env r (50 * n));
+          worker "pipe-writer" (fun r -> Workloads.pipe_writer pipe_inode r (30 * n));
+          worker "pipe-reader" (fun r -> Workloads.pipe_reader pipe_inode r (30 * n));
+          worker "symlink" (fun r -> Workloads.symlink_bench env r (15 * n));
+          worker "perms" (fun r -> Workloads.perms_bench env r (25 * n));
+          worker "devices" (fun r -> Workloads.device_bench env r (12 * n));
+          worker "pseudo" (fun r -> Workloads.pseudo_bench env r (20 * n));
+          worker "flusher" (fun r -> Workloads.flusher env r (8 * n));
+          Kernel.wait_until "benchmark completion" (fun () -> !remaining = 0);
+          Vfs_inode.iput pipe_inode;
+          Workloads.teardown_env env))
+
+let quick ?(seed = 7) () =
+  let config =
+    {
+      kernel = { Kernel.default_config with seed; hardirq_rate = 0.; softirq_rate = 0. };
+      scale = 1;
+      faults = true;
+    }
+  in
+  fst (benchmark_mix ~config ())

@@ -1,0 +1,21 @@
+(** Top-level simulation entry points: assemble the kernel, the benchmark
+    mix and the interrupt sources, run to completion, and hand back the
+    trace (paper phase ❶). *)
+
+type config = {
+  kernel : Kernel.config;
+  scale : int;  (** workload iteration multiplier; 1 ≈ tens of thousands
+                    of trace events, 10 ≈ several hundred thousand *)
+  faults : bool;  (** enable the deliberate locking-fault sites *)
+}
+
+val default_config : config
+
+val benchmark_mix :
+  ?config:config -> unit -> Lockdoc_trace.Trace.t * Source.coverage
+(** The full evaluation workload: all six benchmark families plus the
+    flusher thread and timer/block interrupt sources, over eleven mounted
+    filesystems. Deterministic for a fixed config. *)
+
+val quick : ?seed:int -> unit -> Lockdoc_trace.Trace.t
+(** A small smoke-test run (scale 1, no IRQs) for tests. *)

@@ -1,0 +1,83 @@
+type fn = { fn_name : string; fn_file : string; fn_start : int; fn_span : int }
+
+(* Global registry: the simulated kernel's "source tree" is the same for
+   every run, only coverage is per-run. *)
+let registry : (string, fn) Hashtbl.t = Hashtbl.create 256
+
+let file_cursor : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let declare ~file ~span name =
+  match Hashtbl.find_opt registry name with
+  | Some fn -> fn
+  | None ->
+      let start = Option.value ~default:1 (Hashtbl.find_opt file_cursor file) in
+      Hashtbl.replace file_cursor file (start + span + 2 (* blank + brace *));
+      let fn = { fn_name = name; fn_file = file; fn_start = start; fn_span = span } in
+      Hashtbl.replace registry name fn;
+      fn
+
+let find name = Hashtbl.find registry name
+
+type coverage = {
+  entered : (string, unit) Hashtbl.t;
+  lines : (string * int, unit) Hashtbl.t;
+}
+
+let coverage () = { entered = Hashtbl.create 256; lines = Hashtbl.create 1024 }
+
+(* Entering a function executes its straight-line prologue; GCOV would see
+   most of the body run on the common path, so mark the leading 3/4 of the
+   span. Branchy tails are only marked when an instrumented operation's
+   line cursor lands on them. *)
+let mark_enter cov fn =
+  Hashtbl.replace cov.entered fn.fn_name ();
+  let prefix = max 1 (fn.fn_span * 3 / 4) in
+  for line = fn.fn_start to fn.fn_start + prefix - 1 do
+    Hashtbl.replace cov.lines (fn.fn_file, line) ()
+  done
+
+let mark_line cov fn line =
+  let line = fn.fn_start + ((line - fn.fn_start) mod fn.fn_span) in
+  Hashtbl.replace cov.lines (fn.fn_file, line) ()
+
+type dir_report = {
+  dir : string;
+  lines_total : int;
+  lines_covered : int;
+  functions_total : int;
+  functions_covered : int;
+}
+
+let dir_of_file file =
+  match String.rindex_opt file '/' with
+  | None -> "."
+  | Some i -> String.sub file 0 i
+
+let report cov ~dirs =
+  let per_dir = Hashtbl.create 8 in
+  List.iter
+    (fun dir -> Hashtbl.replace per_dir dir (ref 0, ref 0, ref 0, ref 0))
+    dirs;
+  Hashtbl.iter
+    (fun _name fn ->
+      match Hashtbl.find_opt per_dir (dir_of_file fn.fn_file) with
+      | None -> ()
+      | Some (lt, lc, ft, fc) ->
+          lt := !lt + fn.fn_span;
+          incr ft;
+          if Hashtbl.mem cov.entered fn.fn_name then incr fc;
+          for line = fn.fn_start to fn.fn_start + fn.fn_span - 1 do
+            if Hashtbl.mem cov.lines (fn.fn_file, line) then incr lc
+          done)
+    registry;
+  List.map
+    (fun dir ->
+      let lt, lc, ft, fc = Hashtbl.find per_dir dir in
+      {
+        dir;
+        lines_total = !lt;
+        lines_covered = !lc;
+        functions_total = !ft;
+        functions_covered = !fc;
+      })
+    dirs

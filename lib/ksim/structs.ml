@@ -1,0 +1,436 @@
+module Layout = Lockdoc_trace.Layout
+
+let d = Layout.Data
+let l = Layout.Lock
+let a = Layout.Atomic
+
+(* Sizes loosely follow x86-64: pointers/longs 8, ints 4, shorts 2,
+   timestamps 16, list heads 16, embedded locks by kind. *)
+
+let inode =
+  Layout.make ~name:"inode"
+    [
+      ("i_mode", 4, d);
+      ("i_opflags", 2, d);
+      ("i_uid", 4, d);
+      ("i_gid", 4, d);
+      ("i_flags", 4, d);
+      ("i_acl", 8, d);
+      ("i_default_acl", 8, d);
+      ("i_op", 8, d);
+      ("i_sb", 8, d);
+      ("i_mapping", 8, d);
+      ("i_security", 8, d);
+      ("i_ino", 8, d);
+      ("i_nlink", 4, d);
+      ("i_rdev", 4, d);
+      ("i_size", 8, d);
+      ("i_atime", 16, d);
+      ("i_mtime", 16, d);
+      ("i_ctime", 16, d);
+      ("i_lock", 4, l);
+      ("i_bytes", 2, d);
+      ("i_blkbits", 1, d);
+      ("i_write_hint", 1, d);
+      ("i_blocks", 8, d);
+      ("i_state", 8, d);
+      ("i_rwsem", 40, l);
+      ("i_size_seqcount", 4, l);
+      ("dirtied_when", 8, d);
+      ("dirtied_time_when", 8, d);
+      ("i_hash", 16, d);
+      ("i_io_list", 16, d);
+      ("i_wb", 8, d);
+      ("i_wb_frn_winner", 2, d);
+      ("i_wb_frn_avg_time", 2, d);
+      ("i_wb_frn_history", 4, d);
+      ("i_lru", 16, d);
+      ("i_sb_list", 16, d);
+      ("i_wb_list", 16, d);
+      ("i_dentry", 8, d);
+      ("i_version", 8, d);
+      ("i_count", 4, a);
+      ("i_dio_count", 4, a);
+      ("i_writecount", 4, a);
+      ("i_readcount", 4, a);
+      ("i_fop", 8, d);
+      ("i_flctx", 8, d);
+      (* struct address_space i_data, unrolled *)
+      ("i_data.host", 8, d);
+      ("i_data.tree_lock", 4, l);
+      ("i_data.a_ops", 8, d);
+      ("i_data.nrpages", 8, d);
+      ("i_data.nrexceptional", 8, d);
+      ("i_data.writeback_index", 8, d);
+      ("i_data.gfp_mask", 4, d);
+      ("i_data.flags", 4, d);
+      ("i_data.private_data", 8, d);
+      (* union { i_pipe; i_bdev; i_cdev; i_link }, unrolled *)
+      ("i_pipe", 8, d);
+      ("i_bdev", 8, d);
+      ("i_cdev", 8, d);
+      ("i_link", 8, d);
+      ("i_dir_seq", 8, d);
+      ("i_generation", 4, d);
+      ("i_fsnotify_mask", 4, d);
+      ("i_fsnotify_marks", 8, d);
+      ("i_private", 8, d);
+      ("i_devices", 16, d);
+    ]
+
+let dentry =
+  Layout.make ~name:"dentry"
+    [
+      ("d_flags", 4, d);
+      ("d_seq", 4, l);
+      ("d_hash", 16, d);
+      ("d_parent", 8, d);
+      ("d_name", 8, d);
+      ("d_inode", 8, d);
+      ("d_iname", 40, d);
+      ("d_count", 4, d);
+      ("d_lock", 4, l);
+      ("d_op", 8, d);
+      ("d_sb", 8, d);
+      ("d_time", 8, d);
+      ("d_fsdata", 8, d);
+      ("d_lru", 16, d);
+      ("d_child", 16, d);
+      ("d_subdirs", 16, d);
+      ("d_alias", 16, d);
+      ("d_rcu", 16, d);
+      ("d_wait", 8, d);
+      ("d_flags2", 4, d);
+      ("d_unused_pad", 4, d);
+    ]
+
+let super_block =
+  Layout.make ~name:"super_block"
+    [
+      ("s_list", 16, d);
+      ("s_dev", 4, d);
+      ("s_blocksize_bits", 1, d);
+      ("s_blocksize", 8, d);
+      ("s_maxbytes", 8, d);
+      ("s_type", 8, d);
+      ("s_op", 8, d);
+      ("dq_op", 8, d);
+      ("s_qcop", 8, d);
+      ("s_export_op", 8, d);
+      ("s_flags", 8, d);
+      ("s_iflags", 8, d);
+      ("s_magic", 8, d);
+      ("s_root", 8, d);
+      ("s_umount", 40, l);
+      ("s_count", 4, d);
+      ("s_active", 4, a);
+      ("s_security", 8, d);
+      ("s_xattr", 8, d);
+      ("s_fs_info", 8, d);
+      ("s_max_links", 4, d);
+      ("s_mode", 4, d);
+      ("s_time_gran", 4, d);
+      ("s_vfs_rename_mutex", 32, l);
+      ("s_subtype", 8, d);
+      ("s_id", 32, d);
+      ("s_uuid", 16, d);
+      ("s_mounts", 16, d);
+      ("s_bdev", 8, d);
+      ("s_bdi", 8, d);
+      ("s_instances", 16, d);
+      ("s_quota_types", 4, d);
+      ("s_dquot", 8, d);
+      ("s_writers", 8, d);
+      ("s_d_op", 8, d);
+      ("s_dio_done_wq", 8, d);
+      ("s_pins", 16, d);
+      ("s_shrink", 8, d);
+      ("s_remove_count", 4, a);
+      ("s_readonly_remount", 4, d);
+      ("s_inode_list_lock", 4, l);
+      ("s_inodes", 16, d);
+      ("s_inode_lru_lock", 4, l);
+      ("s_inode_lru", 16, d);
+      ("s_dentry_lru_lock", 4, l);
+      ("s_dentry_lru", 16, d);
+      ("s_mount_lock", 4, l);
+      ("s_stack_depth", 4, d);
+      ("s_wb_err", 4, d);
+      ("s_fsnotify_mask", 4, d);
+      ("s_iflags2", 4, d);
+      ("s_dirt", 4, d);
+      ("s_need_sync", 4, d);
+      ("s_frozen", 4, d);
+      ("s_qf_names", 8, d);
+      ("s_jquota_fmt", 4, d);
+    ]
+
+let journal =
+  Layout.make ~name:"journal_t"
+    [
+      ("j_flags", 8, d);
+      ("j_errno", 4, d);
+      ("j_sb_buffer", 8, d);
+      ("j_superblock", 8, d);
+      ("j_format_version", 4, d);
+      ("j_state_lock", 4, l);
+      ("j_barrier_count", 4, a);
+      ("j_barrier", 32, l);
+      ("j_running_transaction", 8, d);
+      ("j_committing_transaction", 8, d);
+      ("j_checkpoint_transactions", 8, d);
+      ("j_wait_transaction_locked", 8, d);
+      ("j_wait_done_commit", 8, d);
+      ("j_wait_commit", 8, d);
+      ("j_wait_updates", 8, d);
+      ("j_wait_reserved", 8, d);
+      ("j_checkpoint_mutex", 32, l);
+      ("j_head", 8, d);
+      ("j_tail", 8, d);
+      ("j_free", 8, d);
+      ("j_first", 8, d);
+      ("j_last", 8, d);
+      ("j_dev", 8, d);
+      ("j_blocksize", 4, d);
+      ("j_blk_offset", 8, d);
+      ("j_devname", 32, d);
+      ("j_fs_dev", 8, d);
+      ("j_maxlen", 4, d);
+      ("j_reserved_credits", 4, a);
+      ("j_list_lock", 4, l);
+      ("j_inode", 8, d);
+      ("j_tail_sequence", 4, d);
+      ("j_transaction_sequence", 4, d);
+      ("j_commit_sequence", 4, d);
+      ("j_commit_request", 4, d);
+      ("j_uuid", 16, d);
+      ("j_task", 8, d);
+      ("j_max_transaction_buffers", 4, d);
+      ("j_commit_interval", 8, d);
+      ("j_commit_timer", 8, d);
+      ("j_revoke_lock", 4, l);
+      ("j_revoke", 8, d);
+      ("j_revoke_table", 16, d);
+      ("j_wbuf", 8, d);
+      ("j_wbufsize", 4, d);
+      ("j_last_sync_writer", 4, d);
+      ("j_history_lock", 4, l);
+      ("j_average_commit_time", 8, d);
+      ("j_min_batch_time", 4, d);
+      ("j_max_batch_time", 4, d);
+      ("j_commit_callback", 8, d);
+      ("j_failed_commit", 8, d);
+      ("j_chksum_driver", 8, d);
+      ("j_csum_seed", 4, d);
+      ("j_stats_lock", 4, l);
+      ("j_overall_stats", 16, d);
+      ("j_running_stats", 16, d);
+      ("j_private", 8, d);
+    ]
+
+let transaction =
+  Layout.make ~name:"transaction_t"
+    [
+      ("t_journal", 8, d);
+      ("t_tid", 4, d);
+      ("t_state", 4, d);
+      ("t_log_start", 8, d);
+      ("t_nr_buffers", 4, d);
+      ("t_reserved_list", 8, d);
+      ("t_buffers", 8, d);
+      ("t_forget", 8, d);
+      ("t_checkpoint_list", 8, d);
+      ("t_checkpoint_io_list", 8, d);
+      ("t_shadow_list", 8, d);
+      ("t_log_list", 8, d);
+      ("t_inode_list", 16, d);
+      ("t_handle_lock", 4, l);
+      ("t_handle_count", 4, a);
+      ("t_updates", 4, a);
+      ("t_outstanding_credits", 4, a);
+      ("t_expires", 8, d);
+      ("t_start_time", 8, d);
+      ("t_start", 8, d);
+      ("t_requested", 8, d);
+      ("t_max_wait", 8, d);
+      ("t_chp_stats", 16, d);
+      ("t_cpnext", 8, d);
+      ("t_cpprev", 8, d);
+      ("t_need_data_flush", 4, d);
+      ("t_synchronous_commit", 4, d);
+    ]
+
+let journal_head =
+  Layout.make ~name:"journal_head"
+    [
+      ("b_bh", 8, d);
+      ("b_jcount", 4, a);
+      ("b_jlist", 4, d);
+      ("b_modified", 4, d);
+      ("b_frozen_data", 8, d);
+      ("b_committed_data", 8, d);
+      ("b_transaction", 8, d);
+      ("b_next_transaction", 8, d);
+      ("b_tnext", 8, d);
+      ("b_tprev", 8, d);
+      ("b_cp_transaction", 8, d);
+      ("b_cpnext", 8, d);
+      ("b_cpprev", 8, d);
+      ("b_triggers", 8, d);
+      ("b_frozen_triggers", 8, d);
+    ]
+
+let buffer_head =
+  Layout.make ~name:"buffer_head"
+    [
+      ("b_state", 8, d);
+      ("b_state_lock", 4, l);
+      (* stand-in for the BH_State bit spinlock *)
+      ("b_this_page", 8, d);
+      ("b_page", 8, d);
+      ("b_blocknr", 8, d);
+      ("b_size", 8, d);
+      ("b_data", 8, d);
+      ("b_bdev", 8, d);
+      ("b_end_io", 8, d);
+      ("b_private", 8, d);
+      ("b_assoc_buffers", 16, d);
+      ("b_assoc_map", 8, d);
+      ("b_count", 4, a);
+    ]
+
+let block_device =
+  Layout.make ~name:"block_device"
+    [
+      ("bd_dev", 4, d);
+      ("bd_openers", 4, d);
+      ("bd_inode", 8, d);
+      ("bd_super", 8, d);
+      ("bd_mutex", 32, l);
+      ("bd_claiming", 8, d);
+      ("bd_holder", 8, d);
+      ("bd_holders", 4, d);
+      ("bd_write_holder", 4, d);
+      ("bd_holder_disks", 16, d);
+      ("bd_contains", 8, d);
+      ("bd_block_size", 4, d);
+      ("bd_part", 8, d);
+      ("bd_part_count", 4, d);
+      ("bd_invalidated", 4, d);
+      ("bd_disk", 8, d);
+      ("bd_queue", 8, d);
+      ("bd_list", 16, d);
+      ("bd_private", 8, d);
+      ("bd_fsfreeze_count", 4, d);
+      ("bd_fsfreeze_mutex", 32, l);
+    ]
+
+let backing_dev_info =
+  Layout.make ~name:"backing_dev_info"
+    [
+      ("ra_pages", 8, d);
+      ("io_pages", 8, d);
+      ("capabilities", 4, d);
+      ("congested", 8, d);
+      ("name", 8, d);
+      ("min_ratio", 4, d);
+      ("max_ratio", 4, d);
+      ("max_prop_frac", 4, d);
+      ("bdi_list", 16, d);
+      (* struct bdi_writeback wb, unrolled *)
+      ("wb.state", 8, d);
+      ("wb.last_old_flush", 8, d);
+      ("wb.b_dirty", 16, d);
+      ("wb.b_io", 16, d);
+      ("wb.b_more_io", 16, d);
+      ("wb.b_dirty_time", 16, d);
+      ("wb.list_lock", 4, l);
+      ("wb.dirty_sleep", 8, d);
+      ("wb.bw_time_stamp", 8, d);
+      ("wb.dirtied_stamp", 8, d);
+      ("wb.written_stamp", 8, d);
+      ("wb.write_bandwidth", 8, d);
+      ("wb.avg_write_bandwidth", 8, d);
+      ("wb.dirty_ratelimit", 8, d);
+      ("wb.balanced_dirty_ratelimit", 8, d);
+      ("wb.completions", 8, d);
+      ("wb.dirty_exceeded", 4, d);
+      ("wb.work_lock", 4, l);
+      ("wb.work_list", 16, d);
+      ("wb.dwork", 8, d);
+      ("wb.bdi", 8, d);
+      ("wb.congested", 8, d);
+      ("wb.refcnt", 4, a);
+      ("dev", 8, d);
+      ("dev_name", 8, d);
+      ("owner", 8, d);
+      ("wb_lock", 4, l);
+      ("wb_list", 16, d);
+      ("wb_switch_rwsem", 40, l);
+      ("unpinned", 4, d);
+      ("laptop_mode_timer", 8, d);
+      ("debug_dir", 8, d);
+      ("debug_stats", 8, d);
+    ]
+
+let cdev =
+  Layout.make ~name:"cdev"
+    [
+      ("kobj", 8, d);
+      ("owner", 8, d);
+      ("ops", 8, d);
+      ("list", 16, d);
+      ("dev", 4, d);
+      ("count", 4, d);
+    ]
+
+let pipe_inode_info =
+  Layout.make ~name:"pipe_inode_info"
+    [
+      ("mutex", 32, l);
+      ("wait", 8, d);
+      ("nrbufs", 4, d);
+      ("curbuf", 4, d);
+      ("buffers", 4, d);
+      ("readers", 4, d);
+      ("writers", 4, d);
+      ("files", 4, a);
+      ("waiting_writers", 4, d);
+      ("r_counter", 4, d);
+      ("w_counter", 4, d);
+      ("tmp_page", 8, d);
+      ("fasync_readers", 8, d);
+      ("fasync_writers", 8, d);
+      ("bufs", 8, d);
+      ("user", 8, d);
+    ]
+
+let all =
+  [
+    inode;
+    dentry;
+    super_block;
+    journal;
+    transaction;
+    journal_head;
+    buffer_head;
+    block_device;
+    backing_dev_info;
+    cdev;
+    pipe_inode_info;
+  ]
+
+let inode_subclasses =
+  [
+    "ext4";
+    "tmpfs";
+    "proc";
+    "sysfs";
+    "rootfs";
+    "pipefs";
+    "sockfs";
+    "bdev";
+    "devtmpfs";
+    "debugfs";
+    "anon_inodefs";
+  ]

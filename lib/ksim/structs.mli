@@ -1,0 +1,28 @@
+(** Type layouts of the 11 monitored kernel data structures (paper
+    Sec. 7.1, Tab. 6).
+
+    Union compounds are unrolled ([i_pipe]/[i_bdev]/[i_cdev]/[i_link]
+    appear as separate members, and the embedded [struct address_space]
+    appears as [i_data.*]), mirroring what the paper does to distinguish
+    union members by offset. Lock-typed members carry [Layout.Lock];
+    [atomic_t]-style members carry [Layout.Atomic]. *)
+
+val inode : Lockdoc_trace.Layout.t
+val dentry : Lockdoc_trace.Layout.t
+val super_block : Lockdoc_trace.Layout.t
+val journal : Lockdoc_trace.Layout.t  (** [journal_t] *)
+
+val transaction : Lockdoc_trace.Layout.t  (** [transaction_t] *)
+
+val journal_head : Lockdoc_trace.Layout.t
+val buffer_head : Lockdoc_trace.Layout.t
+val block_device : Lockdoc_trace.Layout.t
+val backing_dev_info : Lockdoc_trace.Layout.t
+val cdev : Lockdoc_trace.Layout.t
+val pipe_inode_info : Lockdoc_trace.Layout.t
+
+val all : Lockdoc_trace.Layout.t list
+
+val inode_subclasses : string list
+(** The 11 file-system subclasses of [struct inode] exercised by the
+    workloads (paper Tab. 6 lists 10 plus ext4). *)

@@ -1,0 +1,58 @@
+(** Dentry cache of the simulated kernel (fs/dcache.c, fs/libfs.c).
+
+    A child's linkage ([d_child], and the parent's [d_subdirs]) is
+    protected by the {e parent's} [d_lock]; lookups take each candidate's
+    own [d_lock] inside an RCU + rename-seqlock section, with a lock-free
+    RCU-walk variant; the LRU lives under the super block's
+    [s_dentry_lru_lock]; and the cursor readdir of fs/libfs.c walks
+    [d_subdirs] under the directory's [i_rwsem] plus RCU only — the
+    violation the paper reports in Tab. 8. *)
+
+open Obj
+
+val d_alloc : dentry -> int -> dentry
+(** New child under [parent], linked under the parent's [d_lock]. The
+    caller owns one reference. *)
+
+val d_alloc_root : sb -> dentry
+
+val d_instantiate : dentry -> inode -> unit
+(** Bind an inode, nesting [d_lock] inside the inode's [i_lock]. *)
+
+val d_lookup : dentry -> int -> dentry option
+(** Reference-counted lookup (ref-walk); a hit takes a reference. *)
+
+val d_lookup_rcu : dentry -> int -> dentry option
+(** Lock-free RCU-walk lookup; no reference is taken. *)
+
+val dget : dentry -> unit
+val dput : dentry -> unit
+(** Drop a reference; the last one parks the dentry on the sb LRU. *)
+
+val dentry_lru_add : dentry -> unit
+val dentry_lru_del : dentry -> unit
+(** Kill-path removal from the LRU (the [__dentry_kill] shape). *)
+
+val d_drop : dentry -> unit
+(** Unhash under [d_lock] + the global hash lock. *)
+
+val d_delete : dentry -> unit
+(** Detach the inode binding and unhash. *)
+
+val remove_child : dentry -> dentry -> unit
+(** [remove_child parent dentry]: unlink from the parent's children under
+    the parent's [d_lock]. *)
+
+val d_move : dentry -> dentry -> unit
+(** Rename across directories: [s_vfs_rename_mutex], the global rename
+    seqlock, then both parents' and the victim's [d_lock]s; rehashes
+    without the dcache hash lock (a deliberate sub-100 % discipline). *)
+
+val shrink_dcache_sb : sb -> unit
+(** Free unreferenced LRU dentries. Victims are made unreachable inside
+    the non-preemptible LRU section so concurrent lookups cannot
+    resurrect them; the actual frees are deferred through RCU. *)
+
+val dcache_readdir : inode -> dentry -> unit
+(** The fs/libfs.c cursor readdir: walks the children under the directory
+    inode's [i_rwsem] + RCU — without the parent's [d_lock]. *)

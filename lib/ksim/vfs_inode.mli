@@ -1,0 +1,97 @@
+(** VFS inode layer of the simulated kernel (fs/inode.c, fs/attr.c,
+    fs/stat.c, fs/fs-writeback.c).
+
+    The locking discipline deliberately mirrors Linux 4.10 including its
+    inconsistencies — they are LockDoc's subject matter: [i_lock]
+    protects state/accounting, [i_rwsem] + the size seqcount protect
+    [i_size] and attributes, the hash chain takes the global
+    [inode_hash_lock] (with the neighbour-write anomaly of paper
+    Sec. 7.4), the LRU is split between locked and lock-free call sites,
+    and {!inode_set_flags} carries the historically confirmed lock-free
+    path (paper Fig. 3). *)
+
+open Obj
+
+(** {2 Allocation, hash chain, lifetime} *)
+
+val new_inode : sb -> inode
+(** Allocate and publish on the super block's inode list. *)
+
+val insert_inode_hash : inode -> int -> unit
+val remove_inode_hash : inode -> unit
+val find_inode : sb -> int -> inode option
+(** Hash lookup; grabs a reference ([__iget]) unless the inode is being
+    torn down. *)
+
+val iget : sb -> int -> inode
+(** {!find_inode} or create-and-hash. The caller owns one reference. *)
+
+val iput : inode -> unit
+(** Drop a reference; the last reference either parks the inode on the
+    LRU (nlink > 0) or evicts it. The final-reference decision runs under
+    [i_lock], mirroring the kernel's [atomic_dec_and_lock]. *)
+
+val ihold : inode -> unit
+val drop_nlink : inode -> unit
+val inc_nlink : inode -> unit
+
+val set_freeing : inode -> bool
+(** Claim the inode for eviction (I_FREEING) under [i_lock]; [false] if
+    it is referenced or already claimed. *)
+
+val evict : inode -> unit
+(** Tear down an inode previously claimed via {!set_freeing} (or the
+    equivalent inline claim in {!iput}/{!prune_icache}). *)
+
+val prune_icache : unit -> unit
+(** Walk the LRU, claim up to a handful of unreferenced inodes atomically
+    under the LRU lock, and evict them. *)
+
+val inode_lru_add_locked : inode -> unit
+(** LRU insertion; the caller holds [i_lock]. *)
+
+val inode_lru_add : inode -> unit
+val inode_lru_del : inode -> unit
+val inode_lru_del_walk : unit -> inode list
+val inode_io_list_del : inode -> unit
+
+(** {2 Size and block accounting} *)
+
+val inode_add_bytes : inode -> int -> unit
+(** Block/byte accounting under [i_lock]. *)
+
+val inode_sub_bytes : inode -> int -> unit
+
+val set_blocks_nolock : inode -> int -> unit
+(** The ext4-style raw [i_blocks] store that skips [i_lock] — keeps the
+    documented rule below 100 % (paper Tab. 5). *)
+
+val i_size_write : inode -> int -> unit
+(** Caller holds [i_rwsem] for writing; the store runs inside the size
+    seqcount write section. *)
+
+val i_size_read : inode -> int
+(** Lock-free retrying seq section. *)
+
+(** {2 Attributes, flags, dirty state} *)
+
+val inode_set_flags : inode -> int -> unit
+(** Mostly under [i_rwsem]; every 13th call takes the lock-free cmpxchg
+    path of paper Fig. 3 (fault site ["inode_set_flags_cmpxchg"]). *)
+
+val notify_change : inode -> mode:int -> uid:int -> unit
+(** chmod/chown: common attributes under [i_rwsem], then the
+    filesystem-specific setattr hook. *)
+
+val generic_fillattr : inode -> unit
+(** stat(): lock-free attribute reads. *)
+
+val touch_atime : inode -> unit
+val file_update_time : inode -> unit
+
+val mark_inode_dirty : inode -> unit
+(** Lock-free fast path; slow path takes [i_lock] then files the inode on
+    the bdi's dirty list under [wb.list_lock]. *)
+
+val inode_is_dirty : inode -> bool
+val clear_inode_dirty : inode -> unit

@@ -1,0 +1,164 @@
+(** Super-block management and the writeback entry points (fs/super.c,
+    fs/fs-writeback.c).
+
+    [sb_lock] (global) protects the super-block list and [s_count];
+    [s_umount] is held for writing across mount/umount and for reading
+    during sync — which is how [i_data.writeback_index] ends up protected
+    by an embedded-other [s_umount] rule (paper Fig. 8). *)
+
+open Obj
+
+let fn file span name body = Kernel.fn_scope ~file ~span name body
+
+let super_blocks : sb list ref = ref []
+
+let () = Kernel.add_boot_hook (fun () -> super_blocks := [])
+
+let register_sb sb =
+  fn "fs/super.c" 14 "sb_list_add" @@ fun () ->
+  Lock.spin_lock Globals.sb_lock;
+  Memory.write sb.sb_inst "s_list" 1;
+  Memory.modify sb.sb_inst "s_count" (fun c -> c + 1);
+  super_blocks := sb :: !super_blocks;
+  Lock.spin_unlock Globals.sb_lock
+
+let unregister_sb sb =
+  fn "fs/super.c" 14 "sb_list_del" @@ fun () ->
+  Lock.spin_lock Globals.sb_lock;
+  Memory.write sb.sb_inst "s_list" 0;
+  Memory.modify sb.sb_inst "s_count" (fun c -> max 0 (c - 1));
+  super_blocks := List.filter (fun s -> s != sb) !super_blocks;
+  Lock.spin_unlock Globals.sb_lock
+
+let mount fs =
+  fn "fs/super.c" 36 "mount_fs" @@ fun () ->
+  let sb = alloc_sb fs in
+  Lock.down_write sb.s_umount;
+  Memory.modify sb.sb_inst "s_flags" (fun f -> f lor 0x1 (* SB_ACTIVE *));
+  Memory.write sb.sb_inst "s_magic" (Hashtbl.hash fs.fs_name land 0xffff);
+  Memory.write sb.sb_inst "s_blocksize" 4096;
+  Memory.write sb.sb_inst "s_blocksize_bits" 12;
+  Memory.write sb.sb_inst "s_maxbytes" max_int;
+  Memory.atomic_set sb.sb_inst "s_active" 1;
+  register_sb sb;
+  Lock.up_write sb.s_umount;
+  sb
+
+let sget fs_name =
+  fn "fs/super.c" 22 "sget" @@ fun () ->
+  Lock.spin_lock Globals.sb_lock;
+  let found =
+    List.find_opt
+      (fun sb ->
+        ignore (Memory.read sb.sb_inst "s_list");
+        ignore (Memory.read sb.sb_inst "s_count");
+        sb.fs.fs_name = fs_name)
+      !super_blocks
+  in
+  Lock.spin_unlock Globals.sb_lock;
+  found
+
+(* Writeback of one inode: the caller holds s_umount for reading. *)
+let writeback_single_inode inode =
+  fn "fs/fs-writeback.c" 30 "__writeback_single_inode" @@ fun () ->
+  Lock.spin_lock inode.i_lock;
+  let state = Memory.read inode.i_inst "i_state" in
+  Memory.write inode.i_inst "i_state" (state lor 0x8 (* I_SYNC *));
+  Lock.spin_unlock inode.i_lock;
+  (* Page writeback: the mapping's writeback_index is updated with
+     s_umount held (read) — the EO(s_umount) rule of Fig. 8. *)
+  Memory.modify inode.i_inst "i_data.writeback_index" (fun v -> v + 1);
+  ignore (Memory.read inode.i_inst "i_data.nrpages");
+  Vfs_inode.clear_inode_dirty inode;
+  Lock.spin_lock inode.i_lock;
+  Memory.modify inode.i_inst "i_state" (fun s -> s land lnot 0x8);
+  Lock.spin_unlock inode.i_lock
+
+let sync_filesystem sb =
+  fn "fs/fs-writeback.c" 26 "sync_filesystem" @@ fun () ->
+  Lock.down_read sb.s_umount;
+  ignore (Memory.read sb.sb_inst "s_flags");
+  let bdi = sb.s_bdi in
+  Lock.spin_lock bdi.wb_list_lock;
+  (* Pin under the list lock; skip inodes being torn down (see
+     Bdi.wb_do_writeback for why this is race-free). *)
+  let dirty =
+    List.filter
+      (fun (i : inode) ->
+        ignore (Memory.read i.i_inst "i_io_list");
+        ignore (Memory.read i.i_inst "dirtied_when");
+        if Memory.read i.i_inst "i_state" land 0x20 = 0 then begin
+          Memory.atomic_inc i.i_inst "i_count";
+          true
+        end
+        else false)
+      bdi.b_dirty
+  in
+  bdi.b_dirty <- [];
+  Lock.spin_unlock bdi.wb_list_lock;
+  List.iter writeback_single_inode dirty;
+  Lock.up_read sb.s_umount;
+  List.iter Vfs_inode.iput dirty
+
+let evict_inodes sb =
+  fn "fs/inode.c" 28 "evict_inodes" @@ fun () ->
+  Lock.spin_lock sb.s_inode_list_lock;
+  let victims =
+    List.filter
+      (fun i ->
+        ignore (Memory.read i.i_inst "i_sb_list");
+        (* Lock-free i_state peek, as in the real walk. *)
+        Memory.read i.i_inst "i_state" land 0x20 = 0)
+      sb.s_inodes
+  in
+  Lock.spin_unlock sb.s_inode_list_lock;
+  List.iter
+    (fun inode ->
+      (* Unhashed reference drop: force the refcount to zero, as the
+         umount path may legitimately do for still-cached inodes. *)
+      Memory.atomic_set inode.i_inst "i_count" 0;
+      if Vfs_inode.set_freeing inode then Vfs_inode.evict inode)
+    victims
+
+let umount sb =
+  fn "fs/super.c" 30 "generic_shutdown_super" @@ fun () ->
+  Lock.down_write sb.s_umount;
+  Memory.modify sb.sb_inst "s_flags" (fun f -> f land lnot 0x1);
+  Memory.write sb.sb_inst "s_readonly_remount" 0;
+  evict_inodes sb;
+  Vfs_dentry.shrink_dcache_sb sb;
+  Lock.up_write sb.s_umount;
+  unregister_sb sb;
+  (match sb.s_journal with Some j -> free_journal j | None -> ());
+  free_sb sb
+
+let remount_ro sb =
+  fn "fs/super.c" 20 "do_remount_sb" @@ fun () ->
+  Lock.down_write sb.s_umount;
+  Memory.write sb.sb_inst "s_readonly_remount" 1;
+  Memory.modify sb.sb_inst "s_flags" (fun f -> f lor 0x2 (* SB_RDONLY *));
+  Memory.write sb.sb_inst "s_readonly_remount" 0;
+  Lock.up_write sb.s_umount
+
+(* Cold declarations (paper Tab. 3 denominators). *)
+let () =
+  List.iter
+    (fun (name, span) -> ignore (Source.declare ~file:"fs/super.c" ~span name))
+    [
+      ("alloc_super", 40); ("put_super", 10); ("deactivate_locked_super", 16);
+      ("deactivate_super", 10); ("grab_super", 14); ("trylock_super", 10);
+      ("iterate_supers", 18); ("iterate_supers_type", 16);
+      ("get_super", 16); ("get_super_thawed", 12); ("get_active_super", 14);
+      ("user_get_super", 16); ("emergency_remount", 8); ("freeze_super", 34);
+      ("thaw_super", 24); ("sb_wait_write", 8); ("sb_freeze_unlock", 10);
+      ("kill_anon_super", 8); ("kill_litter_super", 8); ("kill_block_super", 12);
+      ("mount_bdev", 36); ("mount_nodev", 18); ("mount_single", 20);
+    ];
+  List.iter
+    (fun (name, span) -> ignore (Source.declare ~file:"fs/read_write.c" ~span name))
+    [
+      ("vfs_read", 22); ("vfs_write", 24); ("rw_verify_area", 16);
+      ("do_iter_read", 18); ("do_iter_write", 18); ("vfs_readv", 12);
+      ("vfs_writev", 12); ("generic_file_llseek", 14); ("default_llseek", 20);
+      ("fixed_size_llseek", 8); ("no_seek_end_llseek", 8);
+    ]

@@ -1,0 +1,294 @@
+(** The benchmark mix (paper Sec. 7.1): synthetic re-implementations of
+    the Linux Test Project workloads the paper uses — fs-bench-test2
+    (create/chown/chmod/random access), fsstress (random fs ops over a
+    tree), fs_inod (inode churn) — plus the custom pipe, symlink and
+    permission tests, a device workload, and the writeback/journal
+    flusher thread. *)
+
+module Prng = Lockdoc_util.Prng
+open Obj
+
+type env = {
+  ext4 : sb;
+  tmpfs : sb;
+  rootfs : sb;
+  proc : sb;
+  sysfs : sb;
+  devtmpfs : sb;
+  pipefs : sb;
+  sockfs : sb;
+  bdevfs : sb;
+  debugfs : sb;
+  anonfs : sb;
+  ext4_root : dentry;
+  tmpfs_root : dentry;
+  rootfs_root : dentry;
+  rootfs_dir_b : dentry;
+  mutable shutting_down : bool;
+}
+
+let all_sbs env =
+  [
+    env.ext4; env.tmpfs; env.rootfs; env.proc; env.sysfs; env.devtmpfs;
+    env.pipefs; env.sockfs; env.bdevfs; env.debugfs; env.anonfs;
+  ]
+
+let setup_env () =
+  let ext4 = Vfs_super.mount Fs_ext4.fstype in
+  ignore (Fs_ext4.journal_of ext4);
+  let tmpfs = Vfs_super.mount Fs_tmpfs.fstype in
+  let rootfs = Vfs_super.mount Fs_misc.rootfs in
+  let env =
+    {
+      ext4;
+      tmpfs;
+      rootfs;
+      proc = Vfs_super.mount Fs_proc.fstype;
+      sysfs = Vfs_super.mount Fs_misc.sysfs;
+      devtmpfs = Vfs_super.mount Fs_misc.devtmpfs;
+      pipefs = Vfs_super.mount Fs_pipefs.fstype;
+      sockfs = Vfs_super.mount Fs_misc.sockfs;
+      bdevfs = Vfs_super.mount Fs_bdev.fstype;
+      debugfs = Vfs_super.mount Fs_misc.debugfs;
+      anonfs = Vfs_super.mount Fs_misc.anon_inodefs;
+      ext4_root = Vfs_dentry.d_alloc_root ext4;
+      tmpfs_root = Vfs_dentry.d_alloc_root tmpfs;
+      rootfs_root = Vfs_dentry.d_alloc_root rootfs;
+      rootfs_dir_b = Vfs_dentry.d_alloc_root rootfs;
+      shutting_down = false;
+    }
+  in
+  List.iter (fun sb -> Bdi.bdi_register sb.s_bdi) (all_sbs env);
+  env
+
+let teardown_env env =
+  env.shutting_down <- true;
+  (match env.ext4.s_journal with
+  | Some j ->
+      Jbd2.commit_transaction j;
+      Jbd2.checkpoint j
+  | None -> ());
+  List.iter Vfs_super.sync_filesystem (all_sbs env);
+  Vfs_inode.prune_icache ();
+  Vfs_inode.prune_icache ();
+  List.iter
+    (fun sb ->
+      Bdi.bdi_unregister sb.s_bdi;
+      Vfs_super.umount sb)
+    (all_sbs env)
+
+(* {2 fs-bench-test2: create files, chown/chmod, random access} *)
+
+let fs_bench env rng n =
+  for i = 1 to n do
+    let ino = 1000 + Prng.int rng 24 in
+    (* open(O_CREAT) shape: resolve, then create through fs/namei.c. *)
+    ignore (Vfs_namei.path_lookupat env.ext4_root [ ino ]);
+    let dentry, inode = Vfs_namei.vfs_create env.ext4 env.ext4_root ino ino in
+    env.ext4.fs.fs_ops.op_write inode (Prng.int_in rng 512 8192);
+    env.ext4.fs.fs_ops.op_read inode;
+    if i mod 5 = 0 then
+      Vfs_inode.notify_change inode ~mode:(Prng.int rng 0o777)
+        ~uid:(Prng.int rng 100);
+    if i mod 7 = 0 then Fs_ext4.ext4_fsync inode;
+    Vfs_inode.generic_fillattr inode;
+    (* Most files survive; a minority is unlinked, keeping eviction (and
+       its hash neighbour writes) rare as in the paper's workload. *)
+    if i mod 3 = 0 then Vfs_namei.vfs_unlink env.ext4_root dentry inode
+    else Vfs_dentry.dput dentry;
+    Vfs_inode.iput inode
+  done
+
+(* {2 fsstress: random operations over a directory tree} *)
+
+let fsstress env rng n =
+  let sbs = [| (env.tmpfs, env.tmpfs_root); (env.rootfs, env.rootfs_root) |] in
+  for _ = 1 to n do
+    let sb, root = Prng.pick rng sbs in
+    let ino = 2000 + Prng.int rng 48 in
+    match Prng.int rng 12 with
+    | 0 ->
+        (* creat *)
+        let inode = Vfs_inode.iget sb ino in
+        let dentry = Vfs_dentry.d_alloc root ino in
+        Vfs_dentry.d_instantiate dentry inode;
+        Vfs_dentry.dput dentry
+    | 1 ->
+        (* stat *)
+        let inode = Vfs_inode.iget sb ino in
+        Vfs_inode.generic_fillattr inode;
+        Vfs_inode.iput inode
+    | 2 ->
+        let inode = Vfs_inode.iget sb ino in
+        sb.fs.fs_ops.op_write inode (Prng.int_in rng 64 4096);
+        Vfs_inode.iput inode
+    | 3 ->
+        let inode = Vfs_inode.iget sb ino in
+        sb.fs.fs_ops.op_read inode;
+        Vfs_inode.iput inode
+    | 4 ->
+        let inode = Vfs_inode.iget sb ino in
+        Vfs_inode.notify_change inode ~mode:(Prng.int rng 0o777) ~uid:0;
+        Vfs_inode.iput inode
+    | 5 ->
+        (* symlink + follow *)
+        let inode = Vfs_inode.iget sb ino in
+        Fs_common.set_link inode ino;
+        ignore (Fs_common.get_link inode);
+        Vfs_inode.iput inode
+    | 6 ->
+        (* readdir through the libfs cursor path (rarer than the rest) *)
+        if Prng.bool rng then begin
+          let dir = Vfs_inode.iget sb 1 in
+          Vfs_dentry.dcache_readdir dir root;
+          Vfs_inode.iput dir
+        end
+    | 7 -> (
+        (* lookup, locked and RCU flavours *)
+        match Vfs_dentry.d_lookup root ino with
+        | Some d -> ignore (Vfs_dentry.d_lookup_rcu root ino); Vfs_dentry.dput d
+        | None -> ignore (Vfs_dentry.d_lookup_rcu root ino))
+    | 8 ->
+        (* rename between directories (rootfs only has two roots) *)
+        if sb == env.rootfs then begin
+          let dentry = Vfs_dentry.d_alloc env.rootfs_root ino in
+          Vfs_dentry.d_move dentry env.rootfs_dir_b;
+          Vfs_dentry.remove_child env.rootfs_dir_b dentry;
+          Lock.call_rcu (fun () -> free_dentry dentry)
+        end
+    | 9 ->
+        (* truncate *)
+        let inode = Vfs_inode.iget sb ino in
+        if sb == env.ext4 then Fs_ext4.ext4_truncate inode
+        else Fs_common.generic_truncate inode;
+        Vfs_inode.iput inode
+    | 10 ->
+        (* the inode_set_flags path with the confirmed bug *)
+        let inode = Vfs_inode.iget sb ino in
+        Vfs_inode.inode_set_flags inode (1 lsl Prng.int rng 8);
+        Vfs_inode.iput inode
+    | _ ->
+        (* unlink-and-evict *)
+        let inode = Vfs_inode.iget sb ino in
+        Vfs_inode.drop_nlink inode;
+        Vfs_inode.drop_nlink inode;
+        Vfs_inode.iput inode
+  done
+
+(* {2 fs_inod: inode allocate/deallocate churn} *)
+
+let fs_inod env rng n =
+  for i = 1 to n do
+    let ino = 3000 + Prng.int rng 32 in
+    let inode = Vfs_inode.iget env.rootfs ino in
+    if i mod 3 = 0 then Vfs_inode.drop_nlink inode;
+    Vfs_inode.iput inode;
+    if i mod 11 = 0 then Vfs_inode.prune_icache ()
+  done
+
+(* {2 pipe workload} *)
+
+let pipe_writer inode rng n =
+  for _ = 1 to n do
+    Fs_pipefs.pipefs_write inode (Prng.int_in rng 1 4);
+    (match inode.i_pipe_obj with
+    | Some pipe -> if Prng.bernoulli rng 0.06 then Pipe.pipe_poll pipe
+    | None -> ())
+  done
+
+let pipe_reader inode rng n =
+  for _ = 1 to n do
+    Fs_pipefs.pipefs_read inode;
+    (match inode.i_pipe_obj with
+    | Some pipe ->
+        if Prng.bernoulli rng 0.1 then Pipe.pipe_fasync pipe
+    | None -> ())
+  done
+
+(* {2 symlink test} *)
+
+let symlink_bench env rng n =
+  for _ = 1 to n do
+    let ino = 4000 + Prng.int rng 16 in
+    let inode = Vfs_inode.iget env.ext4 ino in
+    Fs_common.set_link inode ino;
+    ignore (Fs_common.get_link inode);
+    ignore (Fs_common.get_link inode);
+    Vfs_inode.drop_nlink inode;
+    Vfs_inode.iput inode
+  done
+
+(* {2 permissions test over the pseudo filesystems} *)
+
+let perms_bench env rng n =
+  let sbs = [| env.proc; env.sysfs; env.ext4; env.devtmpfs |] in
+  for _ = 1 to n do
+    let sb = Prng.pick rng sbs in
+    let ino = 5000 + Prng.int rng 24 in
+    let inode = Vfs_inode.iget sb ino in
+    Vfs_inode.notify_change inode ~mode:(Prng.int rng 0o777)
+      ~uid:(Prng.int rng 10);
+    sb.fs.fs_ops.op_read inode;
+    if Prng.bernoulli rng 0.4 then sb.fs.fs_ops.op_write inode 1;
+    Vfs_inode.generic_fillattr inode;
+    Vfs_inode.iput inode
+  done
+
+(* {2 devices: char and block} *)
+
+let device_bench env rng n =
+  for i = 1 to n do
+    let cd = alloc_cdev () in
+    Chardev.cdev_add cd (Prng.int rng 256) 1;
+    ignore (Chardev.cdev_lookup (Prng.int rng 256));
+    Chardev.cdev_del cd;
+    let inode = Vfs_inode.iget env.bdevfs (6000 + Prng.int rng 8) in
+    let bdev = Fs_bdev.bdev_of inode in
+    Blockdev.blkdev_get bdev i;
+    env.bdevfs.fs.fs_ops.op_write inode (Prng.int_in rng 512 4096);
+    env.bdevfs.fs.fs_ops.op_read inode;
+    Blockdev.blkdev_direct_io bdev;
+    if i mod 9 = 0 then begin
+      Blockdev.freeze_bdev bdev;
+      Blockdev.thaw_bdev bdev
+    end;
+    Blockdev.blkdev_put bdev;
+    Vfs_inode.iput inode
+  done
+
+(* {2 small pseudo-fs activity: sockfs / anon / debugfs} *)
+
+let pseudo_bench env rng n =
+  let sock_inode = Vfs_inode.iget env.sockfs 7000 in
+  let anon_inode = Vfs_inode.iget env.anonfs 7100 in
+  let debug_inode = Vfs_inode.iget env.debugfs 7200 in
+  env.debugfs.fs.fs_ops.op_write debug_inode 1;
+  for _ = 1 to n do
+    env.sockfs.fs.fs_ops.op_read sock_inode;
+    if Prng.bernoulli rng 0.15 then env.sockfs.fs.fs_ops.op_write sock_inode 1;
+    env.anonfs.fs.fs_ops.op_read anon_inode;
+    if Prng.bernoulli rng 0.1 then env.anonfs.fs.fs_ops.op_write anon_inode 1
+  done;
+  Vfs_inode.iput sock_inode;
+  Vfs_inode.iput anon_inode;
+  Vfs_inode.iput debug_inode
+
+(* {2 writeback / journal flusher thread} *)
+
+let flusher env rng n =
+  for i = 1 to n do
+    List.iter
+      (fun sb ->
+        Bdi.wb_queue_work sb.s_bdi;
+        Bdi.wb_do_writeback sb.s_bdi)
+      [ env.ext4; env.tmpfs; env.rootfs ];
+    (match env.ext4.s_journal with
+    | Some j ->
+        Jbd2.commit_transaction j;
+        if i mod 4 = 0 then Jbd2.checkpoint j
+    | None -> ());
+    if i mod 3 = 0 then Vfs_inode.prune_icache ();
+    if i mod 5 = 0 then Vfs_super.sync_filesystem (Prng.pick rng [| env.ext4; env.tmpfs |]);
+    if i mod 6 = 0 then Vfs_dentry.shrink_dcache_sb env.ext4;
+    ignore (Vfs_super.sget "ext4")
+  done

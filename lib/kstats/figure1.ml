@@ -1,0 +1,39 @@
+type row = {
+  version : string;
+  loc : int;
+  loc_full : int;
+  spinlock : int;
+  mutex : int;
+  rcu : int;
+}
+
+let rows () =
+  List.map
+    (fun point ->
+      let counts = Scan.scan_files (Gen.generate point) in
+      {
+        version = Model.version_to_string point.Model.version;
+        loc = counts.Scan.code_lines;
+        loc_full = counts.Scan.code_lines * Model.loc_scale;
+        spinlock = counts.Scan.spinlock_inits;
+        mutex = counts.Scan.mutex_inits;
+        rcu = counts.Scan.rcu_usages;
+      })
+    Model.series
+
+type growth = { loc_pct : float; spinlock_pct : float; mutex_pct : float; rcu_pct : float }
+
+let pct first last =
+  if first = 0 then 0.
+  else 100. *. (float_of_int last -. float_of_int first) /. float_of_int first
+
+let growth rows =
+  match (rows, List.rev rows) with
+  | first :: _, last :: _ ->
+      {
+        loc_pct = pct first.loc last.loc;
+        spinlock_pct = pct first.spinlock last.spinlock;
+        mutex_pct = pct first.mutex last.mutex;
+        rcu_pct = pct first.rcu last.rcu;
+      }
+  | _ -> invalid_arg "Figure1.growth: empty series"

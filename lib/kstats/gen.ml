@@ -1,0 +1,126 @@
+module Prng = Lockdoc_util.Prng
+
+type file = { path : string; content : string }
+
+let dirs =
+  [|
+    "fs"; "mm"; "kernel"; "drivers/block"; "drivers/net"; "drivers/char";
+    "net/core"; "net/ipv4"; "sound/core"; "arch/x86/kernel";
+  |]
+
+(* Filler statements: look like C, contain no counted pattern. *)
+let filler =
+  [|
+    "\tstruct list_head *pos;";
+    "\tint ret = 0;";
+    "\tif (unlikely(!ptr))";
+    "\t\treturn -EINVAL;";
+    "\tfor (i = 0; i < nr; i++)";
+    "\t\ttotal += buf[i];";
+    "\twake_up(&queue->wait);";
+    "\tret = do_work(dev, flags);";
+    "\tBUG_ON(count < 0);";
+    "\tlist_del(&entry->node);";
+    "\tkfree(obj);";
+    "\treturn ret;";
+  |]
+
+let spin_sites rng =
+  match Prng.int rng 3 with
+  | 0 -> "\tspin_lock_init(&dev->lock);"
+  | 1 -> "\traw_spin_lock_init(&rq->queue_lock);"
+  | _ -> "static DEFINE_SPINLOCK(table_lock);"
+
+let mutex_sites rng =
+  match Prng.int rng 3 with
+  | 0 -> "\tmutex_init(&dev->mutex);"
+  | 1 -> "\tmutex_init(&priv->cfg_mutex);"
+  | _ -> "static DEFINE_MUTEX(registry_mutex);"
+
+let rcu_sites rng =
+  match Prng.int rng 3 with
+  | 0 -> "\trcu_read_lock();"
+  | 1 -> "\tcall_rcu(&obj->rcu, free_object);"
+  | _ -> "\tsynchronize_rcu();"
+
+let generate (p : Model.point) =
+  let rng =
+    Prng.of_int ((p.Model.version.Model.major * 100) + p.Model.version.Model.minor)
+  in
+  let n_files = max 1 (p.Model.loc / 2500) in
+  (* Distribute code lines and pattern sites over files. *)
+  let base_lines = p.Model.loc / n_files in
+  let per_file counts =
+    let a = Array.make n_files 0 in
+    for _ = 1 to counts do
+      let i = Prng.int rng n_files in
+      a.(i) <- a.(i) + 1
+    done;
+    a
+  in
+  let spin = per_file p.Model.spinlock_inits in
+  let mutex = per_file p.Model.mutex_inits in
+  let rcu = per_file p.Model.rcu_usages in
+  List.init n_files (fun i ->
+      let buf = Buffer.create (base_lines * 24) in
+      let code_lines = ref 0 in
+      let add line =
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.trim line <> "" then incr code_lines
+      in
+      let comment () =
+        Buffer.add_string buf "/* housekeeping for the subsystem below */\n"
+      in
+      (* Interleave pattern sites with filler, inside function bodies. *)
+      let sites =
+        List.concat
+          [
+            List.init spin.(i) (fun _ -> spin_sites rng);
+            List.init mutex.(i) (fun _ -> mutex_sites rng);
+            List.init rcu.(i) (fun _ -> rcu_sites rng);
+          ]
+      in
+      let sites = Array.of_list sites in
+      Prng.shuffle rng sites;
+      let target = if i = n_files - 1 then
+          (* last file absorbs the rounding remainder *)
+          p.Model.loc - (base_lines * (n_files - 1))
+        else base_lines
+      in
+      let site_idx = ref 0 in
+      let fn_counter = ref 0 in
+      while !code_lines < target do
+        incr fn_counter;
+        add (Printf.sprintf "static int helper_%d_%d(struct device *dev)" i !fn_counter);
+        add "{";
+        let body = 4 + Prng.int rng 8 in
+        for _ = 1 to body do
+          if !code_lines >= target - 2 then ()
+          else if !site_idx < Array.length sites && Prng.bernoulli rng 0.2 then begin
+            add sites.(!site_idx);
+            incr site_idx
+          end
+          else add (Prng.pick rng filler)
+        done;
+        add "}";
+        if Prng.bernoulli rng 0.3 then comment ()
+      done;
+      (* Flush any pattern sites the loop did not place. *)
+      if !site_idx < Array.length sites then begin
+        add "static void __init late_init(void)";
+        add "{";
+        while !site_idx < Array.length sites do
+          add sites.(!site_idx);
+          incr site_idx
+        done;
+        add "}"
+      end;
+      {
+        path =
+          Printf.sprintf "%s/generated_%s_%d.c"
+            dirs.(i mod Array.length dirs)
+            (Model.version_to_string p.Model.version)
+            i;
+        content = Buffer.contents buf;
+      })

@@ -1,0 +1,14 @@
+(** Synthetic kernel-source generator.
+
+    Produces a deterministic C-looking source tree for one modelled
+    release, containing exactly the lock-initialisation calls and RCU
+    usages the growth model prescribes, padded with function bodies and
+    comments up to the target line count. The corpus stays in memory;
+    the {!Scan} lexer is the "real" measuring instrument. *)
+
+type file = { path : string; content : string }
+
+val generate : Model.point -> file list
+(** Deterministic for a given point. The total {e code} line count (as
+    {!Scan} counts it) equals [point.loc], and pattern occurrences equal
+    the modelled init counts. *)

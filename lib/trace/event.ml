@@ -1,0 +1,156 @@
+type access_kind = Read | Write
+
+type lock_side = Exclusive | Shared
+
+type lock_kind =
+  | Spinlock
+  | Rwlock
+  | Mutex
+  | Semaphore
+  | Rwsem
+  | Rcu
+  | Seqlock
+  | Pseudo
+
+type ctx_kind = Task | Softirq | Hardirq
+
+type t =
+  | Alloc of { ptr : int; size : int; data_type : string; subclass : string option }
+  | Free of { ptr : int }
+  | Lock_acquire of {
+      lock_ptr : int;
+      kind : lock_kind;
+      side : lock_side;
+      name : string;
+      loc : Srcloc.t;
+    }
+  | Lock_release of { lock_ptr : int; loc : Srcloc.t }
+  | Mem_access of { ptr : int; size : int; kind : access_kind; loc : Srcloc.t }
+  | Fun_enter of { fn : string; loc : Srcloc.t }
+  | Fun_exit of { fn : string }
+  | Ctx_switch of { pid : int; kind : ctx_kind }
+
+let lock_kind_to_string = function
+  | Spinlock -> "spinlock"
+  | Rwlock -> "rwlock"
+  | Mutex -> "mutex"
+  | Semaphore -> "semaphore"
+  | Rwsem -> "rwsem"
+  | Rcu -> "rcu"
+  | Seqlock -> "seqlock"
+  | Pseudo -> "pseudo"
+
+let lock_kind_of_string = function
+  | "spinlock" -> Spinlock
+  | "rwlock" -> Rwlock
+  | "mutex" -> Mutex
+  | "semaphore" -> Semaphore
+  | "rwsem" -> Rwsem
+  | "rcu" -> Rcu
+  | "seqlock" -> Seqlock
+  | "pseudo" -> Pseudo
+  | s -> failwith ("Event.lock_kind_of_string: " ^ s)
+
+let side_to_string = function Exclusive -> "x" | Shared -> "s"
+
+let side_of_string = function
+  | "x" -> Exclusive
+  | "s" -> Shared
+  | s -> failwith ("Event.side_of_string: " ^ s)
+
+let access_to_string = function Read -> "r" | Write -> "w"
+
+let access_of_string = function
+  | "r" -> Read
+  | "w" -> Write
+  | s -> failwith ("Event.access_of_string: " ^ s)
+
+let ctx_to_string = function
+  | Task -> "task"
+  | Softirq -> "softirq"
+  | Hardirq -> "hardirq"
+
+let ctx_of_string = function
+  | "task" -> Task
+  | "softirq" -> Softirq
+  | "hardirq" -> Hardirq
+  | s -> failwith ("Event.ctx_of_string: " ^ s)
+
+let tab = String.concat "\t"
+
+let to_line = function
+  | Alloc { ptr; size; data_type; subclass } ->
+      tab
+        [
+          "A";
+          string_of_int ptr;
+          string_of_int size;
+          data_type;
+          Option.value ~default:"-" subclass;
+        ]
+  | Free { ptr } -> tab [ "F"; string_of_int ptr ]
+  | Lock_acquire { lock_ptr; kind; side; name; loc } ->
+      tab
+        [
+          "L+";
+          string_of_int lock_ptr;
+          lock_kind_to_string kind;
+          side_to_string side;
+          name;
+          Srcloc.to_string loc;
+        ]
+  | Lock_release { lock_ptr; loc } ->
+      tab [ "L-"; string_of_int lock_ptr; Srcloc.to_string loc ]
+  | Mem_access { ptr; size; kind; loc } ->
+      tab
+        [
+          "M";
+          string_of_int ptr;
+          string_of_int size;
+          access_to_string kind;
+          Srcloc.to_string loc;
+        ]
+  | Fun_enter { fn; loc } -> tab [ "E"; fn; Srcloc.to_string loc ]
+  | Fun_exit { fn } -> tab [ "X"; fn ]
+  | Ctx_switch { pid; kind } ->
+      tab [ "C"; string_of_int pid; ctx_to_string kind ]
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ "A"; ptr; size; data_type; subclass ] ->
+      Alloc
+        {
+          ptr = int_of_string ptr;
+          size = int_of_string size;
+          data_type;
+          subclass = (if subclass = "-" then None else Some subclass);
+        }
+  | [ "F"; ptr ] -> Free { ptr = int_of_string ptr }
+  | [ "L+"; lock_ptr; kind; side; name; loc ] ->
+      Lock_acquire
+        {
+          lock_ptr = int_of_string lock_ptr;
+          kind = lock_kind_of_string kind;
+          side = side_of_string side;
+          name;
+          loc = Srcloc.of_string loc;
+        }
+  | [ "L-"; lock_ptr; loc ] ->
+      Lock_release { lock_ptr = int_of_string lock_ptr; loc = Srcloc.of_string loc }
+  | [ "M"; ptr; size; kind; loc ] ->
+      Mem_access
+        {
+          ptr = int_of_string ptr;
+          size = int_of_string size;
+          kind = access_of_string kind;
+          loc = Srcloc.of_string loc;
+        }
+  | [ "E"; fn; loc ] -> Fun_enter { fn; loc = Srcloc.of_string loc }
+  | [ "X"; fn ] -> Fun_exit { fn }
+  | [ "C"; pid; kind ] ->
+      Ctx_switch { pid = int_of_string pid; kind = ctx_of_string kind }
+  | _ -> failwith ("Event.of_line: malformed line: " ^ line)
+
+let pp fmt t = Format.pp_print_string fmt (to_line t)
+
+let equal a b = to_line a = to_line b

@@ -1,0 +1,59 @@
+(** Trace events emitted by the instrumented (simulated) kernel.
+
+    An execution trace is a totally ordered stream of these events, as
+    produced by a single-core emulated machine (paper Sec. 5.2/6). The
+    stream interleaves the activity of all tasks and interrupt handlers;
+    {!Ctx_switch} events delimit which control flow the following events
+    belong to, so the post-processing step can keep per-control-flow lock
+    state. *)
+
+type access_kind = Read | Write
+
+type lock_side =
+  | Exclusive  (** writer side, or the only side of a plain lock *)
+  | Shared  (** reader side of rwlock / rwsem / RCU *)
+
+type lock_kind =
+  | Spinlock
+  | Rwlock
+  | Mutex
+  | Semaphore
+  | Rwsem
+  | Rcu
+  | Seqlock
+  | Pseudo  (** synthetic softirq/hardirq/preempt "locks" (paper Sec. 7.1) *)
+
+type ctx_kind = Task | Softirq | Hardirq
+
+type t =
+  | Alloc of { ptr : int; size : int; data_type : string; subclass : string option }
+      (** A monitored data structure instance was allocated. *)
+  | Free of { ptr : int }
+  | Lock_acquire of {
+      lock_ptr : int;
+      kind : lock_kind;
+      side : lock_side;
+      name : string;  (** variable name for static locks, member name otherwise *)
+      loc : Srcloc.t;
+    }
+  | Lock_release of { lock_ptr : int; loc : Srcloc.t }
+  | Mem_access of { ptr : int; size : int; kind : access_kind; loc : Srcloc.t }
+      (** Read/write of [size] bytes at [ptr], which falls inside a live
+          monitored allocation. *)
+  | Fun_enter of { fn : string; loc : Srcloc.t }
+  | Fun_exit of { fn : string }
+  | Ctx_switch of { pid : int; kind : ctx_kind }
+      (** The following events belong to control flow [pid]. Interrupt
+          handlers get their own pseudo-pids. *)
+
+val lock_kind_to_string : lock_kind -> string
+val lock_kind_of_string : string -> lock_kind
+
+val to_line : t -> string
+(** One-line, tab-separated serialisation. *)
+
+val of_line : string -> t
+(** Inverse of {!to_line}. Raises [Failure] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,68 @@
+type member_kind = Data | Lock | Atomic
+
+type member = {
+  m_name : string;
+  m_offset : int;
+  m_size : int;
+  m_kind : member_kind;
+}
+
+type t = { ty_name : string; ty_size : int; members : member list }
+
+let make ~name specs =
+  let offset = ref 0 in
+  let members =
+    List.map
+      (fun (m_name, m_size, m_kind) ->
+        let m_offset = !offset in
+        offset := !offset + m_size;
+        { m_name; m_offset; m_size; m_kind })
+      specs
+  in
+  { ty_name = name; ty_size = !offset; members }
+
+let find_member t name = List.find (fun m -> m.m_name = name) t.members
+
+let member_at t offset =
+  List.find_opt
+    (fun m -> offset >= m.m_offset && offset < m.m_offset + m.m_size)
+    t.members
+
+let data_members t = List.filter (fun m -> m.m_kind = Data) t.members
+
+let kind_to_char = function Data -> 'd' | Lock -> 'l' | Atomic -> 'a'
+
+let kind_of_char = function
+  | 'd' -> Data
+  | 'l' -> Lock
+  | 'a' -> Atomic
+  | c -> failwith (Printf.sprintf "Layout: unknown member kind %c" c)
+
+let to_string t =
+  let member m =
+    Printf.sprintf "%s,%d,%d,%c" m.m_name m.m_offset m.m_size
+      (kind_to_char m.m_kind)
+  in
+  Printf.sprintf "%s;%d;%s" t.ty_name t.ty_size
+    (String.concat ";" (List.map member t.members))
+
+let of_string s =
+  match String.split_on_char ';' s with
+  | ty_name :: size :: rest ->
+      let member spec =
+        match String.split_on_char ',' spec with
+        | [ m_name; off; sz; kind ] when String.length kind = 1 ->
+            {
+              m_name;
+              m_offset = int_of_string off;
+              m_size = int_of_string sz;
+              m_kind = kind_of_char kind.[0];
+            }
+        | _ -> failwith ("Layout.of_string: bad member spec " ^ spec)
+      in
+      {
+        ty_name;
+        ty_size = int_of_string size;
+        members = List.map member rest;
+      }
+  | _ -> failwith ("Layout.of_string: bad layout " ^ s)

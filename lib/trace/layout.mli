@@ -1,0 +1,40 @@
+(** Type layouts: the shape of an observed kernel data structure.
+
+    A layout lists every member with its byte offset and size, mirroring
+    the paper's [type_layout] relation (Fig. 6). The trace post-processing
+    step uses layouts to resolve raw memory addresses to (data type,
+    member) pairs. Union compounds are "unrolled" by the producer
+    (paper Sec. 7.1): members of an embedded union appear as ordinary
+    members with distinct offsets. *)
+
+type member_kind =
+  | Data  (** ordinary member; accesses are analysed *)
+  | Lock  (** a lock variable embedded in the structure *)
+  | Atomic  (** [atomic_t]-style member; filtered out (paper Sec. 5.3) *)
+
+type member = {
+  m_name : string;
+  m_offset : int;
+  m_size : int;
+  m_kind : member_kind;
+}
+
+type t = { ty_name : string; ty_size : int; members : member list }
+
+val make : name:string -> (string * int * member_kind) list -> t
+(** [make ~name specs] builds a layout from [(member, size, kind)] triples,
+    assigning consecutive offsets. *)
+
+val find_member : t -> string -> member
+(** Raises [Not_found]. *)
+
+val member_at : t -> int -> member option
+(** [member_at t offset] resolves a byte offset within an instance to the
+    member occupying it. *)
+
+val data_members : t -> member list
+(** Members with [m_kind = Data]. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** One-line serialisation used in trace files. *)

@@ -1,0 +1,24 @@
+type t = { file : string; line : int }
+
+let make file line = { file; line }
+
+let none = { file = "?"; line = 0 }
+
+let to_string t = Printf.sprintf "%s:%d" t.file t.line
+
+let of_string s =
+  match String.rindex_opt s ':' with
+  | None -> failwith ("Srcloc.of_string: missing ':' in " ^ s)
+  | Some i ->
+      let file = String.sub s 0 i in
+      let line = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      { file; line }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> Int.compare a.line b.line
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

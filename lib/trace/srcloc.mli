@@ -1,0 +1,23 @@
+(** Source locations in the (synthetic) kernel source tree.
+
+    The simulator assigns every kernel function a file and line range;
+    lock operations and memory accesses carry the location they were
+    emitted from, which the rule-violation finder reports back to the
+    user (paper Sec. 5.5, Tab. 8). *)
+
+type t = { file : string; line : int }
+
+val make : string -> int -> t
+
+val none : t
+(** Placeholder for events without a meaningful location. *)
+
+val to_string : t -> string
+(** ["fs/inode.c:507"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. Raises [Failure] on malformed input. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

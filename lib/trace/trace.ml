@@ -1,0 +1,65 @@
+type t = { layouts : Layout.t list; events : Event.t array }
+
+type sink = { mutable rev_events : Event.t list; mutable n : int }
+
+let sink () = { rev_events = []; n = 0 }
+
+let emit s e =
+  s.rev_events <- e :: s.rev_events;
+  s.n <- s.n + 1
+
+let emitted s = s.n
+
+let finish ~layouts s =
+  let events = Array.make s.n (Event.Free { ptr = 0 }) in
+  (* rev_events holds the newest event first; fill from the back. *)
+  let rec fill i = function
+    | [] -> ()
+    | e :: rest ->
+        events.(i) <- e;
+        fill (i - 1) rest
+  in
+  fill (s.n - 1) s.rev_events;
+  { layouts; events }
+
+let to_lines t =
+  let layout_lines = List.map (fun l -> "T\t" ^ Layout.to_string l) t.layouts in
+  layout_lines @ List.map Event.to_line (Array.to_list t.events)
+
+let of_lines lines =
+  let layouts, rev_events =
+    List.fold_left
+      (fun (layouts, events) line ->
+        if String.length line = 0 then (layouts, events)
+        else if String.length line >= 2 && String.sub line 0 2 = "T\t" then
+          let spec = String.sub line 2 (String.length line - 2) in
+          (Layout.of_string spec :: layouts, events)
+        else (layouts, Event.of_line line :: events))
+      ([], []) lines
+  in
+  { layouts = List.rev layouts; events = Array.of_list (List.rev rev_events) }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines (read []))
+
+let count t pred = Array.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t.events

@@ -1,0 +1,30 @@
+(** A complete execution trace: type layouts plus the ordered event stream.
+
+    The simulator produces a [t] through a {!sink}; the post-processing
+    pipeline ({!Lockdoc_db.Import}) consumes it. Traces can be saved to and
+    loaded from a plain-text file so runs can be archived and re-analysed
+    (the paper stresses this advantage of ex-post analysis, Sec. 3.3). *)
+
+type t = { layouts : Layout.t list; events : Event.t array }
+
+type sink
+(** An append-only event collector. *)
+
+val sink : unit -> sink
+val emit : sink -> Event.t -> unit
+val emitted : sink -> int
+(** Number of events collected so far. *)
+
+val finish : layouts:Layout.t list -> sink -> t
+
+val save : string -> t -> unit
+(** Write to a file; one line per layout/event. *)
+
+val load : string -> t
+(** Inverse of {!save}. Raises [Failure] or [Sys_error]. *)
+
+val of_lines : string list -> t
+val to_lines : t -> string list
+
+val count : t -> (Event.t -> bool) -> int
+(** Number of events satisfying a predicate. *)

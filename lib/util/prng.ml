@@ -1,0 +1,67 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let of_int seed = create ~seed:(Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: Stafford's mix13 constants. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  create ~seed:(mix seed)
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  assert (total > 0);
+  let roll = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: empty choice list"
+    | (w, x) :: rest -> if roll < acc + w then x else go (acc + w) rest
+  in
+  go 0 choices

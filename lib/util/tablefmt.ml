@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  header : string list;
+  columns : int;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~header =
+  {
+    header;
+    columns = List.length header;
+    aligns = List.map (fun _ -> Left) header;
+    rows = [];
+  }
+
+let set_align t aligns =
+  if List.length aligns <> t.columns then
+    invalid_arg "Tablefmt.set_align: width mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> t.columns then
+    invalid_arg "Tablefmt.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let note_widths = function
+    | Rule -> ()
+    | Cells cells ->
+        List.iteri
+          (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+          cells
+  in
+  List.iter note_widths rows;
+  let sep =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let line cells =
+    let padded =
+      List.mapi
+        (fun i c -> " " ^ pad (List.nth t.aligns i) widths.(i) c ^ " ")
+        cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let body =
+    List.map (function Rule -> sep | Cells cells -> line cells) rows
+  in
+  String.concat "\n" ((sep :: line t.header :: sep :: body) @ [ sep ])
+
+let print t = print_endline (render t)

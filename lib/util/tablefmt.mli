@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the experiment reports.
+
+    All experiment tables (the paper's Tab. 1–8 and figure series) are
+    printed through this module so reports share one layout. *)
+
+type align = Left | Right
+
+type t
+
+val create : header:string list -> t
+(** New table with the given column headers. Column count is fixed by the
+    header. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Left] everywhere. The list length must
+    equal the column count. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the width differs from the
+    header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render with column padding, a header rule, and a surrounding border. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

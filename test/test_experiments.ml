@@ -1,0 +1,302 @@
+(* Tests of the experiments harness: per-experiment invariants, the
+   lockdep baseline, the side-sensitivity extension, and the ablation
+   renderers. *)
+
+module Import = Lockdoc_db.Import
+module Kernel = Lockdoc_ksim.Kernel
+module Run = Lockdoc_ksim.Run
+module Dataset = Lockdoc_core.Dataset
+module Rule = Lockdoc_core.Rule
+module Derivator = Lockdoc_core.Derivator
+module Lockdep = Lockdoc_core.Lockdep
+module Context = Lockdoc_experiments.Context
+module Registry = Lockdoc_experiments.Registry
+module Ablation = Lockdoc_experiments.Ablation
+module Tab4 = Lockdoc_experiments.Tab4
+module Tab6 = Lockdoc_experiments.Tab6
+module Fig7 = Lockdoc_experiments.Fig7
+module Checker = Lockdoc_core.Checker
+module Figure1 = Lockdoc_kstats.Figure1
+
+let check = Alcotest.check
+
+let ctx = lazy (Context.create ~scale:3 ~seed:5 ())
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* {2 Per-experiment invariants} *)
+
+let test_tab4_percentages_sum () =
+  let checked = Tab4.check_all (Lazy.force ctx) in
+  List.iter
+    (fun ty ->
+      let s = Checker.summarise checked ty in
+      check Alcotest.int (ty ^ ": observed = verdict sum") s.Checker.s_observed
+        (s.Checker.s_correct + s.Checker.s_ambivalent + s.Checker.s_incorrect);
+      check Alcotest.int (ty ^ ": rules = observed + unobserved")
+        s.Checker.s_rules
+        (s.Checker.s_observed + s.Checker.s_unobserved))
+    Lockdoc_ksim.Documentation.checked_types
+
+let test_tab6_bounds () =
+  let c = Lazy.force ctx in
+  List.iter
+    (fun key ->
+      let _, m, bl, rr, rw, nr, nw = Tab6.row c key in
+      check Alcotest.bool (key ^ ": rules bounded by members") true
+        (rr <= m - bl && rw <= m - bl);
+      check Alcotest.bool (key ^ ": no-lock subset of rules") true
+        (nr <= rr && nw <= rw))
+    (Dataset.type_keys c.Context.dataset)
+
+let test_fig7_monotone_all_types () =
+  let c = Lazy.force ctx in
+  List.iter
+    (fun key ->
+      List.iter
+        (fun kind ->
+          let series =
+            List.filter_map
+              (fun tac -> Fig7.nolock_fraction c key kind tac)
+              Fig7.thresholds
+          in
+          let rec monotone = function
+            | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+            | _ -> true
+          in
+          check Alcotest.bool (key ^ " monotone") true (monotone series))
+        [ Rule.R; Rule.W ])
+    Fig7.types
+
+let test_fig1_rows_match_versions () =
+  let rows = Figure1.rows () in
+  check Alcotest.int "one row per release" 9 (List.length rows);
+  check Alcotest.string "first release" "v3.0" (List.hd rows).Figure1.version;
+  check Alcotest.string "last release" "v4.18"
+    (List.nth rows 8).Figure1.version
+
+let test_registry_lazy () =
+  (* Context-free experiments must not force the expensive context. *)
+  let forced = ref false in
+  let fake =
+    lazy
+      (forced := true;
+       Lazy.force ctx)
+  in
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e when not e.Registry.needs_context ->
+          ignore (e.Registry.render fake)
+      | Some _ | None -> ())
+    [ "fig1"; "tab1"; "tab2" ];
+  check Alcotest.bool "context untouched" false !forced
+
+(* {2 lockdep baseline} *)
+
+let test_lockdep_finds_inversion () =
+  let c = Lazy.force ctx in
+  let report = Lockdep.analyse (Dataset.store c.Context.dataset) in
+  check Alcotest.bool "classes found" true (List.length report.Lockdep.classes > 10);
+  (* The simulator contains a genuine i_lock <-> inode_lru_lock inversion
+     (iput takes i_lock then the LRU lock; the pruner claims victims the
+     other way round). *)
+  let is_inversion cycle =
+    List.exists
+      (fun cls -> Lockdep.class_to_string cls = "inode.i_lock")
+      cycle
+    && List.exists
+         (fun cls -> Lockdep.class_to_string cls = "inode_lru_lock")
+         cycle
+  in
+  check Alcotest.bool "i_lock/lru inversion detected" true
+    (List.exists is_inversion report.Lockdep.cycles);
+  (* d_instantiate and d_move nest d_lock within d_lock. *)
+  check Alcotest.bool "d_lock self nesting" true
+    (List.exists
+       (fun e -> Lockdep.class_to_string e.Lockdep.e_from = "dentry.d_lock")
+       report.Lockdep.self_nesting);
+  let rendered = Lockdep.render report in
+  check Alcotest.bool "render mentions the cycle" true
+    (contains rendered "inode_lru_lock")
+
+let test_lockdep_clean_trace () =
+  (* The clock example acquires in one consistent order: no cycles. *)
+  let trace = Lockdoc_ksim.Clock_example.run () in
+  let store, _ = Import.run trace in
+  let report = Lockdep.analyse store in
+  check Alcotest.int "no cycles" 0 (List.length report.Lockdep.cycles);
+  check Alcotest.bool "sec->min edge exists" true
+    (List.exists
+       (fun e ->
+         Lockdep.class_to_string e.Lockdep.e_from = "sec_lock"
+         && Lockdep.class_to_string e.Lockdep.e_to = "min_lock")
+       report.Lockdep.edges);
+  check Alcotest.bool "min->sec edge absent" true
+    (not
+       (List.exists
+          (fun e ->
+            Lockdep.class_to_string e.Lockdep.e_from = "min_lock"
+            && Lockdep.class_to_string e.Lockdep.e_to = "sec_lock")
+          report.Lockdep.edges))
+
+(* {2 Side sensitivity} *)
+
+let test_side_sensitive_descriptors () =
+  let c = Lazy.force ctx in
+  let store = Dataset.store c.Context.dataset in
+  let sided = Dataset.of_store ~side_sensitive:true store in
+  (* wait_commit reads journal state under the reader side of
+     j_state_lock: the side-aware winner must carry the [r] marker. *)
+  let mined =
+    Derivator.derive_member sided "journal_t" ~member:"j_transaction_sequence"
+      ~kind:Rule.R
+  in
+  check Alcotest.bool "reader-side rule mined" true
+    (contains (Rule.to_string mined.Derivator.m_winner) "[r]")
+
+let test_side_blind_default () =
+  let c = Lazy.force ctx in
+  List.iter
+    (fun (m : Derivator.mined) ->
+      check Alcotest.bool "no side markers by default" false
+        (contains (Rule.to_string m.Derivator.m_winner) "[r]"))
+    c.Context.mined
+
+(* {2 Lockmeter baseline} *)
+
+let test_lockmeter_stats () =
+  let c = Lazy.force ctx in
+  let stats = Lockdoc_core.Lockmeter.analyse c.Context.trace c.Context.store in
+  check Alcotest.bool "classes profiled" true (List.length stats > 10);
+  let find name =
+    List.find_opt
+      (fun s ->
+        Lockdoc_core.Lockdep.class_to_string s.Lockdoc_core.Lockmeter.s_class
+        = name)
+      stats
+  in
+  (match find "inode.i_lock" with
+  | Some s ->
+      check Alcotest.bool "many i_lock instances" true
+        (s.Lockdoc_core.Lockmeter.s_instances > 10);
+      check Alcotest.bool "exclusive only" true
+        (s.Lockdoc_core.Lockmeter.s_reader_acquisitions = 0);
+      check Alcotest.bool "positive hold time" true
+        (Lockdoc_core.Lockmeter.mean_hold s > 0.)
+  | None -> Alcotest.fail "i_lock class missing");
+  (match find "inode_hash_lock" with
+  | Some s ->
+      check Alcotest.int "a global lock has one instance" 1
+        s.Lockdoc_core.Lockmeter.s_instances
+  | None -> Alcotest.fail "inode_hash_lock class missing");
+  (match find "rcu" with
+  | Some s ->
+      check Alcotest.bool "rcu acquisitions are reader-side" true
+        (s.Lockdoc_core.Lockmeter.s_reader_acquisitions
+        = s.Lockdoc_core.Lockmeter.s_acquisitions)
+  | None -> Alcotest.fail "rcu class missing");
+  (* Sorted by acquisitions. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Lockdoc_core.Lockmeter.s_acquisitions
+        >= b.Lockdoc_core.Lockmeter.s_acquisitions
+        && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "descending order" true (sorted stats);
+  check Alcotest.bool "render works" true
+    (String.length (Lockdoc_core.Lockmeter.render stats) > 100)
+
+(* {2 Object interrelations (future-work extension)} *)
+
+let test_relations_graph () =
+  let c = Lazy.force ctx in
+  let relations = Lockdoc_core.Relations.analyse c.Context.mined in
+  let find protected owner lock =
+    List.find_opt
+      (fun r ->
+        r.Lockdoc_core.Relations.r_protected_type = protected
+        && r.Lockdoc_core.Relations.r_lock_owner = owner
+        && r.Lockdoc_core.Relations.r_lock_member = lock)
+      relations
+  in
+  (* journal_head fields are protected by the owning buffer_head's state
+     lock — the "lock in the container" pattern of the paper's Sec. 8. *)
+  (match find "journal_head" "buffer_head" "b_state_lock" with
+  | Some r ->
+      check Alcotest.bool "b_transaction among protected members" true
+        (List.mem_assoc "b_transaction" r.Lockdoc_core.Relations.r_members)
+  | None -> Alcotest.fail "journal_head<-buffer_head relation missing");
+  check Alcotest.bool "inode<-bdi writeback relation" true
+    (find "inode" "backing_dev_info" "wb.list_lock" <> None);
+  check Alcotest.bool "dentry child linkage via parent d_lock" true
+    (find "dentry" "dentry" "d_lock" <> None);
+  let rendered = Lockdoc_core.Relations.render relations in
+  check Alcotest.bool "render mentions wb.list_lock" true
+    (contains rendered "wb.list_lock")
+
+(* {2 Ablation renderers} *)
+
+let test_ablations_render () =
+  let c = Lazy.force ctx in
+  List.iter
+    (fun (name, render) ->
+      let out = render c in
+      check Alcotest.bool (name ^ " non-empty") true (String.length out > 40))
+    [
+      ("irq", Ablation.render_irq);
+      ("wor", Ablation.render_wor);
+      ("selection", Ablation.render_selection);
+      ("subclass", Ablation.render_subclass);
+      ("sides", Ablation.render_sides);
+      ("lockdep", Ablation.render_lockdep);
+    ]
+
+(* {2 Context determinism} *)
+
+let test_context_deterministic () =
+  let a = Context.create ~scale:1 ~seed:9 () in
+  let b = Context.create ~scale:1 ~seed:9 () in
+  check Alcotest.int "same trace size"
+    (Array.length a.Context.trace.Lockdoc_trace.Trace.events)
+    (Array.length b.Context.trace.Lockdoc_trace.Trace.events);
+  check Alcotest.int "same mined rule count"
+    (List.length a.Context.mined)
+    (List.length b.Context.mined)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "tab4 sums" `Quick test_tab4_percentages_sum;
+          Alcotest.test_case "tab6 bounds" `Quick test_tab6_bounds;
+          Alcotest.test_case "fig7 monotone" `Quick test_fig7_monotone_all_types;
+          Alcotest.test_case "fig1 rows" `Quick test_fig1_rows_match_versions;
+          Alcotest.test_case "registry laziness" `Quick test_registry_lazy;
+        ] );
+      ( "lockdep baseline",
+        [
+          Alcotest.test_case "finds the LRU inversion" `Quick
+            test_lockdep_finds_inversion;
+          Alcotest.test_case "clean ordering stays clean" `Quick
+            test_lockdep_clean_trace;
+        ] );
+      ( "side sensitivity",
+        [
+          Alcotest.test_case "reader-side rules" `Quick
+            test_side_sensitive_descriptors;
+          Alcotest.test_case "blind by default" `Quick test_side_blind_default;
+        ] );
+      ( "lockmeter",
+        [ Alcotest.test_case "usage statistics" `Quick test_lockmeter_stats ] );
+      ( "relations",
+        [ Alcotest.test_case "protection graph" `Quick test_relations_graph ] );
+      ( "ablations", [ Alcotest.test_case "render" `Quick test_ablations_render ] );
+      ( "context",
+        [ Alcotest.test_case "deterministic" `Quick test_context_deterministic ] );
+    ]

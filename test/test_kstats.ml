@@ -1,0 +1,140 @@
+(* Tests for the kernel-source statistics substrate behind Fig. 1: growth
+   model anchors, the lexical scanner, and generator/scanner agreement. *)
+
+module Model = Lockdoc_kstats.Model
+module Gen = Lockdoc_kstats.Gen
+module Scan = Lockdoc_kstats.Scan
+module Figure1 = Lockdoc_kstats.Figure1
+
+let check = Alcotest.check
+
+(* {2 Model} *)
+
+let test_model_growth_anchors () =
+  let g = Figure1.growth (Figure1.rows ()) in
+  (* The paper quotes mutex +81 %, spinlock +45 % (dip at the end),
+     LoC +73 % over the window. *)
+  check Alcotest.bool "mutex ~ +81%" true
+    (g.Figure1.mutex_pct > 75. && g.Figure1.mutex_pct < 87.);
+  check Alcotest.bool "spinlock ~ +45%" true
+    (g.Figure1.spinlock_pct > 39. && g.Figure1.spinlock_pct < 52.);
+  check Alcotest.bool "LoC ~ +73%" true
+    (g.Figure1.loc_pct > 67. && g.Figure1.loc_pct < 80.)
+
+let test_model_monotone_mutex () =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun ((a : Model.point), (b : Model.point)) ->
+      check Alcotest.bool "mutex monotone" true
+        (b.Model.mutex_inits >= a.Model.mutex_inits);
+      check Alcotest.bool "loc monotone" true (b.Model.loc >= a.Model.loc))
+    (pairs Model.series)
+
+let test_model_spinlock_dip () =
+  (* Spinlock usage dips slightly in the last releases (paper Fig. 1). *)
+  let series = Model.series in
+  let last = List.nth series (List.length series - 1) in
+  let prev = List.nth series (List.length series - 2) in
+  check Alcotest.bool "dip after v4.15" true
+    (last.Model.spinlock_inits < prev.Model.spinlock_inits)
+
+(* {2 Scanner} *)
+
+let test_scan_patterns () =
+  let src =
+    "static DEFINE_SPINLOCK(a_lock);\n\
+     int f(void)\n\
+     {\n\
+     \tspin_lock_init(&x->lock);\n\
+     \tmutex_init(&x->m);\n\
+     \trcu_read_lock();\n\
+     \tcall_rcu(&x->rcu, cb);\n\
+     \treturn 0;\n\
+     }\n"
+  in
+  let c = Scan.scan_string src in
+  check Alcotest.int "spinlocks" 2 c.Scan.spinlock_inits;
+  check Alcotest.int "mutexes" 1 c.Scan.mutex_inits;
+  check Alcotest.int "rcu" 2 c.Scan.rcu_usages;
+  check Alcotest.int "code lines" 9 c.Scan.code_lines
+
+let test_scan_skips_comments () =
+  let src = "/* spin_lock_init(&x); */\n// mutex_init(&y);\n * call_rcu(x);\n" in
+  let c = Scan.scan_string src in
+  check Alcotest.int "no patterns in comments" 0
+    (c.Scan.spinlock_inits + c.Scan.mutex_inits + c.Scan.rcu_usages);
+  check Alcotest.int "no code lines" 0 c.Scan.code_lines
+
+let test_scan_raw_variant () =
+  let c = Scan.scan_string "\traw_spin_lock_init(&rq->queue_lock);\n" in
+  check Alcotest.int "raw variant counts once" 1 c.Scan.spinlock_inits
+
+let test_scan_add () =
+  let a = Scan.scan_string "\tmutex_init(&m);\n" in
+  let b = Scan.scan_string "\tspin_lock_init(&s);\n" in
+  let s = Scan.add a b in
+  check Alcotest.int "sum mutex" 1 s.Scan.mutex_inits;
+  check Alcotest.int "sum spin" 1 s.Scan.spinlock_inits;
+  check Alcotest.int "sum lines" 2 s.Scan.code_lines
+
+(* {2 Generator/scanner agreement} *)
+
+let test_gen_scan_agreement () =
+  List.iter
+    (fun (point : Model.point) ->
+      let counts = Scan.scan_files (Gen.generate point) in
+      check Alcotest.int
+        (Model.version_to_string point.Model.version ^ " spinlocks")
+        point.Model.spinlock_inits counts.Scan.spinlock_inits;
+      check Alcotest.int "mutexes" point.Model.mutex_inits counts.Scan.mutex_inits;
+      check Alcotest.int "rcu" point.Model.rcu_usages counts.Scan.rcu_usages;
+      (* Line counts land within 2 % of the model target. *)
+      let err =
+        abs (counts.Scan.code_lines - point.Model.loc) * 100 / point.Model.loc
+      in
+      check Alcotest.bool "LoC within 2%" true (err <= 2))
+    [ Model.point { Model.major = 3; minor = 0 };
+      Model.point { Model.major = 4; minor = 10 } ]
+
+let test_gen_deterministic () =
+  let p = Model.point { Model.major = 4; minor = 0 } in
+  let a = Gen.generate p and b = Gen.generate p in
+  check Alcotest.int "same file count" (List.length a) (List.length b);
+  List.iter2
+    (fun (fa : Gen.file) (fb : Gen.file) ->
+      check Alcotest.string "same path" fa.Gen.path fb.Gen.path;
+      check Alcotest.bool "same content" true (fa.Gen.content = fb.Gen.content))
+    a b
+
+let test_gen_spreads_files () =
+  let p = Model.point { Model.major = 4; minor = 18 } in
+  let files = Gen.generate p in
+  check Alcotest.bool "a realistic number of files" true
+    (List.length files > 10)
+
+let () =
+  Alcotest.run "kstats"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "growth anchors" `Quick test_model_growth_anchors;
+          Alcotest.test_case "monotone series" `Quick test_model_monotone_mutex;
+          Alcotest.test_case "spinlock dip" `Quick test_model_spinlock_dip;
+        ] );
+      ( "scanner",
+        [
+          Alcotest.test_case "patterns" `Quick test_scan_patterns;
+          Alcotest.test_case "comments skipped" `Quick test_scan_skips_comments;
+          Alcotest.test_case "raw variant" `Quick test_scan_raw_variant;
+          Alcotest.test_case "add" `Quick test_scan_add;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "agreement with model" `Quick test_gen_scan_agreement;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "file spread" `Quick test_gen_spreads_files;
+        ] );
+    ]

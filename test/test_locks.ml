@@ -1,0 +1,270 @@
+(* Exhaustive tests of the lock layer: every primitive family, the trace
+   events they emit, IRQ/BH masking variants, scoped helpers, and the
+   semantics checks that guard against simulator misuse. *)
+
+module Event = Lockdoc_trace.Event
+module Trace = Lockdoc_trace.Trace
+module Kernel = Lockdoc_ksim.Kernel
+module Lock = Lockdoc_ksim.Lock
+module Memory = Lockdoc_ksim.Memory
+
+let check = Alcotest.check
+
+let tiny =
+  Lockdoc_trace.Layout.make ~name:"tiny"
+    [ ("t_a", 8, Lockdoc_trace.Layout.Data);
+      ("t_lock", 4, Lockdoc_trace.Layout.Lock) ]
+
+let quiet = { Kernel.default_config with Kernel.hardirq_rate = 0.; softirq_rate = 0. }
+
+(* Run one task and return its trace. *)
+let in_kernel body =
+  let trace, _ =
+    Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+        Kernel.spawn "t" body)
+  in
+  trace
+
+let count_acquires trace ptr =
+  Trace.count trace (function
+    | Event.Lock_acquire { lock_ptr; _ } -> lock_ptr = ptr
+    | _ -> false)
+
+let count_releases trace ptr =
+  Trace.count trace (function
+    | Event.Lock_release { lock_ptr; _ } -> lock_ptr = ptr
+    | _ -> false)
+
+let shared_acquires trace ptr =
+  Trace.count trace (function
+    | Event.Lock_acquire { lock_ptr; side = Event.Shared; _ } -> lock_ptr = ptr
+    | _ -> false)
+
+(* {2 Events emitted per primitive} *)
+
+let test_spinlock_events () =
+  let l = Lock.static ~kind:Event.Spinlock "ev_spin" in
+  let trace =
+    in_kernel (fun () ->
+        Lock.spin_lock l;
+        Lock.spin_unlock l;
+        Lock.spin_lock_irq l;
+        Lock.spin_unlock_irq l;
+        Lock.spin_lock_bh l;
+        Lock.spin_unlock_bh l)
+  in
+  check Alcotest.int "three acquires" 3 (count_acquires trace (Lock.ptr l));
+  check Alcotest.int "three releases" 3 (count_releases trace (Lock.ptr l))
+
+let test_trylock () =
+  let l = Lock.static ~kind:Event.Spinlock "ev_try" in
+  let trace =
+    in_kernel (fun () ->
+        check Alcotest.bool "free trylock succeeds" true (Lock.spin_trylock l);
+        (* held by self: trylock must fail without emitting an acquire *)
+        check Alcotest.bool "held trylock fails" false (Lock.spin_trylock l);
+        Lock.spin_unlock l)
+  in
+  check Alcotest.int "one acquire only" 1 (count_acquires trace (Lock.ptr l))
+
+let test_rwlock_sides () =
+  let l = Lock.static ~kind:Event.Rwlock "ev_rw" in
+  let trace =
+    in_kernel (fun () ->
+        Lock.read_lock l;
+        Lock.read_unlock l;
+        Lock.write_lock l;
+        Lock.write_unlock l)
+  in
+  check Alcotest.int "total acquires" 2 (count_acquires trace (Lock.ptr l));
+  check Alcotest.int "one shared acquire" 1 (shared_acquires trace (Lock.ptr l))
+
+let test_semaphore_counting () =
+  let l = Lock.static ~kind:Event.Semaphore "ev_sem" in
+  let trace =
+    in_kernel (fun () ->
+        Lock.down l;
+        Lock.up l;
+        Lock.down l;
+        Lock.up l)
+  in
+  check Alcotest.int "two downs" 2 (count_acquires trace (Lock.ptr l))
+
+let test_rwsem_downgrade_events () =
+  let l = Lock.static ~kind:Event.Rwsem "ev_rwsem" in
+  let trace =
+    in_kernel (fun () ->
+        Lock.down_write l;
+        Lock.downgrade_write l;
+        Lock.up_read l)
+  in
+  (* down_write + the shared re-acquire of the downgrade *)
+  check Alcotest.int "acquires" 2 (count_acquires trace (Lock.ptr l));
+  check Alcotest.int "shared acquires" 1 (shared_acquires trace (Lock.ptr l));
+  check Alcotest.int "releases" 2 (count_releases trace (Lock.ptr l))
+
+let test_rcu_reentrant () =
+  let trace =
+    in_kernel (fun () ->
+        Lock.rcu_read_lock ();
+        Lock.rcu_read_lock ();
+        Lock.rcu_read_unlock ();
+        Lock.rcu_read_unlock ())
+  in
+  check Alcotest.int "nested rcu sections" 2
+    (count_acquires trace (Lock.ptr Lock.rcu))
+
+let test_seqlock_read_emits_shared () =
+  let l = Lock.static ~kind:Event.Seqlock "ev_seq" in
+  let trace =
+    in_kernel (fun () ->
+        let v = Lock.read_seq_section l (fun () -> 5) in
+        check Alcotest.int "value" 5 v)
+  in
+  check Alcotest.int "one shared section" 1 (shared_acquires trace (Lock.ptr l))
+
+(* {2 Scoped helpers and exception safety} *)
+
+exception Boom
+
+let test_with_spin_exception_safe () =
+  let l = Lock.static ~kind:Event.Spinlock "ev_scoped" in
+  let trace =
+    in_kernel (fun () ->
+        (try Lock.with_spin l (fun () -> raise Boom) with Boom -> ());
+        (* The lock must have been released: reacquiring succeeds. *)
+        Lock.with_spin l (fun () -> ()))
+  in
+  check Alcotest.int "balanced releases" 2 (count_releases trace (Lock.ptr l))
+
+let test_with_helpers () =
+  let m = Lock.static ~kind:Event.Mutex "ev_wm" in
+  let rw = Lock.static ~kind:Event.Rwsem "ev_wrw" in
+  let trace =
+    in_kernel (fun () ->
+        check Alcotest.int "with_mutex result" 3 (Lock.with_mutex m (fun () -> 3));
+        check Alcotest.int "with_read result" 4 (Lock.with_read rw (fun () -> 4));
+        check Alcotest.int "with_write result" 5 (Lock.with_write rw (fun () -> 5));
+        check Alcotest.int "with_rcu result" 6 (Lock.with_rcu (fun () -> 6)))
+  in
+  check Alcotest.int "mutex balanced" 1 (count_releases trace (Lock.ptr m));
+  check Alcotest.int "rwsem balanced" 2 (count_releases trace (Lock.ptr rw))
+
+(* {2 Error conditions per family} *)
+
+let expect_lock_error body =
+  ignore
+    (Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+         Kernel.spawn "err" (fun () ->
+             try
+               body ();
+               Alcotest.fail "expected Lock_error"
+             with Lock.Lock_error _ -> ())))
+
+let test_error_conditions () =
+  expect_lock_error (fun () ->
+      let l = Lock.static ~kind:Event.Rwlock "err_rw" in
+      Lock.read_unlock l);
+  expect_lock_error (fun () ->
+      let l = Lock.static ~kind:Event.Rwsem "err_rwsem" in
+      Lock.up_read l);
+  expect_lock_error (fun () ->
+      let l = Lock.static ~kind:Event.Rwsem "err_rwsem2" in
+      Lock.up_write l);
+  expect_lock_error (fun () ->
+      let l = Lock.static ~kind:Event.Mutex "err_m" in
+      Lock.mutex_unlock l);
+  expect_lock_error (fun () ->
+      let l = Lock.static ~kind:Event.Mutex "err_m2" in
+      Lock.mutex_lock l;
+      Lock.mutex_lock l);
+  expect_lock_error (fun () -> Lock.rcu_read_unlock ())
+
+(* {2 State reset across runs} *)
+
+let test_static_state_reset () =
+  let l = Lock.static ~kind:Event.Mutex "reset_m" in
+  (* First run leaves the lock held (a task dies with it). *)
+  ignore
+    (Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+         Kernel.spawn "leaker" (fun () -> Lock.mutex_lock l)));
+  (* Second run must see it free again after the boot hook reset. *)
+  ignore
+    (Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+         Kernel.spawn "checker" (fun () ->
+             Lock.mutex_lock l;
+             Lock.mutex_unlock l)))
+
+(* {2 Embedded lock addresses} *)
+
+let test_embedded_lock_address () =
+  ignore
+    (Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+         Kernel.spawn "embed" (fun () ->
+             let inst = Memory.alloc tiny in
+             let l = Lock.embedded ~kind:Event.Spinlock inst "t_lock" in
+             check Alcotest.int "address = member address"
+               (Memory.member_ptr inst "t_lock")
+               (Lock.ptr l);
+             check Alcotest.string "named after the member" "t_lock" (Lock.name l);
+             Memory.free inst)))
+
+(* {2 call_rcu ordering} *)
+
+let test_call_rcu_fifo () =
+  ignore
+    (Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+         Kernel.spawn "rcu-fifo" (fun () ->
+             let order = ref [] in
+             Lock.rcu_read_lock ();
+             Lock.call_rcu (fun () -> order := 1 :: !order);
+             Lock.call_rcu (fun () -> order := 2 :: !order);
+             Lock.rcu_read_unlock ();
+             check (Alcotest.list Alcotest.int) "FIFO callback order" [ 2; 1 ]
+               !order)))
+
+let test_call_rcu_nested_readers () =
+  ignore
+    (Kernel.run ~config:quiet ~layouts:[ tiny ] (fun () ->
+         Kernel.spawn "rcu-nest" (fun () ->
+             let freed = ref false in
+             Lock.rcu_read_lock ();
+             Lock.rcu_read_lock ();
+             Lock.call_rcu (fun () -> freed := true);
+             Lock.rcu_read_unlock ();
+             check Alcotest.bool "still deferred under the outer section"
+               false !freed;
+             Lock.rcu_read_unlock ();
+             check Alcotest.bool "freed after the last reader" true !freed)))
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "spinlock variants" `Quick test_spinlock_events;
+          Alcotest.test_case "trylock" `Quick test_trylock;
+          Alcotest.test_case "rwlock sides" `Quick test_rwlock_sides;
+          Alcotest.test_case "semaphore" `Quick test_semaphore_counting;
+          Alcotest.test_case "rwsem downgrade" `Quick test_rwsem_downgrade_events;
+          Alcotest.test_case "rcu reentrant" `Quick test_rcu_reentrant;
+          Alcotest.test_case "seqlock shared section" `Quick
+            test_seqlock_read_emits_shared;
+        ] );
+      ( "scoped",
+        [
+          Alcotest.test_case "exception safety" `Quick test_with_spin_exception_safe;
+          Alcotest.test_case "with_* helpers" `Quick test_with_helpers;
+        ] );
+      ( "errors", [ Alcotest.test_case "per family" `Quick test_error_conditions ] );
+      ( "state",
+        [
+          Alcotest.test_case "reset across runs" `Quick test_static_state_reset;
+          Alcotest.test_case "embedded address" `Quick test_embedded_lock_address;
+        ] );
+      ( "rcu",
+        [
+          Alcotest.test_case "callback order" `Quick test_call_rcu_fifo;
+          Alcotest.test_case "nested readers" `Quick test_call_rcu_nested_readers;
+        ] );
+    ]

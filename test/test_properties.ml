@@ -1,0 +1,285 @@
+(* Property-based tests over randomly generated (well-formed) traces:
+   import invariants, observation folding, hypothesis enumeration, and
+   the JSON report encoder. The generator builds properly nested lock
+   scopes across several interleaved tasks, so every property failure
+   points at real pipeline logic, not at malformed input. *)
+
+module Srcloc = Lockdoc_trace.Srcloc
+module Layout = Lockdoc_trace.Layout
+module Event = Lockdoc_trace.Event
+module Trace = Lockdoc_trace.Trace
+module Schema = Lockdoc_db.Schema
+module Store = Lockdoc_db.Store
+module Filter = Lockdoc_db.Filter
+module Import = Lockdoc_db.Import
+module Dataset = Lockdoc_core.Dataset
+module Rule = Lockdoc_core.Rule
+module Hypothesis = Lockdoc_core.Hypothesis
+module Prng = Lockdoc_util.Prng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let widget =
+  Layout.make ~name:"widget"
+    [ ("w_a", 8, Layout.Data); ("w_b", 8, Layout.Data); ("w_c", 8, Layout.Data) ]
+
+let base = 0x100000
+let loc = Srcloc.make "gen.c" 1
+
+(* A random structured program per task: nested lock scopes with accesses
+   sprinkled in, flattened to events. Scopes close in LIFO order, so lock
+   traffic is balanced and properly nested. *)
+let gen_program seed =
+  let rng = Prng.of_int seed in
+  let n_tasks = 1 + Prng.int rng 3 in
+  let n_allocs = 1 + Prng.int rng 3 in
+  let lock_ptrs = [| 0x10; 0x20; 0x30; 0x40 |] in
+  let alloc_events =
+    List.init n_allocs (fun i ->
+        Event.Alloc
+          {
+            ptr = base + (i * 0x100);
+            size = widget.Layout.ty_size;
+            data_type = "widget";
+            subclass = None;
+          })
+  in
+  (* Each task produces a list of event blocks; blocks from different
+     tasks are interleaved with Ctx_switch separators. *)
+  let task_blocks pid =
+    (* [depth] bounds nesting of any kind, so the recursion is a strictly
+       subcritical branching process (no runaway programs). *)
+    let rec scope depth =
+      if depth > 4 then []
+      else
+        let stmts = 1 + Prng.int rng 3 in
+        List.concat
+          (List.init stmts (fun _ ->
+               match Prng.int rng 4 with
+               | 0 | 1 ->
+                   (* access a random member of a random allocation *)
+                   let a = Prng.int rng n_allocs and m = Prng.int rng 3 in
+                   [
+                     Event.Mem_access
+                       {
+                         ptr = base + (a * 0x100) + (m * 8);
+                         size = 8;
+                         kind = (if Prng.bool rng then Event.Read else Event.Write);
+                         loc;
+                       };
+                   ]
+               | 2 ->
+                   (* function frame *)
+                   let fn = Printf.sprintf "fn_%d" (Prng.int rng 5) in
+                   (Event.Fun_enter { fn; loc } :: scope (depth + 1))
+                   @ [ Event.Fun_exit { fn } ]
+               | _ ->
+                   (* nested lock scope *)
+                   let lp = Prng.pick rng lock_ptrs in
+                   (Event.Lock_acquire
+                      {
+                        lock_ptr = lp;
+                        kind = Event.Spinlock;
+                        side = Event.Exclusive;
+                        name = Printf.sprintf "L%x" lp;
+                        loc;
+                      }
+                   :: scope (depth + 1))
+                   @ [ Event.Lock_release { lock_ptr = lp; loc } ]))
+    in
+    let n_blocks = 1 + Prng.int rng 4 in
+    List.init n_blocks (fun _ ->
+        Event.Ctx_switch { pid; kind = Event.Task } :: scope 0)
+  in
+  let all_blocks = List.concat_map (fun pid -> task_blocks (pid + 1)) (List.init n_tasks Fun.id) in
+  let arr = Array.of_list all_blocks in
+  Prng.shuffle rng arr;
+  alloc_events @ List.concat (Array.to_list arr)
+
+(* Interleaving blocks of different tasks can release a lock in a block
+   that runs after another task's block — but each task's own event order
+   is preserved, and lock state is per task, so balance still holds. *)
+
+let mk_trace events =
+  let sink = Trace.sink () in
+  List.iter (Trace.emit sink) events;
+  Trace.finish ~layouts:[ widget ] sink
+
+let import_of seed =
+  let events = gen_program seed in
+  let trace = mk_trace events in
+  let store, stats = Import.run ~filter:Filter.empty trace in
+  (events, store, stats)
+
+let seed_arb = QCheck.int_range 0 100_000
+
+let prop_no_unbalanced =
+  QCheck.Test.make ~name:"nested scopes never unbalance" ~count:150 seed_arb
+    (fun seed ->
+      let _, _, stats = import_of seed in
+      stats.Import.unbalanced_releases = 0)
+
+let prop_txn_per_acquire =
+  QCheck.Test.make ~name:"one transaction per acquisition" ~count:150 seed_arb
+    (fun seed ->
+      let events, store, _ = import_of seed in
+      let acquires =
+        List.length
+          (List.filter (function Event.Lock_acquire _ -> true | _ -> false) events)
+      in
+      Store.n_txns store = acquires)
+
+let prop_access_accounting =
+  QCheck.Test.make ~name:"kept + filtered + unresolved = total" ~count:150
+    seed_arb (fun seed ->
+      let _, _, s = import_of seed in
+      s.Import.accesses_kept + s.Import.filtered_fn + s.Import.filtered_member
+      + s.Import.filtered_kind + s.Import.unresolved
+      = s.Import.mem_accesses)
+
+let prop_txn_locks_nonempty =
+  QCheck.Test.make ~name:"every access txn holds >= 1 lock" ~count:150 seed_arb
+    (fun seed ->
+      let _, store, _ = import_of seed in
+      let ok = ref true in
+      Store.iter_accesses store (fun a ->
+          match a.Schema.ac_txn with
+          | None -> ()
+          | Some t ->
+              if (Store.txn store t).Schema.tx_locks = [] then ok := false);
+      !ok)
+
+let prop_fold_bound =
+  QCheck.Test.make ~name:"observations never exceed accesses" ~count:150
+    seed_arb (fun seed ->
+      let _, store, stats = import_of seed in
+      let dataset = Dataset.of_store store in
+      let obs = Dataset.observations dataset "widget" in
+      List.length obs <= stats.Import.accesses_kept)
+
+let prop_wor_exclusive =
+  QCheck.Test.make ~name:"WoR: no duplicate (member, txn) observation pairs"
+    ~count:150 seed_arb (fun seed ->
+      let _, store, _ = import_of seed in
+      let dataset = Dataset.of_store store in
+      let obs = Dataset.observations dataset "widget" in
+      (* After folding, the underlying access sets of distinct
+         observations are disjoint. *)
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun (o : Dataset.obs) ->
+          List.for_all
+            (fun id ->
+              if Hashtbl.mem seen id then false
+              else begin
+                Hashtbl.replace seen id ();
+                true
+              end)
+            o.Dataset.o_accesses)
+        obs)
+
+let prop_enumerate_supported =
+  QCheck.Test.make ~name:"enumerated hypotheses have sa >= 1" ~count:100
+    seed_arb (fun seed ->
+      let _, store, _ = import_of seed in
+      let dataset = Dataset.of_store store in
+      List.for_all
+        (fun member ->
+          let obs = Dataset.by_member dataset "widget" ~member ~kind:Rule.W in
+          obs = []
+          || List.for_all
+               (fun (s : Hypothesis.scored) -> s.Hypothesis.support.Hypothesis.sa >= 1)
+               (Hypothesis.enumerate obs))
+        [ "w_a"; "w_b"; "w_c" ])
+
+let prop_winner_complies_with_majority =
+  QCheck.Test.make ~name:"winner satisfies >= tac of observations" ~count:100
+    seed_arb (fun seed ->
+      let _, store, _ = import_of seed in
+      let dataset = Dataset.of_store store in
+      List.for_all
+        (fun member ->
+          List.for_all
+            (fun kind ->
+              let obs = Dataset.by_member dataset "widget" ~member ~kind in
+              obs = []
+              ||
+              let mined =
+                Lockdoc_core.Derivator.derive_observations ~ty:"widget" ~member
+                  ~kind obs
+              in
+              mined.Lockdoc_core.Derivator.m_support.Hypothesis.sr >= 0.9)
+            [ Rule.R; Rule.W ])
+        [ "w_a"; "w_b"; "w_c" ])
+
+(* {2 JSON encoder} *)
+
+let balanced s =
+  let depth = ref 0 and ok = ref true and in_string = ref false in
+  let escaped = ref false in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_string := false
+      end
+      else
+        match c with
+        | '"' -> in_string := true
+        | '[' | '{' -> incr depth
+        | ']' | '}' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_string
+
+let prop_json_balanced =
+  QCheck.Test.make ~name:"mined JSON is structurally balanced" ~count:50
+    seed_arb (fun seed ->
+      let _, store, _ = import_of seed in
+      let dataset = Dataset.of_store store in
+      let mined = Lockdoc_core.Derivator.derive_all dataset in
+      balanced (Lockdoc_core.Report.mined_to_json mined))
+
+let test_json_escaping () =
+  let mined =
+    [
+      Lockdoc_core.Derivator.
+        {
+          m_type = "weird\"type\\with\nescapes";
+          m_member = "m\t1";
+          m_kind = Rule.W;
+          m_total = 1;
+          m_winner = [];
+          m_support = { Hypothesis.sa = 1; sr = 1. };
+          m_hypotheses = [];
+        };
+    ]
+  in
+  let json = Lockdoc_core.Report.mined_to_json mined in
+  Alcotest.(check bool) "balanced with escapes" true (balanced json);
+  Alcotest.(check bool) "no raw newline" true
+    (not (String.contains json '\n'))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "import",
+        [
+          qtest prop_no_unbalanced;
+          qtest prop_txn_per_acquire;
+          qtest prop_access_accounting;
+          qtest prop_txn_locks_nonempty;
+        ] );
+      ( "observations",
+        [ qtest prop_fold_bound; qtest prop_wor_exclusive ] );
+      ( "hypotheses",
+        [ qtest prop_enumerate_supported; qtest prop_winner_complies_with_majority ] );
+      ( "report",
+        [
+          qtest prop_json_balanced;
+          Alcotest.test_case "string escaping" `Quick test_json_escaping;
+        ] );
+    ]

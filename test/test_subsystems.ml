@@ -1,0 +1,402 @@
+(* Behavioural tests of the simulated kernel subsystems: inode hash/LRU
+   lifecycle, dentry tree operations, JBD2 handle/commit/checkpoint
+   lifecycle, buffer-head reference counting, pipes, devices and
+   writeback — each validated through the traced locking behaviour. *)
+
+module Event = Lockdoc_trace.Event
+module Trace = Lockdoc_trace.Trace
+module Import = Lockdoc_db.Import
+module Kernel = Lockdoc_ksim.Kernel
+module Lock = Lockdoc_ksim.Lock
+module Memory = Lockdoc_ksim.Memory
+module Structs = Lockdoc_ksim.Structs
+module Obj = Lockdoc_ksim.Obj
+module Vfs_inode = Lockdoc_ksim.Vfs_inode
+module Vfs_dentry = Lockdoc_ksim.Vfs_dentry
+module Vfs_super = Lockdoc_ksim.Vfs_super
+module Jbd2 = Lockdoc_ksim.Jbd2
+module Buffer = Lockdoc_ksim.Buffer
+module Pipe = Lockdoc_ksim.Pipe
+module Chardev = Lockdoc_ksim.Chardev
+module Blockdev = Lockdoc_ksim.Blockdev
+module Fs_misc = Lockdoc_ksim.Fs_misc
+module Fs_ext4 = Lockdoc_ksim.Fs_ext4
+module Dataset = Lockdoc_core.Dataset
+module Rule = Lockdoc_core.Rule
+module Derivator = Lockdoc_core.Derivator
+
+let check = Alcotest.check
+
+let quiet = { Kernel.default_config with Kernel.hardirq_rate = 0.; softirq_rate = 0. }
+
+(* Run one task against a mounted rootfs and return the trace. *)
+let with_sb body =
+  Kernel.run ~config:quiet ~layouts:Structs.all (fun () ->
+      Kernel.spawn "t" (fun () ->
+          let sb = Vfs_super.mount Fs_misc.rootfs in
+          body sb;
+          Vfs_super.umount sb))
+  |> fst
+
+let derive trace key member kind =
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+  let mined = Derivator.derive_member dataset key ~member ~kind in
+  (Rule.to_string mined.Derivator.m_winner, mined)
+
+(* {2 Inode lifecycle} *)
+
+let test_iget_caches () =
+  let trace =
+    with_sb (fun sb ->
+        let a = Vfs_inode.iget sb 10 in
+        let b = Vfs_inode.iget sb 10 in
+        check Alcotest.bool "same inode from the hash" true (a == b);
+        let c = Vfs_inode.iget sb 11 in
+        check Alcotest.bool "different ino, different inode" true (a != c);
+        Vfs_inode.iput a;
+        Vfs_inode.iput b;
+        Vfs_inode.iput c)
+  in
+  (* 2 inodes allocated in total (plus none for the duplicate iget). *)
+  check Alcotest.int "two inode allocations" 2
+    (Trace.count trace (function
+      | Event.Alloc { data_type = "inode"; _ } -> true
+      | _ -> false))
+
+let test_unlink_evicts () =
+  let trace =
+    with_sb (fun sb ->
+        let a = Vfs_inode.iget sb 20 in
+        Vfs_inode.drop_nlink a;
+        Vfs_inode.iput a)
+  in
+  (* The inode is freed before umount: at least one inode free event. *)
+  check Alcotest.bool "inode freed" true
+    (Trace.count trace (function Event.Free _ -> true | _ -> false) > 0)
+
+let test_lru_resurrection () =
+  ignore
+    (with_sb (fun sb ->
+         let a = Vfs_inode.iget sb 30 in
+         Vfs_inode.iput a (* nlink=1: parked on the LRU *);
+         let b = Vfs_inode.iget sb 30 in
+         check Alcotest.bool "resurrected from the LRU/hash" true (a == b);
+         Vfs_inode.iput b;
+         Vfs_inode.prune_icache () (* now really evicted *)))
+
+let test_i_state_writes_locked () =
+  let trace =
+    with_sb (fun sb ->
+        for i = 1 to 30 do
+          let a = Vfs_inode.iget sb (40 + (i mod 3)) in
+          Vfs_inode.mark_inode_dirty a;
+          Vfs_inode.clear_inode_dirty a;
+          Vfs_inode.iput a
+        done)
+  in
+  let winner, mined = derive trace "inode:rootfs" "i_state" Rule.W in
+  check Alcotest.string "i_state writes under i_lock" "ES(i_lock)" winner;
+  check (Alcotest.float 1e-9) "with full support" 1.0
+    mined.Derivator.m_support.Lockdoc_core.Hypothesis.sr
+
+let test_size_seqcount () =
+  let trace =
+    with_sb (fun sb ->
+        let a = Vfs_inode.iget sb 50 in
+        for i = 1 to 10 do
+          Lock.down_write a.Obj.i_rwsem;
+          Vfs_inode.i_size_write a (i * 100);
+          Lock.up_write a.Obj.i_rwsem;
+          ignore (Vfs_inode.i_size_read a)
+        done;
+        Vfs_inode.iput a)
+  in
+  let winner_w, _ = derive trace "inode:rootfs" "i_size" Rule.W in
+  check Alcotest.string "writes under rwsem+seqcount"
+    "ES(i_rwsem) -> ES(i_size_seqcount)" winner_w;
+  let winner_r, _ = derive trace "inode:rootfs" "i_size" Rule.R in
+  check Alcotest.string "reads in seq sections" "ES(i_size_seqcount)" winner_r
+
+(* {2 Dentry tree} *)
+
+let test_dentry_tree_ops () =
+  ignore
+    (with_sb (fun sb ->
+         let root = Vfs_dentry.d_alloc_root sb in
+         let d1 = Vfs_dentry.d_alloc root 101 in
+         let d2 = Vfs_dentry.d_alloc root 102 in
+         check Alcotest.int "two children" 2 (List.length root.Obj.d_children);
+         (match Vfs_dentry.d_lookup root 101 with
+         | Some d -> check Alcotest.bool "lookup finds d1" true (d == d1)
+         | None -> Alcotest.fail "d_lookup missed");
+         (match Vfs_dentry.d_lookup_rcu root 102 with
+         | Some d -> check Alcotest.bool "rcu lookup finds d2" true (d == d2)
+         | None -> Alcotest.fail "d_lookup_rcu missed");
+         check Alcotest.bool "missing name" true
+           (Vfs_dentry.d_lookup root 999 = None);
+         let inode = Vfs_inode.iget sb 60 in
+         Vfs_dentry.d_instantiate d1 inode;
+         check Alcotest.bool "instantiated" true
+           (match d1.Obj.d_inode_obj with Some i -> i == inode | None -> false);
+         Vfs_dentry.d_delete d1;
+         check Alcotest.bool "delete detaches the inode" true
+           (d1.Obj.d_inode_obj = None);
+         Vfs_inode.iput inode;
+         Vfs_dentry.remove_child root d1;
+         Lock.call_rcu (fun () -> Obj.free_dentry d1);
+         Vfs_dentry.remove_child root d2;
+         Lock.call_rcu (fun () -> Obj.free_dentry d2);
+         Lock.call_rcu (fun () -> Obj.free_dentry root)))
+
+let test_d_move_reparents () =
+  ignore
+    (with_sb (fun sb ->
+         let a = Vfs_dentry.d_alloc_root sb in
+         let b = Vfs_dentry.d_alloc_root sb in
+         let d = Vfs_dentry.d_alloc a 7 in
+         Vfs_dentry.d_move d b;
+         check Alcotest.bool "reparented" true
+           (match d.Obj.d_parent with Some p -> p == b | None -> false);
+         check Alcotest.int "old parent empty" 0 (List.length a.Obj.d_children);
+         check Alcotest.int "new parent has it" 1 (List.length b.Obj.d_children);
+         Vfs_dentry.remove_child b d;
+         Obj.free_dentry d;
+         Obj.free_dentry a;
+         Obj.free_dentry b))
+
+let test_d_subdirs_rule () =
+  let trace =
+    with_sb (fun sb ->
+        let root = Vfs_dentry.d_alloc_root sb in
+        let children =
+          List.init 12 (fun i -> Vfs_dentry.d_alloc root (200 + i))
+        in
+        List.iter
+          (fun d ->
+            Vfs_dentry.remove_child root d;
+            Obj.free_dentry d)
+          children;
+        Obj.free_dentry root)
+  in
+  let winner, _ = derive trace "dentry" "d_subdirs" Rule.W in
+  check Alcotest.string "own d_lock protects own d_subdirs" "ES(d_lock)" winner;
+  let winner_child, _ = derive trace "dentry" "d_child" Rule.W in
+  check Alcotest.string "parent's d_lock protects the linkage"
+    "EO(d_lock in dentry)" winner_child
+
+(* {2 JBD2 lifecycle} *)
+
+let with_journal body =
+  Kernel.run ~config:quiet ~layouts:Structs.all (fun () ->
+      Kernel.spawn "j" (fun () ->
+          let sb = Vfs_super.mount Fs_ext4.fstype in
+          let journal = Fs_ext4.journal_of sb in
+          body journal;
+          Vfs_super.umount sb))
+  |> fst
+
+let test_jbd2_handle_lifecycle () =
+  ignore
+    (with_journal (fun journal ->
+         let txn = Jbd2.journal_start journal in
+         check Alcotest.bool "transaction running" true
+           (match journal.Obj.j_running with Some t -> t == txn | None -> false);
+         let txn2 = Jbd2.journal_start journal in
+         check Alcotest.bool "handles share the running txn" true (txn == txn2);
+         let bh = Buffer.getblk 5 in
+         let jh = Jbd2.journal_get_write_access txn bh in
+         check Alcotest.bool "jh attached to bh" true
+           (match bh.Obj.bh_jh with Some j -> j == jh | None -> false);
+         Jbd2.journal_dirty_metadata txn jh;
+         Jbd2.journal_stop txn;
+         Jbd2.journal_stop txn2;
+         Jbd2.commit_transaction journal;
+         check Alcotest.bool "no running txn after commit" true
+           (journal.Obj.j_running = None);
+         check Alcotest.int "one txn on the checkpoint list" 1
+           (List.length journal.Obj.j_checkpoint);
+         Jbd2.checkpoint journal;
+         check Alcotest.int "checkpoint drained" 0
+           (List.length journal.Obj.j_checkpoint);
+         Buffer.brelse bh))
+
+let test_jbd2_commit_waits_for_handles () =
+  (* A commit racing an open handle must drain it first; the handle's
+     transaction stays alive until journal_stop. *)
+  ignore
+    (Kernel.run ~config:quiet ~layouts:Structs.all (fun () ->
+         Kernel.spawn "setup" (fun () ->
+             let sb = Vfs_super.mount Fs_ext4.fstype in
+             let journal = Fs_ext4.journal_of sb in
+             let done_handles = ref 0 in
+             Kernel.spawn "writer" (fun () ->
+                 let txn = Jbd2.journal_start journal in
+                 (* Yield a lot while holding the handle. *)
+                 for _ = 1 to 10 do
+                   Kernel.preempt_point ()
+                 done;
+                 let bh = Buffer.getblk 9 in
+                 let jh = Jbd2.journal_get_write_access txn bh in
+                 Jbd2.journal_dirty_metadata txn jh;
+                 Jbd2.journal_stop txn;
+                 Buffer.brelse bh;
+                 incr done_handles);
+             Kernel.spawn "committer" (fun () ->
+                 Jbd2.commit_transaction journal;
+                 (* When commit finishes, the writer's handle must be gone. *)
+                 if journal.Obj.j_checkpoint <> [] then
+                   check Alcotest.int "commit waited for the handle" 1
+                     !done_handles);
+             Kernel.wait_until "children" (fun () -> !done_handles = 1);
+             Jbd2.commit_transaction journal;
+             Jbd2.checkpoint journal;
+             Vfs_super.umount sb)))
+
+let test_jbd2_rules () =
+  let trace =
+    with_journal (fun journal ->
+        for _ = 1 to 12 do
+          let txn = Jbd2.journal_start journal in
+          let bh = Buffer.getblk 7 in
+          let jh = Jbd2.journal_get_write_access txn bh in
+          Jbd2.journal_dirty_metadata txn jh;
+          Jbd2.journal_stop txn;
+          Jbd2.commit_transaction journal;
+          Buffer.brelse bh
+        done;
+        Jbd2.checkpoint journal)
+  in
+  let winner, _ = derive trace "journal_t" "j_running_transaction" Rule.W in
+  check Alcotest.string "journal state under j_state_lock" "ES(j_state_lock)"
+    winner;
+  let winner_jh, _ = derive trace "journal_head" "b_transaction" Rule.W in
+  check Alcotest.string "jh payload under the BH state lock"
+    "EO(b_state_lock in buffer_head)" winner_jh
+
+(* {2 Buffer heads} *)
+
+let test_bh_refcounting () =
+  let bh_ptr = ref 0 in
+  let trace =
+    with_sb (fun _sb ->
+        let bh = Buffer.bread 3 in
+        bh_ptr := bh.Obj.bh_inst.Memory.base;
+        check Alcotest.bool "uptodate after read" true (Buffer.buffer_uptodate bh);
+        Buffer.brelse bh (* last reference: freed *))
+  in
+  check Alcotest.int "buffer_head freed once" 1
+    (Trace.count trace (function
+      | Event.Free { ptr } -> ptr = !bh_ptr
+      | _ -> false))
+
+let test_bh_pinned_by_jh () =
+  ignore
+    (with_journal (fun journal ->
+         let txn = Jbd2.journal_start journal in
+         let bh = Buffer.getblk 4 in
+         let jh = Jbd2.journal_get_write_access txn bh in
+         ignore jh;
+         Buffer.brelse bh;
+         (* The journal head still pins the buffer. *)
+         check Alcotest.bool "bh alive" true bh.Obj.bh_inst.Memory.live;
+         Jbd2.journal_stop txn;
+         Jbd2.commit_transaction journal;
+         Jbd2.checkpoint journal;
+         (* Checkpoint released the pin and freed the buffer. *)
+         check Alcotest.bool "bh freed after checkpoint" false
+           bh.Obj.bh_inst.Memory.live))
+
+(* {2 Pipes, devices, writeback} *)
+
+let test_pipe_ring () =
+  ignore
+    (with_sb (fun _sb ->
+         let pipe = Obj.alloc_pipe () in
+         Pipe.pipe_open pipe ~reader:true;
+         Pipe.pipe_open pipe ~reader:false;
+         Pipe.pipe_write pipe 3;
+         check Alcotest.int "ring fills" 3 (Memory.read pipe.Obj.p_inst "nrbufs");
+         Pipe.pipe_read pipe 2;
+         check Alcotest.int "ring drains" 1 (Memory.read pipe.Obj.p_inst "nrbufs");
+         Pipe.pipe_release pipe ~reader:true;
+         Pipe.pipe_release pipe ~reader:false;
+         Obj.free_pipe pipe))
+
+let test_cdev_registry () =
+  ignore
+    (with_sb (fun _sb ->
+         let cd = Obj.alloc_cdev () in
+         Chardev.cdev_add cd 42 1;
+         (match Chardev.cdev_lookup 42 with
+         | Some found -> check Alcotest.bool "found" true (found == cd)
+         | None -> Alcotest.fail "cdev_lookup missed");
+         check Alcotest.bool "missing dev" true (Chardev.cdev_lookup 999 = None);
+         Chardev.cdev_del cd))
+
+let test_bdev_open_close () =
+  ignore
+    (with_sb (fun _sb ->
+         let bdev = Blockdev.bdget 5 in
+         Blockdev.blkdev_get bdev 1;
+         check Alcotest.int "openers" 1 (Memory.read bdev.Obj.bd_inst "bd_openers");
+         let again = Blockdev.bdget 5 in
+         check Alcotest.bool "registry caches by dev" true (again == bdev);
+         Blockdev.blkdev_put bdev;
+         check Alcotest.int "closed" 0 (Memory.read bdev.Obj.bd_inst "bd_openers")))
+
+let test_writeback_cleans () =
+  ignore
+    (Kernel.run ~config:quiet ~layouts:Structs.all (fun () ->
+         Kernel.spawn "wb" (fun () ->
+             let sb = Vfs_super.mount Fs_misc.rootfs in
+             let inode = Vfs_inode.iget sb 70 in
+             Vfs_inode.mark_inode_dirty inode;
+             check Alcotest.int "on the dirty list" 1
+               (List.length sb.Obj.s_bdi.Obj.b_dirty);
+             Lockdoc_ksim.Bdi.wb_do_writeback sb.Obj.s_bdi;
+             check Alcotest.int "dirty list drained" 0
+               (List.length sb.Obj.s_bdi.Obj.b_dirty);
+             check Alcotest.bool "inode no longer dirty" false
+               (Vfs_inode.inode_is_dirty inode);
+             Vfs_inode.iput inode;
+             Vfs_super.umount sb)))
+
+let () =
+  Alcotest.run "subsystems"
+    [
+      ( "inode",
+        [
+          Alcotest.test_case "iget caches" `Quick test_iget_caches;
+          Alcotest.test_case "unlink evicts" `Quick test_unlink_evicts;
+          Alcotest.test_case "LRU resurrection" `Quick test_lru_resurrection;
+          Alcotest.test_case "i_state discipline" `Quick test_i_state_writes_locked;
+          Alcotest.test_case "i_size seqcount" `Quick test_size_seqcount;
+        ] );
+      ( "dentry",
+        [
+          Alcotest.test_case "tree ops" `Quick test_dentry_tree_ops;
+          Alcotest.test_case "d_move" `Quick test_d_move_reparents;
+          Alcotest.test_case "d_subdirs rules" `Quick test_d_subdirs_rule;
+        ] );
+      ( "jbd2",
+        [
+          Alcotest.test_case "handle lifecycle" `Quick test_jbd2_handle_lifecycle;
+          Alcotest.test_case "commit drains handles" `Quick
+            test_jbd2_commit_waits_for_handles;
+          Alcotest.test_case "mined rules" `Quick test_jbd2_rules;
+        ] );
+      ( "buffer",
+        [
+          Alcotest.test_case "refcounting" `Quick test_bh_refcounting;
+          Alcotest.test_case "pinned by journal head" `Quick test_bh_pinned_by_jh;
+        ] );
+      ( "devices & pipes",
+        [
+          Alcotest.test_case "pipe ring" `Quick test_pipe_ring;
+          Alcotest.test_case "cdev registry" `Quick test_cdev_registry;
+          Alcotest.test_case "bdev open/close" `Quick test_bdev_open_close;
+        ] );
+      ( "writeback",
+        [ Alcotest.test_case "cleans dirty inodes" `Quick test_writeback_cleans ] );
+    ]

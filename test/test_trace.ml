@@ -1,0 +1,216 @@
+(* Tests for the trace substrate: source locations, type layouts, event
+   serialisation and the trace container. *)
+
+module Srcloc = Lockdoc_trace.Srcloc
+module Layout = Lockdoc_trace.Layout
+module Event = Lockdoc_trace.Event
+module Trace = Lockdoc_trace.Trace
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {2 Srcloc} *)
+
+let test_srcloc_roundtrip () =
+  let loc = Srcloc.make "fs/inode.c" 507 in
+  check Alcotest.string "to_string" "fs/inode.c:507" (Srcloc.to_string loc);
+  check Alcotest.bool "roundtrip" true
+    (Srcloc.equal loc (Srcloc.of_string (Srcloc.to_string loc)))
+
+let test_srcloc_ordering () =
+  let a = Srcloc.make "a.c" 10 and b = Srcloc.make "a.c" 20 in
+  check Alcotest.bool "line order" true (Srcloc.compare a b < 0);
+  let c = Srcloc.make "b.c" 1 in
+  check Alcotest.bool "file order" true (Srcloc.compare a c < 0)
+
+let test_srcloc_malformed () =
+  Alcotest.check_raises "no colon" (Failure "Srcloc.of_string: missing ':' in nope")
+    (fun () -> ignore (Srcloc.of_string "nope"))
+
+(* {2 Layout} *)
+
+let example_layout =
+  Layout.make ~name:"thing"
+    [ ("a", 4, Layout.Data); ("lock", 4, Layout.Lock); ("n", 8, Layout.Atomic) ]
+
+let test_layout_offsets () =
+  check Alcotest.int "total size" 16 example_layout.Layout.ty_size;
+  let m = Layout.find_member example_layout "lock" in
+  check Alcotest.int "offset" 4 m.Layout.m_offset;
+  check Alcotest.int "size" 4 m.Layout.m_size
+
+let test_layout_member_at () =
+  let name_at off =
+    Option.map (fun m -> m.Layout.m_name) (Layout.member_at example_layout off)
+  in
+  check (Alcotest.option Alcotest.string) "first byte" (Some "a") (name_at 0);
+  check (Alcotest.option Alcotest.string) "interior byte" (Some "a") (name_at 3);
+  check (Alcotest.option Alcotest.string) "second member" (Some "lock") (name_at 4);
+  check (Alcotest.option Alcotest.string) "last byte" (Some "n") (name_at 15);
+  check (Alcotest.option Alcotest.string) "past the end" None (name_at 16)
+
+let test_layout_data_members () =
+  check (Alcotest.list Alcotest.string) "data members only" [ "a" ]
+    (List.map (fun m -> m.Layout.m_name) (Layout.data_members example_layout))
+
+let test_layout_roundtrip () =
+  let s = Layout.to_string example_layout in
+  let back = Layout.of_string s in
+  check Alcotest.string "name" "thing" back.Layout.ty_name;
+  check Alcotest.int "size" 16 back.Layout.ty_size;
+  check Alcotest.int "members" 3 (List.length back.Layout.members);
+  check Alcotest.string "reserialise" s (Layout.to_string back)
+
+(* {2 Event} *)
+
+let sample_events =
+  [
+    Event.Alloc { ptr = 0x1000; size = 64; data_type = "inode"; subclass = Some "ext4" };
+    Event.Alloc { ptr = 0x2000; size = 32; data_type = "dentry"; subclass = None };
+    Event.Free { ptr = 0x1000 };
+    Event.Lock_acquire
+      {
+        lock_ptr = 0x10;
+        kind = Event.Spinlock;
+        side = Event.Exclusive;
+        name = "i_lock";
+        loc = Srcloc.make "fs/inode.c" 42;
+      };
+    Event.Lock_acquire
+      {
+        lock_ptr = 0x20;
+        kind = Event.Rwsem;
+        side = Event.Shared;
+        name = "s_umount";
+        loc = Srcloc.make "fs/super.c" 7;
+      };
+    Event.Lock_release { lock_ptr = 0x10; loc = Srcloc.make "fs/inode.c" 44 };
+    Event.Mem_access
+      { ptr = 0x1010; size = 8; kind = Event.Read; loc = Srcloc.make "fs/stat.c" 3 };
+    Event.Mem_access
+      { ptr = 0x1018; size = 4; kind = Event.Write; loc = Srcloc.make "fs/attr.c" 9 };
+    Event.Fun_enter { fn = "iget_locked"; loc = Srcloc.make "fs/inode.c" 30 };
+    Event.Fun_exit { fn = "iget_locked" };
+    Event.Ctx_switch { pid = 3; kind = Event.Task };
+    Event.Ctx_switch { pid = 1001; kind = Event.Hardirq };
+    Event.Ctx_switch { pid = 2001; kind = Event.Softirq };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun ev ->
+      let back = Event.of_line (Event.to_line ev) in
+      check Alcotest.bool (Event.to_line ev) true (Event.equal ev back))
+    sample_events
+
+let test_lock_kind_roundtrip () =
+  List.iter
+    (fun k ->
+      check Alcotest.bool "kind roundtrip" true
+        (Event.lock_kind_of_string (Event.lock_kind_to_string k) = k))
+    [
+      Event.Spinlock; Event.Rwlock; Event.Mutex; Event.Semaphore; Event.Rwsem;
+      Event.Rcu; Event.Seqlock; Event.Pseudo;
+    ]
+
+let test_event_malformed () =
+  Alcotest.check_raises "garbage line"
+    (Failure "Event.of_line: malformed line: ???") (fun () ->
+      ignore (Event.of_line "???"))
+
+let event_gen =
+  let open QCheck.Gen in
+  let loc = map2 (fun f l -> Srcloc.make (Printf.sprintf "f%d.c" f) l) (int_bound 20) (int_bound 5000) in
+  oneof
+    [
+      map2 (fun p s -> Event.Alloc { ptr = p; size = s + 1; data_type = "t"; subclass = None })
+        (int_bound 100000) (int_bound 512);
+      map (fun p -> Event.Free { ptr = p }) (int_bound 100000);
+      map2
+        (fun p l ->
+          Event.Lock_acquire
+            { lock_ptr = p; kind = Event.Mutex; side = Event.Exclusive; name = "m"; loc = l })
+        (int_bound 100000) loc;
+      map2 (fun p l -> Event.Lock_release { lock_ptr = p; loc = l }) (int_bound 100000) loc;
+      map3
+        (fun p s l -> Event.Mem_access { ptr = p; size = s + 1; kind = Event.Read; loc = l })
+        (int_bound 100000) (int_bound 16) loc;
+      map (fun pid -> Event.Ctx_switch { pid; kind = Event.Task }) (int_bound 64);
+    ]
+
+let prop_event_roundtrip =
+  QCheck.Test.make ~name:"random event line roundtrip" ~count:300
+    (QCheck.make event_gen)
+    (fun ev -> Event.equal ev (Event.of_line (Event.to_line ev)))
+
+(* {2 Trace container} *)
+
+let test_sink_order () =
+  let sink = Trace.sink () in
+  List.iter (Trace.emit sink) sample_events;
+  check Alcotest.int "emitted" (List.length sample_events) (Trace.emitted sink);
+  let trace = Trace.finish ~layouts:[ example_layout ] sink in
+  check Alcotest.int "array size" (List.length sample_events)
+    (Array.length trace.Trace.events);
+  List.iteri
+    (fun i ev ->
+      check Alcotest.bool "order preserved" true
+        (Event.equal ev trace.Trace.events.(i)))
+    sample_events
+
+let test_trace_lines_roundtrip () =
+  let sink = Trace.sink () in
+  List.iter (Trace.emit sink) sample_events;
+  let trace = Trace.finish ~layouts:[ example_layout ] sink in
+  let back = Trace.of_lines (Trace.to_lines trace) in
+  check Alcotest.int "layouts survive" 1 (List.length back.Trace.layouts);
+  check Alcotest.int "events survive" (Array.length trace.Trace.events)
+    (Array.length back.Trace.events)
+
+let test_trace_save_load () =
+  let sink = Trace.sink () in
+  List.iter (Trace.emit sink) sample_events;
+  let trace = Trace.finish ~layouts:[ example_layout ] sink in
+  let path = Filename.temp_file "lockdoc_test" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path trace;
+      let back = Trace.load path in
+      check Alcotest.int "events" (Array.length trace.Trace.events)
+        (Array.length back.Trace.events);
+      check Alcotest.int "count reads" 1
+        (Trace.count back (function
+          | Event.Mem_access { kind = Event.Read; _ } -> true
+          | _ -> false)))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "srcloc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_srcloc_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_srcloc_ordering;
+          Alcotest.test_case "malformed" `Quick test_srcloc_malformed;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "offsets" `Quick test_layout_offsets;
+          Alcotest.test_case "member_at" `Quick test_layout_member_at;
+          Alcotest.test_case "data members" `Quick test_layout_data_members;
+          Alcotest.test_case "roundtrip" `Quick test_layout_roundtrip;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "roundtrip samples" `Quick test_event_roundtrip;
+          Alcotest.test_case "lock kinds" `Quick test_lock_kind_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_event_malformed;
+          qtest prop_event_roundtrip;
+        ] );
+      ( "container",
+        [
+          Alcotest.test_case "sink order" `Quick test_sink_order;
+          Alcotest.test_case "lines roundtrip" `Quick test_trace_lines_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_trace_save_load;
+        ] );
+    ]
