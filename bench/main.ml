@@ -26,14 +26,29 @@ let section title = Printf.printf "\n%s\n%s\n%s\n\n" hr title hr
 
 (* {2 Experiment regeneration} *)
 
+(* Ablations selectable by id alongside the registry's tables/figures
+   (they also all print in the default `Ablation studies` section). *)
+let ablations =
+  [
+    ("ablation-irq", Ablation.render_irq);
+    ("ablation-wor", Ablation.render_wor);
+    ("ablation-selection", Ablation.render_selection);
+    ("ablation-subclass", Ablation.render_subclass);
+    ("ablation-sides", Ablation.render_sides);
+    ("ablation-corruption", Ablation.render_corruption);
+  ]
+
 let run_experiments ctx ids =
   List.iter
     (fun id ->
-      match Registry.find id with
-      | None -> Printf.eprintf "unknown experiment id %s\n" id
-      | Some e ->
+      match (Registry.find id, List.assoc_opt id ablations) with
+      | Some e, _ ->
           section (Printf.sprintf "[%s] %s" e.Registry.id e.Registry.title);
-          print_endline (e.Registry.render ctx))
+          print_endline (e.Registry.render ctx)
+      | None, Some render ->
+          section (Printf.sprintf "[%s]" id);
+          print_endline (render (Lazy.force ctx))
+      | None, None -> Printf.eprintf "unknown experiment id %s\n" id)
     ids
 
 (* {2 Bechamel micro-benchmarks} *)
@@ -47,6 +62,13 @@ let microbenches () =
       Run.scale = 2; Run.faults = true }
   in
   let trace, _ = Run.benchmark_mix ~config () in
+  let corrupted =
+    let module Trace = Lockdoc_trace.Trace in
+    let lines, _ =
+      Lockdoc_trace.Corrupt.corrupt ~seed:17 (Trace.to_lines trace)
+    in
+    fst (Trace.read_lines ~mode:Trace.Lenient lines)
+  in
   let store, _ = Import.run trace in
   let dataset = Dataset.of_store store in
   let clock_trace = Lockdoc_ksim.Clock_example.run () in
@@ -59,6 +81,15 @@ let microbenches () =
         (Staged.stage (fun () -> ignore (Lockdoc_ksim.Clock_example.run ())));
       Test.make ~name:"import: benchmark trace"
         (Staged.stage (fun () -> ignore (Import.run trace)));
+      Test.make ~name:"import: benchmark trace (lenient)"
+        (Staged.stage (fun () ->
+             ignore (Import.run ~mode:Import.Lenient trace)));
+      Test.make ~name:"import: corrupted trace (lenient)"
+        (Staged.stage (fun () ->
+             ignore (Import.run ~mode:Import.Lenient corrupted)));
+      Test.make ~name:"check: stream invariants"
+        (Staged.stage (fun () ->
+             ignore (Lockdoc_trace.Check.run trace)));
       Test.make ~name:"import: clock trace"
         (Staged.stage (fun () -> ignore (Import.run clock_trace)));
       Test.make ~name:"observations: fold dataset"

@@ -40,13 +40,47 @@ let type_arg =
   Arg.(value & opt (some string) None & info [ "type" ] ~docv:"KEY"
          ~doc:"Restrict to one type key (e.g. inode:ext4, dentry).")
 
+let mode_arg =
+  let strict =
+    (Import.Strict, Arg.info [ "strict" ]
+       ~doc:"Abort on the first fatal trace anomaly (default).")
+  in
+  let lenient =
+    (Import.Lenient, Arg.info [ "lenient" ]
+       ~doc:"Recover from trace anomalies, count them, and keep going.")
+  in
+  Arg.(value & vflag Import.Strict [ strict; lenient ])
+
 let run_config scale seed =
   { Run.kernel = { Kernel.default_config with Kernel.seed };
     Run.scale = scale; Run.faults = true }
 
-let load_dataset path =
-  let trace = Trace.load path in
-  let store, stats = Import.run trace in
+let reader_mode = function
+  | Import.Strict -> Trace.Strict
+  | Import.Lenient -> Trace.Lenient
+
+let load_trace mode path =
+  let trace, diags = Trace.read ~mode:(reader_mode mode) path in
+  List.iter
+    (fun d -> Printf.eprintf "lockdoc: %s\n" (Lockdoc_trace.Diag.to_string d))
+    diags;
+  trace
+
+(* Strict-mode readers/importers raise on the first fatal anomaly; turn
+   that into a proper error message instead of an uncaught exception. *)
+let or_fail f =
+  try f ()
+  with Trace.Invalid d ->
+    Printf.eprintf "lockdoc: fatal trace anomaly: %s\n"
+      (Lockdoc_trace.Diag.to_string d);
+    Printf.eprintf "lockdoc: rerun with --lenient (or `lockdoc fsck`) to \
+                    recover and survey the damage\n";
+    exit 1
+
+let load_dataset ?(mode = Import.Strict) path =
+  or_fail @@ fun () ->
+  let trace = load_trace mode path in
+  let store, stats = Import.run ~mode trace in
   (Dataset.of_store store, stats)
 
 (* {2 trace} *)
@@ -68,12 +102,12 @@ let trace_cmd =
 (* {2 import} *)
 
 let import_cmd =
-  let run path =
-    let _, stats = load_dataset path in
+  let run mode path =
+    let _, stats = load_dataset ~mode path in
     Format.printf "%a@." Import.pp_stats stats
   in
   Cmd.v (Cmd.info "import" ~doc:"Post-process a trace and print statistics")
-    Term.(const run $ trace_file_arg)
+    Term.(const run $ mode_arg $ trace_file_arg)
 
 (* {2 derive} *)
 
@@ -81,8 +115,8 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
 let derive_cmd =
-  let run path ty tac json =
-    let dataset, _ = load_dataset path in
+  let run mode path ty tac json =
+    let dataset, _ = load_dataset ~mode path in
     let keys =
       match ty with Some key -> [ key ] | None -> Dataset.type_keys dataset
     in
@@ -100,7 +134,7 @@ let derive_cmd =
         keys
   in
   Cmd.v (Cmd.info "derive" ~doc:"Mine locking rules from a trace")
-    Term.(const run $ trace_file_arg $ type_arg $ tac_arg $ json_arg)
+    Term.(const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ json_arg)
 
 (* {2 doc} *)
 
@@ -123,8 +157,8 @@ let doc_cmd =
 (* {2 check} *)
 
 let check_cmd =
-  let run path =
-    let dataset, _ = load_dataset path in
+  let run mode path =
+    let dataset, _ = load_dataset ~mode path in
     let module Doc = Lockdoc_ksim.Documentation in
     let module Checker = Lockdoc_core.Checker in
     let module Rule = Lockdoc_core.Rule in
@@ -147,6 +181,61 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check the documented locking rules against a trace")
+    Term.(const run $ mode_arg $ trace_file_arg)
+
+(* {2 fsck} *)
+
+let fsck_cmd =
+  let module Diag = Lockdoc_trace.Diag in
+  let module Check = Lockdoc_trace.Check in
+  let print_group title diags =
+    if diags <> [] then begin
+      Printf.printf "%s (%d):\n" title (List.length diags);
+      List.iter
+        (fun (kind, n) -> Printf.printf "  %-24s %d\n" kind n)
+        (Diag.summarize diags);
+      let shown = ref 0 in
+      List.iter
+        (fun d ->
+          if !shown < 10 then begin
+            incr shown;
+            Printf.printf "    %s\n" (Diag.to_string d)
+          end)
+        diags;
+      if List.length diags > 10 then
+        Printf.printf "    ... %d more\n" (List.length diags - 10)
+    end
+  in
+  let run path =
+    (* Always lenient: the whole point is to survey the damage. *)
+    let trace, reader_diags = Trace.read ~mode:Trace.Lenient path in
+    let stream_diags = Check.run trace in
+    let _store, stats = Import.run ~mode:Import.Lenient trace in
+    Printf.printf "%s: %d layout(s), %d event(s)\n" path
+      (List.length trace.Trace.layouts)
+      (Array.length trace.Trace.events);
+    print_group "reader anomalies" reader_diags;
+    print_group "stream anomalies" stream_diags;
+    let an = Import.anomaly_total stats in
+    if an > 0 then begin
+      Printf.printf "import anomalies (%d):\n" an;
+      Format.printf "  @[<v>%a@]@." Import.pp_stats stats
+    end;
+    let all = reader_diags @ stream_diags in
+    let fatal = List.exists Diag.is_fatal all || an > 0 in
+    if all = [] && an = 0 then begin
+      Printf.printf "clean: no anomalies\n";
+      exit 0
+    end
+    else if fatal then exit 1
+    else exit 0
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Validate a trace file: parse leniently, check stream invariants, \
+          replay the importer, and report every anomaly. Exits non-zero if \
+          any fatal anomaly was found.")
     Term.(const run $ trace_file_arg)
 
 (* {2 violations} *)
@@ -156,8 +245,8 @@ let violations_cmd =
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N"
            ~doc:"Maximum violations to print.")
   in
-  let run path ty tac limit json =
-    let dataset, _ = load_dataset path in
+  let run mode path ty tac limit json =
+    let dataset, _ = load_dataset ~mode path in
     let mined = Derivator.derive_all ~tac dataset in
     let violations = Violation.find dataset mined in
     let violations =
@@ -184,7 +273,9 @@ let violations_cmd =
       violations
   in
   Cmd.v (Cmd.info "violations" ~doc:"Locate locking-rule violations in a trace")
-    Term.(const run $ trace_file_arg $ type_arg $ tac_arg $ limit_arg $ json_arg)
+    Term.(
+      const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ limit_arg
+      $ json_arg)
 
 (* {2 lockmeter} *)
 
@@ -291,8 +382,9 @@ let main =
     (Cmd.info "lockdoc" ~version:"1.0.0"
        ~doc:"Trace-based analysis of locking in a simulated Linux kernel")
     [
-      trace_cmd; import_cmd; derive_cmd; doc_cmd; check_cmd; violations_cmd;
-      lockdep_cmd; lockmeter_cmd; export_cmd; relations_cmd; repro_cmd;
+      trace_cmd; import_cmd; fsck_cmd; derive_cmd; doc_cmd; check_cmd;
+      violations_cmd; lockdep_cmd; lockmeter_cmd; export_cmd; relations_cmd;
+      repro_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,8 +1,33 @@
 module Event = Lockdoc_trace.Event
 module Layout = Lockdoc_trace.Layout
+module Diag = Lockdoc_trace.Diag
+module Trace = Lockdoc_trace.Trace
 module IntMap = Map.Make (Int)
 
 type irq_mode = Inherit | Separate
+
+type mode = Strict | Lenient
+
+type anomalies = {
+  an_unknown_data_type : int;
+  an_double_free : int;
+  an_free_without_alloc : int;
+  an_access_after_free : int;
+  an_acquire_on_freed : int;
+  an_flow_conflict : int;
+  an_unclosed_txns : int;
+}
+
+let no_anomalies =
+  {
+    an_unknown_data_type = 0;
+    an_double_free = 0;
+    an_free_without_alloc = 0;
+    an_access_after_free = 0;
+    an_acquire_on_freed = 0;
+    an_flow_conflict = 0;
+    an_unclosed_txns = 0;
+  }
 
 type stats = {
   total_events : int;
@@ -19,7 +44,14 @@ type stats = {
   locks_static : int;
   locks_embedded : int;
   txns : int;
+  anomalies : anomalies;
 }
+
+let anomaly_total s =
+  s.anomalies.an_unknown_data_type + s.anomalies.an_double_free
+  + s.anomalies.an_free_without_alloc + s.anomalies.an_access_after_free
+  + s.anomalies.an_acquire_on_freed + s.anomalies.an_flow_conflict
+  + s.anomalies.an_unclosed_txns + s.unbalanced_releases
 
 (* One held lock together with the transaction opened by its acquisition;
    popping back to it resumes that transaction (paper Sec. 4.2). *)
@@ -37,7 +69,7 @@ let cur_txn ctx =
   | last :: _ -> Some last.opened_txn
   | [] -> ctx.base_txn
 
-let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
+let run ?(filter = Filter.default) ?(irq_mode = Inherit) ?(mode = Strict) trace =
   let store = Store.create () in
   let dt_ids = Hashtbl.create 32 in
   List.iter
@@ -48,8 +80,10 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
 
   (* Live-object state. *)
   let live_allocs = ref IntMap.empty (* base ptr -> al_id *) in
+  let freed_allocs = ref IntMap.empty (* base ptr -> size, until reused *) in
   let live_locks = Hashtbl.create 256 (* lock ptr -> lk_id *) in
   let locks_of_alloc = Hashtbl.create 256 (* al_id -> lock ptr list *) in
+  let flow_kinds = Hashtbl.create 32 (* pid -> ctx_kind *) in
 
   (* Per-control-flow state. *)
   let ctxs = Hashtbl.create 32 in
@@ -70,6 +104,28 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
   and locks_static = ref 0
   and locks_embedded = ref 0 in
 
+  (* Anomaly counters: detected corruption the lenient mode recovers
+     from. Strict mode raises on the first fatal one instead. *)
+  let an_unknown_ty = ref 0
+  and an_double_free = ref 0
+  and an_free_noalloc = ref 0
+  and an_after_free = ref 0
+  and an_acq_freed = ref 0
+  and an_flow = ref 0
+  and an_unclosed = ref 0 in
+
+  let anomaly counter ~event kind message =
+    incr counter;
+    let d = Diag.make ~event kind message in
+    if mode = Strict && Diag.is_fatal d then raise (Trace.Invalid d)
+  in
+
+  let in_freed ptr =
+    match IntMap.find_last_opt (fun base -> base <= ptr) !freed_allocs with
+    | Some (base, size) -> ptr < base + size
+    | None -> false
+  in
+
   let find_alloc ptr =
     match IntMap.find_last_opt (fun base -> base <= ptr) !live_allocs with
     | Some (base, al_id) ->
@@ -78,7 +134,7 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
     | None -> None
   in
 
-  let resolve_lock ptr kind name =
+  let resolve_lock ~event ptr kind name =
     match Hashtbl.find_opt live_locks ptr with
     | Some lk_id -> Store.lock store lk_id
     | None ->
@@ -93,7 +149,12 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
                 (Layout.member_at dt.Schema.dt_layout offset)
         in
         (match parent with
-        | None -> incr locks_static
+        | None ->
+            if in_freed ptr then
+              anomaly an_acq_freed ~event Diag.Acquire_on_freed_lock
+                (Printf.sprintf
+                   "acquire of %s at 0x%x inside a freed allocation" name ptr);
+            incr locks_static
         | Some (al_id, _) ->
             incr locks_embedded;
             let existing =
@@ -119,8 +180,8 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
     ctx.held <- rebuilt
   in
 
-  let handle_acquire ctx ~lock_ptr ~kind ~side ~name ~loc =
-    let lk = resolve_lock lock_ptr kind name in
+  let handle_acquire ctx ~event ~lock_ptr ~kind ~side ~name ~loc =
+    let lk = resolve_lock ~event lock_ptr kind name in
     let entry =
       { Schema.h_lock = lk.Schema.lk_id; h_side = side; h_loc = loc }
     in
@@ -152,8 +213,15 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
   Array.iteri
     (fun idx ev ->
       match ev with
-      | Event.Ctx_switch { pid; kind } -> (
-          match kind with
+      | Event.Ctx_switch { pid; kind } ->
+          (match Hashtbl.find_opt flow_kinds pid with
+          | Some k when k <> kind ->
+              anomaly an_flow ~event:idx Diag.Flow_kind_conflict
+                (Printf.sprintf "flow %d switches kind %s -> %s" pid
+                   (Event.ctx_to_string k) (Event.ctx_to_string kind))
+          | Some _ -> ()
+          | None -> Hashtbl.replace flow_kinds pid kind);
+          (match kind with
           | Event.Task -> (
               match Hashtbl.find_opt ctxs pid with
               | Some st -> current := st
@@ -175,23 +243,38 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
                     }
               in
               current := st)
-      | Event.Alloc { ptr; size; data_type; subclass } ->
+      | Event.Alloc { ptr; size; data_type; subclass } -> (
           incr allocs;
-          let ty =
-            match Hashtbl.find_opt dt_ids data_type with
-            | Some id -> id
-            | None -> failwith ("Import: unknown data type " ^ data_type)
-          in
-          let al =
-            Store.add_allocation store ~ptr ~size ~ty ~subclass ~start:idx
-          in
-          live_allocs := IntMap.add ptr al.Schema.al_id !live_allocs
+          match Hashtbl.find_opt dt_ids data_type with
+          | None ->
+              (* Lenient recovery: skip the allocation; its accesses count
+                 as unresolved, exactly as if the region were unmonitored. *)
+              anomaly an_unknown_ty ~event:idx Diag.Unknown_data_type
+                (Printf.sprintf "allocation of undeclared type %s at 0x%x"
+                   data_type ptr)
+          | Some ty ->
+              let al =
+                Store.add_allocation store ~ptr ~size ~ty ~subclass ~start:idx
+              in
+              freed_allocs :=
+                IntMap.filter
+                  (fun base fsize -> base + fsize <= ptr || ptr + size <= base)
+                  !freed_allocs;
+              live_allocs := IntMap.add ptr al.Schema.al_id !live_allocs)
       | Event.Free { ptr } -> (
           incr frees;
           match IntMap.find_opt ptr !live_allocs with
-          | None -> ()
+          | None ->
+              if in_freed ptr then
+                anomaly an_double_free ~event:idx Diag.Double_free
+                  (Printf.sprintf "free of 0x%x which was already freed" ptr)
+              else
+                anomaly an_free_noalloc ~event:idx Diag.Free_without_alloc
+                  (Printf.sprintf "free of 0x%x which was never allocated" ptr)
           | Some al_id ->
-              (Store.allocation store al_id).Schema.al_end <- Some idx;
+              let al = Store.allocation store al_id in
+              al.Schema.al_end <- Some idx;
+              freed_allocs := IntMap.add ptr al.Schema.al_size !freed_allocs;
               live_allocs := IntMap.remove ptr !live_allocs;
               (match Hashtbl.find_opt locks_of_alloc al_id with
               | None -> ()
@@ -200,7 +283,7 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
                   Hashtbl.remove locks_of_alloc al_id))
       | Event.Lock_acquire { lock_ptr; kind; side; name; loc } ->
           incr lock_ops;
-          handle_acquire !current ~lock_ptr ~kind ~side ~name ~loc
+          handle_acquire !current ~event:idx ~lock_ptr ~kind ~side ~name ~loc
       | Event.Lock_release { lock_ptr; loc = _ } ->
           incr lock_ops;
           handle_release !current ~lock_ptr
@@ -215,7 +298,12 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
       | Event.Mem_access { ptr; size = _; kind; loc } -> (
           incr mem_accesses;
           match find_alloc ptr with
-          | None -> incr unresolved
+          | None ->
+              incr unresolved;
+              if in_freed ptr then
+                anomaly an_after_free ~event:idx Diag.Access_after_free
+                  (Printf.sprintf "access at 0x%x inside a freed allocation"
+                     ptr)
           | Some al -> (
               let dt = Store.data_type store al.Schema.al_type in
               let offset = ptr - al.Schema.al_ptr in
@@ -243,6 +331,22 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
                   end)))
     trace.Lockdoc_trace.Trace.events;
 
+  (* Transactions still open at the end of the trace. Their rows are
+     already in the store (flushed, not dropped); we only report them.
+     IRQ flows are not in [ctxs], so inherited held lists are not double
+     counted. *)
+  let n_events = Array.length trace.Lockdoc_trace.Trace.events in
+  Hashtbl.iter
+    (fun _pid st ->
+      List.iter
+        (fun he ->
+          let lk = Store.lock store he.entry.Schema.h_lock in
+          anomaly an_unclosed ~event:n_events Diag.Unclosed_txn
+            (Printf.sprintf "flow %d still holds %s at end of trace" st.pid
+               lk.Schema.lk_name))
+        st.held)
+    ctxs;
+
   let stats =
     {
       total_events = Array.length trace.Lockdoc_trace.Trace.events;
@@ -259,6 +363,16 @@ let run ?(filter = Filter.default) ?(irq_mode = Inherit) trace =
       locks_static = !locks_static;
       locks_embedded = !locks_embedded;
       txns = Store.n_txns store;
+      anomalies =
+        {
+          an_unknown_data_type = !an_unknown_ty;
+          an_double_free = !an_double_free;
+          an_free_without_alloc = !an_free_noalloc;
+          an_access_after_free = !an_after_free;
+          an_acquire_on_freed = !an_acq_freed;
+          an_flow_conflict = !an_flow;
+          an_unclosed_txns = !an_unclosed;
+        };
     }
   in
   (store, stats)
@@ -268,7 +382,18 @@ let pp_stats fmt s =
     "@[<v>events: %d@ lock ops: %d@ memory accesses: %d (kept %d)@ filtered: \
      %d fn / %d member / %d kind@ unresolved: %d, unbalanced releases: %d@ \
      allocations: %d, frees: %d@ locks: %d static + %d embedded@ \
-     transactions: %d@]"
+     transactions: %d"
     s.total_events s.lock_ops s.mem_accesses s.accesses_kept s.filtered_fn
     s.filtered_member s.filtered_kind s.unresolved s.unbalanced_releases
-    s.allocations s.frees s.locks_static s.locks_embedded s.txns
+    s.allocations s.frees s.locks_static s.locks_embedded s.txns;
+  if anomaly_total s > 0 then begin
+    let a = s.anomalies in
+    Format.fprintf fmt
+      "@ anomalies: %d total@   unknown data types: %d@   double frees: %d@   \
+       frees without alloc: %d@   accesses after free: %d@   acquires on \
+       freed: %d@   flow kind conflicts: %d@   unclosed transactions: %d"
+      (anomaly_total s) a.an_unknown_data_type a.an_double_free
+      a.an_free_without_alloc a.an_access_after_free a.an_acquire_on_freed
+      a.an_flow_conflict a.an_unclosed_txns
+  end;
+  Format.fprintf fmt "@]"

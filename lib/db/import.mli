@@ -16,6 +16,27 @@ type irq_mode =
   | Separate
       (** ablation: handlers start with a clean lock set *)
 
+type mode =
+  | Strict
+      (** raise {!Lockdoc_trace.Trace.Invalid} on the first fatal anomaly
+          (the historical behaviour) *)
+  | Lenient
+      (** recover from every anomaly, count it in {!anomalies}, and keep
+          importing *)
+
+type anomalies = {
+  an_unknown_data_type : int;  (** alloc of a type with no layout; skipped *)
+  an_double_free : int;  (** free of an already-freed region *)
+  an_free_without_alloc : int;  (** free of a never-allocated pointer *)
+  an_access_after_free : int;  (** monitored access inside a freed region *)
+  an_acquire_on_freed : int;  (** lock acquire inside a freed region *)
+  an_flow_conflict : int;  (** one flow id seen with two context kinds *)
+  an_unclosed_txns : int;  (** locks still held at end of trace; their
+                               transactions are flushed, not dropped *)
+}
+
+val no_anomalies : anomalies
+
 type stats = {
   total_events : int;
   lock_ops : int;  (** acquisitions + releases *)
@@ -31,9 +52,22 @@ type stats = {
   locks_static : int;
   locks_embedded : int;
   txns : int;
+  anomalies : anomalies;
 }
 
-val run : ?filter:Filter.t -> ?irq_mode:irq_mode -> Lockdoc_trace.Trace.t -> Store.t * stats
-(** [run trace] imports with {!Filter.default} and [Inherit]. *)
+val anomaly_total : stats -> int
+(** Sum of all anomaly counters, including [unbalanced_releases]. Zero
+    for a well-formed trace. *)
+
+val run :
+  ?filter:Filter.t ->
+  ?irq_mode:irq_mode ->
+  ?mode:mode ->
+  Lockdoc_trace.Trace.t ->
+  Store.t * stats
+(** [run trace] imports with {!Filter.default}, [Inherit] and [Strict].
+    On a well-formed trace the two modes produce identical results. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Prints the anomaly breakdown only when {!anomaly_total} is
+    positive, so output for a clean trace is unchanged. *)

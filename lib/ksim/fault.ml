@@ -1,6 +1,7 @@
 type site = {
   s_name : string;
   mutable period : int;
+  mutable declared : int;  (* the period passed at declaration *)
   mutable visits : int;
   mutable fired : int;
 }
@@ -21,11 +22,17 @@ let site ?period name =
     match Hashtbl.find_opt registry name with
     | Some s -> s
     | None ->
-        let s = { s_name = name; period = 0; visits = 0; fired = 0 } in
+        let s =
+          { s_name = name; period = 0; declared = 0; visits = 0; fired = 0 }
+        in
         Hashtbl.replace registry name s;
         s
   in
-  (match period with Some p -> s.period <- p | None -> ());
+  (match period with
+  | Some p ->
+      s.period <- p;
+      s.declared <- p
+  | None -> ());
   s
 
 let fire s =
@@ -39,6 +46,21 @@ let fire s =
 let set_period name p = (Hashtbl.find registry name).period <- p
 
 let set_enabled b = enabled := b
+
+let reset () =
+  Hashtbl.iter
+    (fun _ s ->
+      s.period <- s.declared;
+      s.visits <- 0;
+      s.fired <- 0)
+    registry;
+  enabled := true
+
+let with_period name p body =
+  let s = site name in
+  let saved = s.period in
+  s.period <- p;
+  Fun.protect ~finally:(fun () -> s.period <- saved) body
 
 let sorted f =
   Hashtbl.fold (fun _ s acc -> f s :: acc) registry []

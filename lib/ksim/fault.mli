@@ -26,6 +26,16 @@ val set_enabled : bool -> unit
 (** Globally enable/disable injection (default: enabled). Visit counters
     still advance while disabled. *)
 
+val reset : unit -> unit
+(** Restore every site to its declared period, zero the counters, and
+    re-enable injection globally. Tests that reconfigure sites (via
+    {!set_period}) call this to avoid leaking state into later tests. *)
+
+val with_period : string -> int -> (unit -> 'a) -> 'a
+(** [with_period name p body] runs [body] with site [name] set to period
+    [p], restoring the previous period afterwards (also on exceptions).
+    Declares the site if needed. *)
+
 val sites : unit -> (string * int) list
 (** All declared sites with their periods, sorted by name. *)
 

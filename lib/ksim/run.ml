@@ -46,6 +46,57 @@ let benchmark_mix ?(config = default_config) () =
           Vfs_inode.iput pipe_inode;
           Workloads.teardown_env env))
 
+let workload_names =
+  [ "fs_bench"; "fsstress"; "fs_inod"; "pipe"; "symlink"; "device" ]
+
+let workload_trace ?(seed = 7) ?(scale = 1) name =
+  Fault.set_enabled true;
+  let config =
+    { Kernel.default_config with seed; hardirq_rate = 0.; softirq_rate = 0. }
+  in
+  let trace, _cov =
+    Kernel.run ~config ~layouts:Structs.all (fun () ->
+        Kernel.spawn "init" (fun () ->
+            let env = Workloads.setup_env () in
+            let rng = Kernel.prng () in
+            let remaining = ref 0 in
+            let worker wname body =
+              incr remaining;
+              let task_rng = Prng.split rng in
+              Kernel.spawn wname (fun () ->
+                  body task_rng;
+                  decr remaining)
+            in
+            (match name with
+            | "fs_bench" ->
+                worker "fs-bench" (fun r -> Workloads.fs_bench env r (20 * scale))
+            | "fsstress" ->
+                worker "fsstress" (fun r -> Workloads.fsstress env r (30 * scale))
+            | "fs_inod" ->
+                worker "fs_inod" (fun r -> Workloads.fs_inod env r (25 * scale))
+            | "pipe" ->
+                let pipe_inode = Vfs_inode.iget env.Workloads.pipefs 6500 in
+                worker "pipe-writer" (fun r ->
+                    Workloads.pipe_writer pipe_inode r (15 * scale));
+                worker "pipe-reader" (fun r ->
+                    Workloads.pipe_reader pipe_inode r (15 * scale));
+                incr remaining;
+                Kernel.spawn "pipe-put" (fun () ->
+                    Kernel.wait_until "pipe drained" (fun () -> !remaining = 1);
+                    Vfs_inode.iput pipe_inode;
+                    decr remaining)
+            | "symlink" ->
+                worker "symlink" (fun r ->
+                    Workloads.symlink_bench env r (10 * scale))
+            | "device" ->
+                worker "devices" (fun r ->
+                    Workloads.device_bench env r (8 * scale))
+            | other -> invalid_arg ("Run.workload_trace: unknown " ^ other));
+            Kernel.wait_until "workload completion" (fun () -> !remaining = 0);
+            Workloads.teardown_env env))
+  in
+  trace
+
 let quick ?(seed = 7) () =
   let config =
     {

@@ -19,3 +19,15 @@ val benchmark_mix :
 
 val quick : ?seed:int -> unit -> Lockdoc_trace.Trace.t
 (** A small smoke-test run (scale 1, no IRQs) for tests. *)
+
+val workload_names : string list
+(** The benchmark families runnable in isolation via
+    {!workload_trace}. *)
+
+val workload_trace :
+  ?seed:int -> ?scale:int -> string -> Lockdoc_trace.Trace.t
+(** [workload_trace name] runs one benchmark family (no IRQ sources,
+    small iteration counts) and returns the trace; deterministic for a
+    fixed (name, seed, scale). The corruption fuzzer uses these as
+    ground-truth clean traces. Raises [Invalid_arg] for names outside
+    {!workload_names}. *)

@@ -1,0 +1,134 @@
+module IntMap = Map.Make (Int)
+
+type lock_state = {
+  mutable shared : int;  (* outstanding shared-side acquisitions *)
+  mutable excl : int;  (* outstanding exclusive-side acquisitions *)
+  mutable pseudo : bool;
+}
+
+let in_region map ptr =
+  match IntMap.find_last_opt (fun base -> base <= ptr) map with
+  | Some (base, size) -> ptr < base + size
+  | None -> false
+
+let run (t : Trace.t) =
+  let diags = ref [] in
+  let report ~event kind message =
+    diags := Diag.make ~event kind message :: !diags
+  in
+  let declared = Hashtbl.create 16 in
+  List.iter
+    (fun l -> Hashtbl.replace declared l.Layout.ty_name ())
+    t.Trace.layouts;
+  (* base ptr -> size, for live and for freed-but-not-reused regions. *)
+  let live = ref IntMap.empty and freed = ref IntMap.empty in
+  let flow_kinds : (int, Event.ctx_kind) Hashtbl.t = Hashtbl.create 32 in
+  let locks : (int, lock_state) Hashtbl.t = Hashtbl.create 256 in
+  let current_kind = ref Event.Task in
+  Array.iteri
+    (fun idx ev ->
+      let report k m = report ~event:idx k m in
+      match ev with
+      | Event.Alloc { ptr; size; data_type; _ } ->
+          if not (Hashtbl.mem declared data_type) then
+            report Diag.Unknown_data_type
+              (Printf.sprintf "allocation of undeclared type %s at 0x%x"
+                 data_type ptr);
+          if IntMap.mem ptr !live then
+            report Diag.Double_alloc
+              (Printf.sprintf "allocation at 0x%x which is already live" ptr);
+          (* The address range is live again: drop stale freed records it
+             covers so later accesses resolve to the new generation. *)
+          freed :=
+            IntMap.filter
+              (fun base fsize -> base + fsize <= ptr || ptr + size <= base)
+              !freed;
+          live := IntMap.add ptr size !live
+      | Event.Free { ptr } -> (
+          match IntMap.find_opt ptr !live with
+          | Some size ->
+              live := IntMap.remove ptr !live;
+              freed := IntMap.add ptr size !freed
+          | None ->
+              if IntMap.mem ptr !freed then
+                report Diag.Double_free
+                  (Printf.sprintf "free of 0x%x which was already freed" ptr)
+              else
+                report Diag.Free_without_alloc
+                  (Printf.sprintf "free of 0x%x which was never allocated" ptr))
+      | Event.Mem_access { ptr; _ } ->
+          if not (in_region !live ptr) then
+            if in_region !freed ptr then
+              report Diag.Access_after_free
+                (Printf.sprintf "access at 0x%x inside a freed allocation" ptr)
+            else
+              report Diag.Access_outside_alloc
+                (Printf.sprintf "access at 0x%x outside any monitored allocation"
+                   ptr)
+      | Event.Lock_acquire { lock_ptr; kind; side; name; _ } ->
+          if (not (in_region !live lock_ptr)) && in_region !freed lock_ptr then
+            report Diag.Acquire_on_freed_lock
+              (Printf.sprintf "acquire of %s at 0x%x inside a freed allocation"
+                 name lock_ptr);
+          let st =
+            match Hashtbl.find_opt locks lock_ptr with
+            | Some st -> st
+            | None ->
+                let st = { shared = 0; excl = 0; pseudo = false } in
+                Hashtbl.replace locks lock_ptr st;
+                st
+          in
+          st.pseudo <- kind = Event.Pseudo;
+          (* Shared sides (reader locks, RCU, seqlock read sections) and
+             the synthetic IRQ/preempt pseudo-locks nest legitimately, and
+             a seqlock writer may overlap an optimistic reader; but two
+             outstanding exclusive holds cannot happen on a single core. *)
+          if side = Event.Exclusive && (not st.pseudo) && st.excl > 0 then
+            report Diag.Double_acquire
+              (Printf.sprintf
+                 "exclusive %s at 0x%x acquired while already held exclusively"
+                 name lock_ptr);
+          if side = Event.Exclusive then st.excl <- st.excl + 1
+          else st.shared <- st.shared + 1
+      | Event.Lock_release { lock_ptr; _ } -> (
+          (* Releases carry no side; drain exclusive holds first so a
+             seqlock writer overlapping a reader never looks doubly
+             exclusive. *)
+          match Hashtbl.find_opt locks lock_ptr with
+          | Some st when st.excl > 0 -> st.excl <- st.excl - 1
+          | Some st when st.shared > 0 -> st.shared <- st.shared - 1
+          | Some _ | None ->
+              report Diag.Unbalanced_release
+                (Printf.sprintf "release of 0x%x which is not held" lock_ptr))
+      | Event.Ctx_switch { pid; kind } -> (
+          current_kind := kind;
+          match Hashtbl.find_opt flow_kinds pid with
+          | Some k when k <> kind ->
+              report Diag.Flow_kind_conflict
+                (Printf.sprintf "flow %d switches kind %s -> %s" pid
+                   (Event.ctx_to_string k) (Event.ctx_to_string kind))
+          | Some _ -> ()
+          | None -> Hashtbl.replace flow_kinds pid kind)
+      | Event.Fun_enter _ | Event.Fun_exit _ -> ())
+    t.Trace.events;
+  let eof = Array.length t.Trace.events in
+  if !current_kind <> Event.Task && eof > 0 then
+    report ~event:(eof - 1) Diag.Irq_imbalance
+      "trace ends inside an interrupt handler";
+  Hashtbl.iter
+    (fun ptr st ->
+      let held = st.shared + st.excl in
+      if held > 0 then
+        report ~event:(eof - 1) Diag.Unclosed_txn
+          (Printf.sprintf "lock at 0x%x still held %d time(s) at end of trace"
+             ptr held))
+    locks;
+  (* Hashtbl iteration order is unspecified; sort for determinism. *)
+  List.sort
+    (fun a b ->
+      compare
+        (a.Diag.d_event, Diag.kind_to_string a.Diag.d_kind, a.Diag.d_message)
+        (b.Diag.d_event, Diag.kind_to_string b.Diag.d_kind, b.Diag.d_message))
+    !diags
+
+let is_clean t = run t = []

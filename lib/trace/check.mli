@@ -1,0 +1,18 @@
+(** Stream-invariant validation over a parsed trace.
+
+    The reader ({!Trace.read_lines}) guarantees each line is well-formed;
+    this pass checks that the {e sequence} of events is internally
+    consistent: every free follows a matching allocation, every monitored
+    access falls inside a live allocation, lock acquire/release traffic is
+    balanced (modulo legitimately nesting shared and pseudo locks), each
+    control-flow id keeps one context kind, and the trace does not end in
+    the middle of an interrupt handler. A trace produced by the simulator
+    passes with zero diagnostics; corruption shows up as located
+    anomalies. *)
+
+val run : Trace.t -> Diag.t list
+(** All invariant violations, sorted by event index. Empty for a
+    well-formed trace. *)
+
+val is_clean : Trace.t -> bool
+(** [run t = []]. *)

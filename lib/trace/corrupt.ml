@@ -1,0 +1,179 @@
+module Prng = Lockdoc_util.Prng
+
+type op =
+  | Drop_window of { at : int; len : int }
+  | Duplicate_window of { at : int; len : int }
+  | Reorder_windows of { a : int; b : int; len : int }
+  | Truncate_tail of { keep : int }
+  | Bit_flip of { at : int; pos : int; bit : int }
+  | Inject_line of { at : int; line : string; why : string }
+
+let describe = function
+  | Drop_window { at; len } -> Printf.sprintf "drop %d line(s) at %d" len at
+  | Duplicate_window { at; len } ->
+      Printf.sprintf "duplicate %d line(s) at %d" len at
+  | Reorder_windows { a; b; len } ->
+      Printf.sprintf "swap %d-line windows at %d and %d" len a b
+  | Truncate_tail { keep } -> Printf.sprintf "truncate to first %d line(s)" keep
+  | Bit_flip { at; pos; bit } ->
+      Printf.sprintf "flip bit %d of char %d in line %d" bit pos at
+  | Inject_line { at; why; _ } -> Printf.sprintf "inject %s at %d" why at
+
+(* Flip a bit of one character, avoiding control characters that would
+   change line framing when the trace is written back to a file. *)
+let flip_char c bit =
+  let rec try_bit k tries =
+    if tries >= 7 then '?'
+    else
+      let c' = Char.chr (Char.code c lxor (1 lsl k)) in
+      if c' >= ' ' && c' < '\x7f' then c' else try_bit ((k + 1) mod 7) (tries + 1)
+  in
+  try_bit bit 0
+
+let apply op lines =
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  let clamp i = max 0 (min i (max 0 (n - 1))) in
+  match op with
+  | Drop_window { at; len } ->
+      List.filteri (fun i _ -> i < at || i >= at + len) lines
+  | Duplicate_window { at; len } ->
+      let at = clamp at in
+      let len = min len (n - at) in
+      let window = Array.to_list (Array.sub arr at len) in
+      List.concat
+        [
+          Array.to_list (Array.sub arr 0 (at + len));
+          window;
+          Array.to_list (Array.sub arr (at + len) (n - at - len));
+        ]
+  | Reorder_windows { a; b; len } ->
+      if n = 0 then lines
+      else begin
+        let a = clamp a and b = clamp b in
+        let len = min len (min (n - a) (n - b)) in
+        let lo = min a b and hi = max a b in
+        if len <= 0 || lo + len > hi then lines
+        else begin
+          let out = Array.copy arr in
+          Array.blit arr hi out lo len;
+          Array.blit arr lo out hi len;
+          Array.to_list out
+        end
+      end
+  | Truncate_tail { keep } -> List.filteri (fun i _ -> i < keep) lines
+  | Bit_flip { at; pos; bit } ->
+      List.mapi
+        (fun i line ->
+          if i <> at || String.length line = 0 then line
+          else begin
+            let pos = pos mod String.length line in
+            String.mapi (fun j c -> if j = pos then flip_char c bit else c) line
+          end)
+        lines
+  | Inject_line { at; line; _ } ->
+      if n = 0 then [ line ]
+      else
+        List.concat_map
+          (fun (i, l) -> if i = clamp at then [ line; l ] else [ l ])
+          (List.mapi (fun i l -> (i, l)) lines)
+
+(* Addresses far above the simulated heap: never allocated, never a lock. *)
+let dangling_ptr rng = 0x7000_0000 + Prng.int rng 0x1000
+let orphan_lock_ptr rng = 0x7100_0000 + Prng.int rng 0x1000
+
+let find_indices pred lines =
+  List.mapi (fun i l -> (i, l)) lines
+  |> List.filter_map (fun (i, l) -> if pred l then Some i else None)
+
+let has_prefix p l =
+  String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+(* One mutation that is guaranteed both to alter the stream and to be
+   detectable by the lenient importer, so that "corrupted => >= 1 anomaly"
+   holds for every seed (the FAIL*-style fault-injection contract). *)
+let plan_detectable rng lines =
+  let n = List.length lines in
+  let at = if n = 0 then 0 else Prng.int rng n in
+  match Prng.int rng 3 with
+  | 0 ->
+      Inject_line
+        {
+          at;
+          line = Printf.sprintf "F\t%d" (dangling_ptr rng);
+          why = "dangling free";
+        }
+  | 1 ->
+      Inject_line
+        {
+          at;
+          line = Printf.sprintf "L-\t%d\tinjected.c:1" (orphan_lock_ptr rng);
+          why = "orphan release";
+        }
+  | _ -> (
+      (* Duplicate an existing free right after itself: a certain
+         double-free. Fall back to a dangling free when the trace has
+         none. *)
+      match find_indices (has_prefix "F\t") lines with
+      | [] ->
+          Inject_line
+            {
+              at;
+              line = Printf.sprintf "F\t%d" (dangling_ptr rng);
+              why = "dangling free";
+            }
+      | frees ->
+          let i = List.nth frees (Prng.int rng (List.length frees)) in
+          Inject_line { at = i; line = List.nth lines i; why = "double free" })
+
+let plan_structural rng lines =
+  let n = List.length lines in
+  if n = 0 then Truncate_tail { keep = 0 }
+  else
+    let window () = 1 + Prng.int rng (min 16 n) in
+    match Prng.int rng 7 with
+    | 0 -> Drop_window { at = Prng.int rng n; len = window () }
+    | 1 -> Duplicate_window { at = Prng.int rng n; len = window () }
+    | 2 ->
+        Reorder_windows
+          { a = Prng.int rng n; b = Prng.int rng n; len = window () }
+    | 3 -> Truncate_tail { keep = n - min n (1 + Prng.int rng (n / 2 + 1)) }
+    | 4 ->
+        Bit_flip
+          { at = Prng.int rng n; pos = Prng.int rng 200; bit = Prng.int rng 7 }
+    | 5 -> (
+        (* Duplicate an acquisition right after itself: a double acquire
+           (not guaranteed import-visible — e.g. inside a dropped IRQ
+           segment — hence structural, not the final injection). *)
+        match find_indices (has_prefix "L+\t") lines with
+        | [] -> Drop_window { at = Prng.int rng n; len = window () }
+        | ls ->
+            let i = List.nth ls (Prng.int rng (List.length ls)) in
+            Inject_line
+              { at = i; line = List.nth lines i; why = "double acquire" })
+    | _ -> (
+        (* Duplicate a layout declaration. *)
+        match find_indices (has_prefix "T\t") lines with
+        | [] -> Duplicate_window { at = Prng.int rng n; len = window () }
+        | ts ->
+            let i = List.nth ts (Prng.int rng (List.length ts)) in
+            Inject_line
+              { at = i; line = List.nth lines i; why = "duplicate layout" })
+
+let corrupt ?ops ~seed lines =
+  let rng = Prng.of_int seed in
+  let n_structural =
+    match ops with Some n -> max 0 (n - 1) | None -> Prng.int rng 3
+  in
+  (* Structural mutations first, the guaranteed-detectable injection last,
+     so truncation or window drops can never erase the evidence. *)
+  let lines', applied =
+    List.fold_left
+      (fun (ls, acc) () ->
+        let op = plan_structural rng ls in
+        (apply op ls, op :: acc))
+      (lines, [])
+      (List.init n_structural (fun _ -> ()))
+  in
+  let final = plan_detectable rng lines' in
+  (apply final lines', List.rev (final :: applied))

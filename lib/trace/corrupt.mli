@@ -1,0 +1,33 @@
+(** Deterministic trace corruption for robustness testing.
+
+    Applies composable mutations to the textual (line-level) form of a
+    trace: drop/duplicate/swap line windows, truncate the tail, flip bits
+    inside a line, and inject semantically impossible records (dangling
+    frees, orphan releases, double frees, duplicate layouts). This is the
+    FAIL*-heritage fault-injection idea applied to our own substrate: the
+    ingestion pipeline must degrade gracefully on every output of this
+    module.
+
+    All randomness comes from {!Lockdoc_util.Prng}, so a (trace, seed)
+    pair always yields the same corruption. Every run ends with one
+    guaranteed-detectable injection applied {e after} the structural
+    mutations, so a corrupted stream always differs from the original and
+    always carries at least one anomaly the lenient importer reports. *)
+
+type op =
+  | Drop_window of { at : int; len : int }
+  | Duplicate_window of { at : int; len : int }
+  | Reorder_windows of { a : int; b : int; len : int }  (** swap two windows *)
+  | Truncate_tail of { keep : int }
+  | Bit_flip of { at : int; pos : int; bit : int }
+  | Inject_line of { at : int; line : string; why : string }
+
+val describe : op -> string
+
+val apply : op -> string list -> string list
+(** Apply one mutation; positions are clamped to the current line count. *)
+
+val corrupt : ?ops:int -> seed:int -> string list -> string list * op list
+(** [corrupt ~seed lines] picks 1–3 mutations (or exactly [ops] when
+    given, minimum 1) and applies them. Returns the corrupted lines and
+    the mutations in application order. *)

@@ -1,0 +1,101 @@
+type severity = Recoverable | Fatal
+
+type kind =
+  (* Reader (per-line) anomalies. *)
+  | Unknown_tag
+  | Truncated_record
+  | Malformed_field
+  | Duplicate_layout
+  (* Stream / replay anomalies. *)
+  | Unknown_data_type
+  | Double_alloc
+  | Double_free
+  | Free_without_alloc
+  | Access_after_free
+  | Access_outside_alloc
+  | Unbalanced_release
+  | Double_acquire
+  | Acquire_on_freed_lock
+  | Flow_kind_conflict
+  | Irq_imbalance
+  | Unclosed_txn
+
+type t = {
+  d_kind : kind;
+  d_severity : severity;
+  d_file : string option;  (** trace file, when read from disk *)
+  d_line : int option;  (** 1-based line number in the trace file *)
+  d_event : int option;  (** index into the parsed event stream *)
+  d_message : string;
+}
+
+let default_severity = function
+  | Unknown_tag | Truncated_record | Malformed_field -> Fatal
+  | Unknown_data_type | Double_alloc | Double_free | Free_without_alloc
+  | Access_after_free | Access_outside_alloc | Acquire_on_freed_lock
+  | Flow_kind_conflict ->
+      Fatal
+  | Duplicate_layout | Unbalanced_release | Double_acquire | Irq_imbalance
+  | Unclosed_txn ->
+      Recoverable
+
+let make ?severity ?file ?line ?event kind message =
+  {
+    d_kind = kind;
+    d_severity =
+      (match severity with Some s -> s | None -> default_severity kind);
+    d_file = file;
+    d_line = line;
+    d_event = event;
+    d_message = message;
+  }
+
+let is_fatal d = d.d_severity = Fatal
+
+let kind_to_string = function
+  | Unknown_tag -> "unknown-tag"
+  | Truncated_record -> "truncated-record"
+  | Malformed_field -> "malformed-field"
+  | Duplicate_layout -> "duplicate-layout"
+  | Unknown_data_type -> "unknown-data-type"
+  | Double_alloc -> "double-alloc"
+  | Double_free -> "double-free"
+  | Free_without_alloc -> "free-without-alloc"
+  | Access_after_free -> "access-after-free"
+  | Access_outside_alloc -> "access-outside-alloc"
+  | Unbalanced_release -> "unbalanced-release"
+  | Double_acquire -> "double-acquire"
+  | Acquire_on_freed_lock -> "acquire-on-freed-lock"
+  | Flow_kind_conflict -> "flow-kind-conflict"
+  | Irq_imbalance -> "irq-imbalance"
+  | Unclosed_txn -> "unclosed-txn"
+
+let severity_to_string = function
+  | Recoverable -> "recoverable"
+  | Fatal -> "fatal"
+
+let location d =
+  match (d.d_file, d.d_line, d.d_event) with
+  | Some f, Some l, _ -> Printf.sprintf "%s:%d" f l
+  | Some f, None, Some e -> Printf.sprintf "%s[event %d]" f e
+  | Some f, None, None -> f
+  | None, Some l, _ -> Printf.sprintf "line %d" l
+  | None, None, Some e -> Printf.sprintf "event %d" e
+  | None, None, None -> "?"
+
+let to_string d =
+  Printf.sprintf "%s: %s (%s): %s" (location d) (kind_to_string d.d_kind)
+    (severity_to_string d.d_severity)
+    d.d_message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let summarize diags =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let k = kind_to_string d.d_kind in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    diags;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,63 @@
+(** Trace-ingestion diagnostics: the anomaly taxonomy shared by the
+    validating reader ({!Trace.read_lines}), the stream-invariant
+    validator ({!Check}) and the recovering importer
+    ({!Lockdoc_db.Import}).
+
+    An anomaly is {e recoverable} when ingestion can skip or repair the
+    offending record without corrupting downstream analysis state, and
+    {e fatal} when data was lost or an impossible state transition was
+    observed. Strict-mode readers raise on the first anomaly; lenient
+    readers collect them all and keep going. *)
+
+type severity = Recoverable | Fatal
+
+type kind =
+  | Unknown_tag  (** line whose tag is not one of the known records *)
+  | Truncated_record  (** known tag with the wrong number of fields *)
+  | Malformed_field  (** field failed to parse (int, enum, escape, loc) *)
+  | Duplicate_layout  (** second layout declaration for the same type *)
+  | Unknown_data_type  (** allocation names an undeclared layout *)
+  | Double_alloc  (** allocation at an address that is already live *)
+  | Double_free  (** free of an address that was already freed *)
+  | Free_without_alloc  (** free of an address never allocated *)
+  | Access_after_free  (** access inside a freed (not reused) allocation *)
+  | Access_outside_alloc  (** access outside any live or freed allocation *)
+  | Unbalanced_release  (** release without a matching acquisition *)
+  | Double_acquire  (** exclusive lock acquired while already held *)
+  | Acquire_on_freed_lock  (** lock embedded in a freed allocation *)
+  | Flow_kind_conflict  (** one pid used with two different context kinds *)
+  | Irq_imbalance  (** trace ends inside an interrupt handler *)
+  | Unclosed_txn  (** lock still held at end of trace *)
+
+type t = {
+  d_kind : kind;
+  d_severity : severity;
+  d_file : string option;
+  d_line : int option;  (** 1-based line number in the trace file *)
+  d_event : int option;  (** index into the parsed event stream *)
+  d_message : string;
+}
+
+val make :
+  ?severity:severity ->
+  ?file:string ->
+  ?line:int ->
+  ?event:int ->
+  kind ->
+  string ->
+  t
+(** [make kind msg] builds a diagnostic with the kind's default severity
+    (override with [?severity]). *)
+
+val default_severity : kind -> severity
+val is_fatal : t -> bool
+val kind_to_string : kind -> string
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** ["file:line: kind (severity): message"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val summarize : t list -> (string * int) list
+(** Count per kind name, sorted by name. *)

@@ -78,6 +78,25 @@ let ctx_of_string = function
 
 let tab = String.concat "\t"
 
+(* Free-form name fields are escaped so that tabs/newlines in identifiers
+   cannot break line framing; source locations are serialised first and
+   then escaped as a whole (the file part may contain anything). *)
+let enc = Fieldenc.encode
+
+let enc_loc loc = Fieldenc.encode (Srcloc.to_string loc)
+
+let dec_loc s = Srcloc.of_string (Fieldenc.decode s)
+
+let enc_subclass = function
+  | None -> "-"
+  | Some s ->
+      (* A literal "-" subclass must not collide with the None marker. *)
+      if s = "-" then "\\-" else enc s
+
+let dec_subclass = function
+  | "-" -> None
+  | s -> Some (Fieldenc.decode s)
+
 let to_line = function
   | Alloc { ptr; size; data_type; subclass } ->
       tab
@@ -85,8 +104,8 @@ let to_line = function
           "A";
           string_of_int ptr;
           string_of_int size;
-          data_type;
-          Option.value ~default:"-" subclass;
+          enc data_type;
+          enc_subclass subclass;
         ]
   | Free { ptr } -> tab [ "F"; string_of_int ptr ]
   | Lock_acquire { lock_ptr; kind; side; name; loc } ->
@@ -96,11 +115,11 @@ let to_line = function
           string_of_int lock_ptr;
           lock_kind_to_string kind;
           side_to_string side;
-          name;
-          Srcloc.to_string loc;
+          enc name;
+          enc_loc loc;
         ]
   | Lock_release { lock_ptr; loc } ->
-      tab [ "L-"; string_of_int lock_ptr; Srcloc.to_string loc ]
+      tab [ "L-"; string_of_int lock_ptr; enc_loc loc ]
   | Mem_access { ptr; size; kind; loc } ->
       tab
         [
@@ -108,22 +127,33 @@ let to_line = function
           string_of_int ptr;
           string_of_int size;
           access_to_string kind;
-          Srcloc.to_string loc;
+          enc_loc loc;
         ]
-  | Fun_enter { fn; loc } -> tab [ "E"; fn; Srcloc.to_string loc ]
-  | Fun_exit { fn } -> tab [ "X"; fn ]
+  | Fun_enter { fn; loc } -> tab [ "E"; enc fn; enc_loc loc ]
+  | Fun_exit { fn } -> tab [ "X"; enc fn ]
   | Ctx_switch { pid; kind } ->
       tab [ "C"; string_of_int pid; ctx_to_string kind ]
 
-let of_line line =
-  match String.split_on_char '\t' line with
+let arity_of_tag = function
+  | "A" -> Some 5
+  | "F" -> Some 2
+  | "L+" -> Some 6
+  | "L-" -> Some 3
+  | "M" -> Some 5
+  | "E" -> Some 3
+  | "X" -> Some 2
+  | "C" -> Some 3
+  | _ -> None
+
+let of_fields fields line =
+  match fields with
   | [ "A"; ptr; size; data_type; subclass ] ->
       Alloc
         {
           ptr = int_of_string ptr;
           size = int_of_string size;
-          data_type;
-          subclass = (if subclass = "-" then None else Some subclass);
+          data_type = Fieldenc.decode data_type;
+          subclass = dec_subclass subclass;
         }
   | [ "F"; ptr ] -> Free { ptr = int_of_string ptr }
   | [ "L+"; lock_ptr; kind; side; name; loc ] ->
@@ -132,24 +162,26 @@ let of_line line =
           lock_ptr = int_of_string lock_ptr;
           kind = lock_kind_of_string kind;
           side = side_of_string side;
-          name;
-          loc = Srcloc.of_string loc;
+          name = Fieldenc.decode name;
+          loc = dec_loc loc;
         }
   | [ "L-"; lock_ptr; loc ] ->
-      Lock_release { lock_ptr = int_of_string lock_ptr; loc = Srcloc.of_string loc }
+      Lock_release { lock_ptr = int_of_string lock_ptr; loc = dec_loc loc }
   | [ "M"; ptr; size; kind; loc ] ->
       Mem_access
         {
           ptr = int_of_string ptr;
           size = int_of_string size;
           kind = access_of_string kind;
-          loc = Srcloc.of_string loc;
+          loc = dec_loc loc;
         }
-  | [ "E"; fn; loc ] -> Fun_enter { fn; loc = Srcloc.of_string loc }
-  | [ "X"; fn ] -> Fun_exit { fn }
+  | [ "E"; fn; loc ] -> Fun_enter { fn = Fieldenc.decode fn; loc = dec_loc loc }
+  | [ "X"; fn ] -> Fun_exit { fn = Fieldenc.decode fn }
   | [ "C"; pid; kind ] ->
       Ctx_switch { pid = int_of_string pid; kind = ctx_of_string kind }
   | _ -> failwith ("Event.of_line: malformed line: " ^ line)
+
+let of_line line = of_fields (String.split_on_char '\t' line) line
 
 let pp fmt t = Format.pp_print_string fmt (to_line t)
 

@@ -48,12 +48,21 @@ type t =
 
 val lock_kind_to_string : lock_kind -> string
 val lock_kind_of_string : string -> lock_kind
+val ctx_to_string : ctx_kind -> string
+val ctx_of_string : string -> ctx_kind
 
 val to_line : t -> string
-(** One-line, tab-separated serialisation. *)
+(** One-line, tab-separated serialisation. Free-form name fields are
+    {!Fieldenc}-escaped, so identifiers may contain tabs, newlines or
+    separator characters without breaking framing. *)
 
 val of_line : string -> t
 (** Inverse of {!to_line}. Raises [Failure] on malformed input. *)
+
+val arity_of_tag : string -> int option
+(** Expected field count (including the tag itself) for a record tag, or
+    [None] for an unknown tag. Used by the validating reader to classify
+    truncated records separately from unparseable fields. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

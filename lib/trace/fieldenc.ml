@@ -1,0 +1,75 @@
+let must_escape c =
+  c = '\\' || c = '\t' || c = '\n' || c = '\r' || c = ';' || c = ','
+
+let encode s =
+  if not (String.exists must_escape s) then s
+  else begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | ';' -> Buffer.add_string b "\\;"
+        | ',' -> Buffer.add_string b "\\,"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let decode s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        if s.[i] = '\\' then begin
+          if i + 1 >= n then
+            failwith ("Fieldenc.decode: trailing backslash in " ^ s);
+          (match s.[i + 1] with
+          | '\\' -> Buffer.add_char b '\\'
+          | 't' -> Buffer.add_char b '\t'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | ';' -> Buffer.add_char b ';'
+          | ',' -> Buffer.add_char b ','
+          | '-' -> Buffer.add_char b '-'
+          | c ->
+              failwith
+                (Printf.sprintf "Fieldenc.decode: bad escape \\%c in %s" c s));
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char b s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents b
+  end
+
+let split_escaped sep s =
+  let parts = ref [] and b = Buffer.create 16 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then parts := Buffer.contents b :: !parts
+    else if s.[i] = '\\' && i + 1 < n then begin
+      Buffer.add_char b '\\';
+      Buffer.add_char b s.[i + 1];
+      go (i + 2)
+    end
+    else if s.[i] = sep then begin
+      parts := Buffer.contents b :: !parts;
+      Buffer.clear b;
+      go (i + 1)
+    end
+    else begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  List.rev !parts

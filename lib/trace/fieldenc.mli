@@ -1,0 +1,19 @@
+(** Escaping for free-form identifier fields in the trace text format.
+
+    Struct, member, lock and function names may contain any character —
+    including the tab that frames event fields and the [;]/[,] that frame
+    layout specs. {!encode} makes a name safe to embed in either context;
+    {!decode} is its inverse. Names without special characters encode to
+    themselves, so the on-disk format is unchanged for ordinary traces. *)
+
+val encode : string -> string
+(** Backslash-escape [\\], tab, newline, CR, [;] and [,]. *)
+
+val decode : string -> string
+(** Inverse of {!encode}. Also accepts [\-] for a literal [-] (used to
+    disambiguate the "no subclass" marker). Raises [Failure] on a bad or
+    trailing escape. *)
+
+val split_escaped : char -> string -> string list
+(** Split on every unescaped occurrence of the separator. The returned
+    pieces still carry their escapes (pass them through {!decode}). *)

@@ -40,20 +40,20 @@ let kind_of_char = function
 
 let to_string t =
   let member m =
-    Printf.sprintf "%s,%d,%d,%c" m.m_name m.m_offset m.m_size
+    Printf.sprintf "%s,%d,%d,%c" (Fieldenc.encode m.m_name) m.m_offset m.m_size
       (kind_to_char m.m_kind)
   in
-  Printf.sprintf "%s;%d;%s" t.ty_name t.ty_size
+  Printf.sprintf "%s;%d;%s" (Fieldenc.encode t.ty_name) t.ty_size
     (String.concat ";" (List.map member t.members))
 
 let of_string s =
-  match String.split_on_char ';' s with
+  match Fieldenc.split_escaped ';' s with
   | ty_name :: size :: rest ->
       let member spec =
-        match String.split_on_char ',' spec with
+        match Fieldenc.split_escaped ',' spec with
         | [ m_name; off; sz; kind ] when String.length kind = 1 ->
             {
-              m_name;
+              m_name = Fieldenc.decode m_name;
               m_offset = int_of_string off;
               m_size = int_of_string sz;
               m_kind = kind_of_char kind.[0];
@@ -61,7 +61,7 @@ let of_string s =
         | _ -> failwith ("Layout.of_string: bad member spec " ^ spec)
       in
       {
-        ty_name;
+        ty_name = Fieldenc.decode ty_name;
         ty_size = int_of_string size;
         members = List.map member rest;
       }

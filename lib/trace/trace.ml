@@ -26,18 +26,84 @@ let to_lines t =
   let layout_lines = List.map (fun l -> "T\t" ^ Layout.to_string l) t.layouts in
   layout_lines @ List.map Event.to_line (Array.to_list t.events)
 
-let of_lines lines =
-  let layouts, rev_events =
-    List.fold_left
-      (fun (layouts, events) line ->
-        if String.length line = 0 then (layouts, events)
-        else if String.length line >= 2 && String.sub line 0 2 = "T\t" then
-          let spec = String.sub line 2 (String.length line - 2) in
-          (Layout.of_string spec :: layouts, events)
-        else (layouts, Event.of_line line :: events))
-      ([], []) lines
+(* {2 Validating reader}
+
+   The reader never throws away a whole file because of one bad line: each
+   line either parses, or produces a {!Diag.t} classifying what went wrong.
+   [Strict] mode raises on the first anomaly (with file/line context);
+   [Lenient] mode skips the offending line and keeps reading. *)
+
+type mode = Strict | Lenient
+
+exception Invalid of Diag.t
+
+let () =
+  Printexc.register_printer (function
+    | Invalid d -> Some (Diag.to_string d)
+    | _ -> None)
+
+let read_lines ?(mode = Strict) ?file lines =
+  let diags = ref [] in
+  let report d =
+    match mode with Strict -> raise (Invalid d) | Lenient -> diags := d :: !diags
   in
-  { layouts = List.rev layouts; events = Array.of_list (List.rev rev_events) }
+  let seen_types = Hashtbl.create 16 in
+  let layouts, rev_events, _ =
+    List.fold_left
+      (fun (layouts, events, lineno) line ->
+        let diag kind message =
+          report (Diag.make ?file ~line:lineno kind message)
+        in
+        if String.length line = 0 then (layouts, events, lineno + 1)
+        else if String.length line >= 2 && String.sub line 0 2 = "T\t" then begin
+          let spec = String.sub line 2 (String.length line - 2) in
+          match Layout.of_string spec with
+          | l ->
+              if Hashtbl.mem seen_types l.Layout.ty_name then begin
+                diag Diag.Duplicate_layout
+                  ("layout for " ^ l.Layout.ty_name
+                 ^ " already declared; keeping the first");
+                (layouts, events, lineno + 1)
+              end
+              else begin
+                Hashtbl.replace seen_types l.Layout.ty_name ();
+                (l :: layouts, events, lineno + 1)
+              end
+          | exception Failure msg ->
+              diag Diag.Malformed_field msg;
+              (layouts, events, lineno + 1)
+        end
+        else begin
+          let fields = String.split_on_char '\t' line in
+          let tag = match fields with t :: _ -> t | [] -> "" in
+          (match Event.arity_of_tag tag with
+          | None ->
+              diag Diag.Unknown_tag
+                (Printf.sprintf "unknown record tag %S in line %S" tag line);
+              (layouts, events, lineno + 1)
+          | Some arity when List.length fields <> arity ->
+              diag Diag.Truncated_record
+                (Printf.sprintf "%s record has %d fields, expected %d: %S" tag
+                   (List.length fields) arity line);
+              (layouts, events, lineno + 1)
+          | Some _ -> (
+              match Event.of_line line with
+              | ev -> (layouts, ev :: events, lineno + 1)
+              | exception Failure msg ->
+                  diag Diag.Malformed_field msg;
+                  (layouts, events, lineno + 1)))
+        end)
+      ([], [], 1) lines
+  in
+  ( { layouts = List.rev layouts; events = Array.of_list (List.rev rev_events) },
+    List.rev !diags )
+
+(* Strict reading used to raise a bare [Failure] from deep inside the
+   parser; callers now always get the file (when known) and line number. *)
+let of_lines lines =
+  match read_lines ~mode:Strict lines with
+  | t, _ -> t
+  | exception Invalid d -> failwith (Diag.to_string d)
 
 let save path t =
   let oc = open_out path in
@@ -50,7 +116,7 @@ let save path t =
           output_char oc '\n')
         (to_lines t))
 
-let load path =
+let read_file_lines path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -60,6 +126,13 @@ let load path =
         | line -> read (line :: acc)
         | exception End_of_file -> List.rev acc
       in
-      of_lines (read []))
+      read [])
+
+let read ?(mode = Strict) path = read_lines ~mode ~file:path (read_file_lines path)
+
+let load path =
+  match read ~mode:Strict path with
+  | t, _ -> t
+  | exception Invalid d -> failwith (Diag.to_string d)
 
 let count t pred = Array.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t.events

@@ -20,10 +20,32 @@ val finish : layouts:Layout.t list -> sink -> t
 val save : string -> t -> unit
 (** Write to a file; one line per layout/event. *)
 
+type mode =
+  | Strict  (** raise {!Invalid} on the first anomalous line *)
+  | Lenient  (** skip anomalous lines, collecting a {!Diag.t} for each *)
+
+exception Invalid of Diag.t
+(** Raised by strict-mode reads; carries file, line number and anomaly
+    classification. *)
+
+val read_lines : ?mode:mode -> ?file:string -> string list -> t * Diag.t list
+(** Validating reader (default [Strict]). Per-line anomalies — unknown
+    tags, truncated records, malformed fields, duplicate layouts — are
+    classified recoverable vs fatal; in [Lenient] mode the offending line
+    is skipped and reading continues. [?file] is only used to locate
+    diagnostics. *)
+
+val read : ?mode:mode -> string -> t * Diag.t list
+(** [read path] is {!read_lines} over the lines of [path]. Raises
+    [Sys_error] if the file cannot be opened. *)
+
 val load : string -> t
-(** Inverse of {!save}. Raises [Failure] or [Sys_error]. *)
+(** Inverse of {!save}. Strict: raises [Failure] carrying the file name
+    and line number of the first bad line, or [Sys_error]. *)
 
 val of_lines : string list -> t
+(** Strict parse; raises [Failure] with the offending line number. *)
+
 val to_lines : t -> string list
 
 val count : t -> (Event.t -> bool) -> int

@@ -408,6 +408,92 @@ let test_layout_of_key () =
   | Some l -> check Alcotest.string "layout found" "widget" l.Layout.ty_name
   | None -> Alcotest.fail "subclassed key did not resolve")
 
+(* {2 Anomaly recovery} *)
+
+let task = Event.Ctx_switch { pid = 1; kind = Event.Task }
+
+let lenient events = Import.run ~mode:Import.Lenient (mk_trace events)
+
+let test_lenient_double_free () =
+  let _, stats =
+    lenient [ task; alloc base; Event.Free { ptr = base }; Event.Free { ptr = base } ]
+  in
+  check Alcotest.int "double free" 1 stats.Import.anomalies.Import.an_double_free;
+  check Alcotest.int "total" 1 (Import.anomaly_total stats)
+
+let test_lenient_free_without_alloc () =
+  let _, stats = lenient [ task; Event.Free { ptr = 0x4242 } ] in
+  check Alcotest.int "free without alloc" 1
+    stats.Import.anomalies.Import.an_free_without_alloc
+
+let test_lenient_access_after_free () =
+  let _, stats =
+    lenient [ task; alloc base; Event.Free { ptr = base }; read (base + 4) ]
+  in
+  check Alcotest.int "access after free" 1
+    stats.Import.anomalies.Import.an_access_after_free;
+  (* Recovery: the access also counts as unresolved, like any access
+     outside a live allocation. *)
+  check Alcotest.int "still unresolved" 1 stats.Import.unresolved
+
+let test_lenient_acquire_on_freed () =
+  let _, stats =
+    lenient
+      [ task; alloc base; Event.Free { ptr = base }; acquire (base + 8);
+        release (base + 8) ]
+  in
+  check Alcotest.int "acquire on freed" 1
+    stats.Import.anomalies.Import.an_acquire_on_freed
+
+let test_lenient_unknown_data_type () =
+  let _, stats =
+    lenient
+      [ task;
+        Event.Alloc { ptr = 0x5000; size = 8; data_type = "mystery"; subclass = None };
+        Event.Free { ptr = 0x5000 } ]
+  in
+  check Alcotest.int "unknown type" 1
+    stats.Import.anomalies.Import.an_unknown_data_type;
+  (* The skipped allocation makes its free dangle; that is a second,
+     distinct anomaly. *)
+  check Alcotest.int "free dangles" 1
+    stats.Import.anomalies.Import.an_free_without_alloc
+
+let test_lenient_flow_conflict () =
+  let _, stats =
+    lenient
+      [ task; Event.Ctx_switch { pid = 1; kind = Event.Softirq }; task ]
+  in
+  check Alcotest.int "flow conflict" 1
+    stats.Import.anomalies.Import.an_flow_conflict
+
+let test_lenient_unclosed_txn () =
+  let store, stats = lenient [ task; acquire 0x50; write base ] in
+  check Alcotest.int "unclosed" 1 stats.Import.anomalies.Import.an_unclosed_txns;
+  (* Flushed, not dropped: the transaction row exists. *)
+  check Alcotest.bool "txn flushed" true (Store.n_txns store > 0)
+
+let test_strict_raises_on_fatal () =
+  let events = [ task; alloc base; Event.Free { ptr = base }; Event.Free { ptr = base } ] in
+  match Import.run ~mode:Import.Strict (mk_trace events) with
+  | _ -> Alcotest.fail "strict mode accepted a double free"
+  | exception Trace.Invalid d ->
+      check Alcotest.string "kind" "double-free"
+        (Lockdoc_trace.Diag.kind_to_string d.Lockdoc_trace.Diag.d_kind)
+
+let test_modes_agree_on_clean_trace () =
+  let trace = Lockdoc_ksim.Run.quick ~seed:3 () in
+  let _, strict = Import.run ~mode:Import.Strict trace in
+  let _, len = Import.run ~mode:Import.Lenient trace in
+  check Alcotest.bool "stats identical" true (strict = len);
+  check Alcotest.int "no anomalies" 0 (Import.anomaly_total strict);
+  (* A clean trace's stats render without any anomaly section. *)
+  let rendered = Format.asprintf "%a" Import.pp_stats strict in
+  check Alcotest.bool "no anomaly lines" false
+    (String.split_on_char '\n' rendered
+    |> List.exists (fun l ->
+           String.length l >= 9 && String.sub l 0 9 = "anomalies"))
+
 let () =
   Alcotest.run "db"
     [
@@ -444,5 +530,24 @@ let () =
         [
           Alcotest.test_case "stack interning" `Quick test_stack_interning;
           Alcotest.test_case "layout of key" `Quick test_layout_of_key;
+        ] );
+      ( "anomalies",
+        [
+          Alcotest.test_case "double free" `Quick test_lenient_double_free;
+          Alcotest.test_case "free without alloc" `Quick
+            test_lenient_free_without_alloc;
+          Alcotest.test_case "access after free" `Quick
+            test_lenient_access_after_free;
+          Alcotest.test_case "acquire on freed" `Quick
+            test_lenient_acquire_on_freed;
+          Alcotest.test_case "unknown data type" `Quick
+            test_lenient_unknown_data_type;
+          Alcotest.test_case "flow kind conflict" `Quick
+            test_lenient_flow_conflict;
+          Alcotest.test_case "unclosed txn flushed" `Quick
+            test_lenient_unclosed_txn;
+          Alcotest.test_case "strict raises" `Quick test_strict_raises_on_fatal;
+          Alcotest.test_case "modes agree when clean" `Quick
+            test_modes_agree_on_clean_trace;
         ] );
     ]

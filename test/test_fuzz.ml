@@ -1,0 +1,91 @@
+(* Corruption fuzzing of the ingestion pipeline.
+
+   For every isolated workload family and a bank of pinned corruption
+   seeds: corrupting the textual trace must (a) actually alter it, (b)
+   never make the lenient reader or importer raise, and (c) always
+   surface at least one anomaly. The uncorrupted traces must be
+   spotless, and mining rules from them must not depend on the mode.
+
+   The default run keeps the seed bank small so `dune runtest` stays
+   fast; `dune build @fuzz` (or LOCKDOC_FUZZ_SEEDS=n) widens it to the
+   full pinned range. *)
+
+module Trace = Lockdoc_trace.Trace
+module Check = Lockdoc_trace.Check
+module Diag = Lockdoc_trace.Diag
+module Corrupt = Lockdoc_trace.Corrupt
+module Import = Lockdoc_db.Import
+module Run = Lockdoc_ksim.Run
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Report = Lockdoc_core.Report
+
+let check = Alcotest.check
+
+let n_seeds =
+  match Sys.getenv_opt "LOCKDOC_FUZZ_SEEDS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 10)
+  | None -> 10
+
+(* One simulator run per family, shared across all seeds. *)
+let traces =
+  lazy
+    (List.map
+       (fun name -> (name, Run.workload_trace ~seed:11 name))
+       Run.workload_names)
+
+let test_clean_baseline () =
+  List.iter
+    (fun (name, trace) ->
+      let lines = Trace.to_lines trace in
+      let reparsed, reader_diags = Trace.read_lines ~mode:Trace.Lenient lines in
+      check Alcotest.int (name ^ ": reader diags") 0 (List.length reader_diags);
+      check Alcotest.int (name ^ ": check diags") 0
+        (List.length (Check.run reparsed));
+      let store_s, strict = Import.run ~mode:Import.Strict reparsed in
+      let store_l, len = Import.run ~mode:Import.Lenient reparsed in
+      check Alcotest.int (name ^ ": anomalies") 0 (Import.anomaly_total strict);
+      check Alcotest.bool (name ^ ": stats agree") true (strict = len);
+      (* Mined rules must not depend on the mode either. *)
+      let mine store =
+        Report.mined_to_json (Derivator.derive_all (Dataset.of_store store))
+      in
+      check Alcotest.string (name ^ ": mined rules agree") (mine store_s)
+        (mine store_l))
+    (Lazy.force traces)
+
+let test_corruption_recovery () =
+  List.iter
+    (fun (name, trace) ->
+      let lines = Trace.to_lines trace in
+      for seed = 0 to n_seeds - 1 do
+        let id = Printf.sprintf "%s/seed %d" name seed in
+        let lines', ops = Corrupt.corrupt ~seed lines in
+        check Alcotest.bool (id ^ ": altered") true (lines' <> lines);
+        match
+          let t, reader_diags = Trace.read_lines ~mode:Trace.Lenient lines' in
+          let _, stats = Import.run ~mode:Import.Lenient t in
+          List.length reader_diags + Import.anomaly_total stats
+        with
+        | anomalies ->
+            if anomalies = 0 then
+              Alcotest.failf "%s: no anomaly reported for [%s]" id
+                (String.concat "; " (List.map Corrupt.describe ops))
+        | exception e ->
+            Alcotest.failf "%s: lenient pipeline raised %s for [%s]" id
+              (Printexc.to_string e)
+              (String.concat "; " (List.map Corrupt.describe ops))
+      done)
+    (Lazy.force traces)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "ingestion",
+        [
+          Alcotest.test_case "clean baselines" `Quick test_clean_baseline;
+          Alcotest.test_case
+            (Printf.sprintf "corruption recovery (%d seeds)" n_seeds)
+            `Slow test_corruption_recovery;
+        ] );
+    ]

@@ -263,7 +263,8 @@ let test_fault_period () =
        [
          ( "fault",
            fun () ->
-             let site = Fault.site ~period:3 "test_site_period" in
+             Fault.with_period "test_site_period" 3 @@ fun () ->
+             let site = Fault.site "test_site_period" in
              let fires = List.init 9 (fun _ -> Fault.fire site) in
              check (Alcotest.list Alcotest.bool) "every third visit"
                [ false; false; true; false; false; true; false; false; true ]
@@ -276,7 +277,8 @@ let test_fault_disabled () =
        [
          ( "fault-off",
            fun () ->
-             let site = Fault.site ~period:1 "test_site_disabled" in
+             Fault.with_period "test_site_disabled" 1 @@ fun () ->
+             let site = Fault.site "test_site_disabled" in
              Fault.set_enabled false;
              Fun.protect
                ~finally:(fun () -> Fault.set_enabled true)
@@ -284,6 +286,34 @@ let test_fault_disabled () =
                  check Alcotest.bool "never fires when disabled" false
                    (Fault.fire site)) );
        ])
+
+let test_fault_with_period_restores () =
+  let site = Fault.site ~period:7 "test_site_scoped" in
+  Fault.with_period "test_site_scoped" 2 (fun () ->
+      check Alcotest.int "period overridden" 2
+        (List.assoc "test_site_scoped" (Fault.sites ())));
+  check Alcotest.int "period restored" 7
+    (List.assoc "test_site_scoped" (Fault.sites ()));
+  (try
+     Fault.with_period "test_site_scoped" 4 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "period restored on exception" 7
+    (List.assoc "test_site_scoped" (Fault.sites ()));
+  ignore site
+
+let test_fault_reset () =
+  let site = Fault.site ~period:1 "test_site_reset" in
+  Fault.set_enabled true;
+  check Alcotest.bool "fires before reset" true (Fault.fire site);
+  Fault.set_period "test_site_reset" 9;
+  Fault.set_enabled false;
+  Fault.reset ();
+  check Alcotest.int "declared period restored" 1
+    (List.assoc "test_site_reset" (Fault.sites ()));
+  check Alcotest.int "fired count zeroed" 0
+    (List.assoc "test_site_reset" (Fault.fired_counts ()));
+  check Alcotest.bool "re-enabled, fires again" true (Fault.fire site);
+  Fault.reset ()
 
 (* {2 Source coverage} *)
 
@@ -424,6 +454,9 @@ let () =
         [
           Alcotest.test_case "period" `Quick test_fault_period;
           Alcotest.test_case "disabled" `Quick test_fault_disabled;
+          Alcotest.test_case "with_period restores" `Quick
+            test_fault_with_period_restores;
+          Alcotest.test_case "reset" `Quick test_fault_reset;
         ] );
       ( "coverage",
         [ Alcotest.test_case "accounting" `Quick test_coverage_accounting ] );

@@ -184,6 +184,234 @@ let test_trace_save_load () =
           | Event.Mem_access { kind = Event.Read; _ } -> true
           | _ -> false)))
 
+(* {2 Validating reader} *)
+
+module Diag = Lockdoc_trace.Diag
+module Check = Lockdoc_trace.Check
+module Corrupt = Lockdoc_trace.Corrupt
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let write_temp lines =
+  let path = Filename.temp_file "lockdoc_test" ".trace" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  path
+
+let test_load_reports_file_and_line () =
+  let good = Event.to_line (Event.Free { ptr = 7 }) in
+  let path = write_temp [ good; good; "A\tnot_a_number\t4\tt\t-" ] in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Trace.load path with
+      | _ -> Alcotest.fail "bad file accepted"
+      | exception Failure msg ->
+          check Alcotest.bool ("file name in: " ^ msg) true
+            (contains ~sub:path msg);
+          check Alcotest.bool ("line number in: " ^ msg) true
+            (contains ~sub:":3:" msg))
+
+let kinds diags = List.map (fun d -> d.Diag.d_kind) diags
+
+let test_lenient_reader_classifies () =
+  let good = Event.to_line (Event.Free { ptr = 7 }) in
+  let layout = "T\t" ^ Layout.to_string example_layout in
+  let lines =
+    [
+      good;
+      "Z\twhat";                  (* unknown tag *)
+      "A\t1\t2";                  (* truncated record *)
+      "A\tnope\t4\tt\t-";         (* malformed field *)
+      layout;
+      layout;                      (* duplicate layout *)
+      good;
+    ]
+  in
+  let t, diags = Trace.read_lines ~mode:Trace.Lenient lines in
+  check Alcotest.int "good events kept" 2 (Array.length t.Trace.events);
+  check Alcotest.int "one layout kept" 1 (List.length t.Trace.layouts);
+  check
+    (Alcotest.list Alcotest.string)
+    "diag kinds"
+    [ "unknown-tag"; "truncated-record"; "malformed-field"; "duplicate-layout" ]
+    (List.map Diag.kind_to_string (kinds diags));
+  (* Strict mode raises on the first of the same anomalies. *)
+  (match Trace.read_lines ~mode:Trace.Strict lines with
+  | _ -> Alcotest.fail "strict accepted bad lines"
+  | exception Trace.Invalid d ->
+      check Alcotest.string "first anomaly" "unknown-tag"
+        (Diag.kind_to_string d.Diag.d_kind));
+  (* A clean input yields no diagnostics in either mode. *)
+  let _, clean = Trace.read_lines ~mode:Trace.Lenient [ good; layout ] in
+  check Alcotest.int "clean input" 0 (List.length clean)
+
+(* {2 Stream invariants} *)
+
+let mk_trace events =
+  let sink = Trace.sink () in
+  List.iter (Trace.emit sink) events;
+  Trace.finish ~layouts:[ example_layout ] sink
+
+let loc = Srcloc.make "x.c" 1
+
+let test_check_clean () =
+  let t =
+    mk_trace
+      [
+        Event.Ctx_switch { pid = 1; kind = Event.Task };
+        Event.Alloc { ptr = 0x1000; size = 16; data_type = "thing"; subclass = None };
+        Event.Lock_acquire
+          { lock_ptr = 0x1004; kind = Event.Spinlock; side = Event.Exclusive;
+            name = "lock"; loc };
+        Event.Mem_access { ptr = 0x1000; size = 4; kind = Event.Write; loc };
+        Event.Lock_release { lock_ptr = 0x1004; loc };
+        Event.Free { ptr = 0x1000 };
+      ]
+  in
+  check Alcotest.bool "clean" true (Check.is_clean t)
+
+let test_check_flags_anomalies () =
+  let expect name events expected =
+    let got =
+      List.sort_uniq compare (List.map Diag.kind_to_string (kinds (Check.run (mk_trace events))))
+    in
+    check (Alcotest.list Alcotest.string) name expected got
+  in
+  let alloc = Event.Alloc { ptr = 0x1000; size = 16; data_type = "thing"; subclass = None } in
+  expect "double free"
+    [ alloc; Event.Free { ptr = 0x1000 }; Event.Free { ptr = 0x1000 } ]
+    [ "double-free" ];
+  expect "free without alloc" [ Event.Free { ptr = 0x4444 } ]
+    [ "free-without-alloc" ];
+  expect "access after free"
+    [ alloc; Event.Free { ptr = 0x1000 };
+      Event.Mem_access { ptr = 0x1008; size = 4; kind = Event.Read; loc } ]
+    [ "access-after-free" ];
+  expect "access outside"
+    [ Event.Mem_access { ptr = 0x9999; size = 4; kind = Event.Read; loc } ]
+    [ "access-outside-alloc" ];
+  expect "unknown data type"
+    [ Event.Alloc { ptr = 0x2000; size = 8; data_type = "mystery"; subclass = None };
+      Event.Free { ptr = 0x2000 } ]
+    [ "unknown-data-type" ];
+  expect "unbalanced release"
+    [ Event.Lock_release { lock_ptr = 0x50; loc } ]
+    [ "unbalanced-release" ];
+  expect "unclosed txn"
+    [ Event.Lock_acquire
+        { lock_ptr = 0x50; kind = Event.Mutex; side = Event.Exclusive;
+          name = "m"; loc } ]
+    [ "unclosed-txn" ];
+  expect "double acquire"
+    [ Event.Lock_acquire
+        { lock_ptr = 0x50; kind = Event.Mutex; side = Event.Exclusive;
+          name = "m"; loc };
+      Event.Lock_acquire
+        { lock_ptr = 0x50; kind = Event.Mutex; side = Event.Exclusive;
+          name = "m"; loc };
+      Event.Lock_release { lock_ptr = 0x50; loc };
+      Event.Lock_release { lock_ptr = 0x50; loc } ]
+    [ "double-acquire" ];
+  expect "irq imbalance"
+    [ Event.Ctx_switch { pid = 1001; kind = Event.Hardirq } ]
+    [ "irq-imbalance" ];
+  expect "flow kind conflict"
+    [ Event.Ctx_switch { pid = 9; kind = Event.Task };
+      Event.Ctx_switch { pid = 9; kind = Event.Softirq };
+      Event.Ctx_switch { pid = 9; kind = Event.Task } ]
+    [ "flow-kind-conflict" ];
+  (* Seqlock writer overlapping an optimistic reader is legitimate. *)
+  expect "seqlock overlap ok"
+    [ Event.Lock_acquire
+        { lock_ptr = 0x60; kind = Event.Seqlock; side = Event.Shared;
+          name = "seq"; loc };
+      Event.Lock_acquire
+        { lock_ptr = 0x60; kind = Event.Seqlock; side = Event.Exclusive;
+          name = "seq"; loc };
+      Event.Lock_release { lock_ptr = 0x60; loc };
+      Event.Lock_release { lock_ptr = 0x60; loc } ]
+    []
+
+(* {2 Corruption} *)
+
+let test_corrupt_deterministic () =
+  let lines = Trace.to_lines (mk_trace sample_events) in
+  let c1, ops1 = Corrupt.corrupt ~seed:5 lines in
+  let c2, ops2 = Corrupt.corrupt ~seed:5 lines in
+  check Alcotest.bool "same seed, same lines" true (c1 = c2);
+  check
+    (Alcotest.list Alcotest.string)
+    "same seed, same ops"
+    (List.map Corrupt.describe ops1)
+    (List.map Corrupt.describe ops2);
+  check Alcotest.bool "always altered" true (c1 <> lines);
+  let distinct =
+    List.sort_uniq compare
+      (List.init 20 (fun seed -> fst (Corrupt.corrupt ~seed lines)))
+  in
+  check Alcotest.bool "seeds diversify" true (List.length distinct > 5)
+
+let test_corrupt_ops_count () =
+  let lines = Trace.to_lines (mk_trace sample_events) in
+  let _, ops = Corrupt.corrupt ~ops:4 ~seed:9 lines in
+  check Alcotest.int "requested op count" 4 (List.length ops)
+
+(* {2 Escaped identifiers} *)
+
+let nasty_string =
+  QCheck.Gen.oneofl
+    [
+      ""; " "; "a b"; "a\tb"; "a\nb"; "a\rb"; "a;b"; "a,b"; "-"; "a\\b";
+      "a|b"; "x:y"; "tab\tsep;and,more"; "\\"; ";";
+    ]
+
+let nasty_event_gen =
+  let open QCheck.Gen in
+  let s = nasty_string in
+  let sub = oneof [ return None; map (fun x -> Some x) s ] in
+  oneof
+    [
+      map2
+        (fun dt sc -> Event.Alloc { ptr = 0x1000; size = 8; data_type = dt; subclass = sc })
+        s sub;
+      map
+        (fun name ->
+          Event.Lock_acquire
+            { lock_ptr = 0x10; kind = Event.Spinlock; side = Event.Exclusive;
+              name; loc })
+        s;
+      map (fun fn -> Event.Fun_enter { fn; loc }) s;
+      map (fun fn -> Event.Fun_exit { fn }) s;
+    ]
+
+let prop_nasty_trace_roundtrip =
+  QCheck.Test.make ~name:"escaped identifier trace roundtrip" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         pair (list_size (int_range 0 8) nasty_event_gen)
+           (pair nasty_string (list_size (int_range 1 3) nasty_string))))
+    (fun (events, (ty_name, members)) ->
+      let layout =
+        Layout.make
+          ~name:(if ty_name = "" then "t" else ty_name)
+          (List.mapi
+             (fun i m -> (Printf.sprintf "%d%s" i m, 4, Layout.Data))
+             members)
+      in
+      let sink = Trace.sink () in
+      List.iter (Trace.emit sink) events;
+      let t = Trace.finish ~layouts:[ layout ] sink in
+      let back = Trace.of_lines (Trace.to_lines t) in
+      List.length back.Trace.layouts = 1
+      && Layout.to_string (List.hd back.Trace.layouts) = Layout.to_string layout
+      && Array.length back.Trace.events = List.length events
+      && List.for_all2 Event.equal events (Array.to_list back.Trace.events))
+
 let () =
   Alcotest.run "trace"
     [
@@ -212,5 +440,23 @@ let () =
           Alcotest.test_case "sink order" `Quick test_sink_order;
           Alcotest.test_case "lines roundtrip" `Quick test_trace_lines_roundtrip;
           Alcotest.test_case "save/load" `Quick test_trace_save_load;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "bad file carries location" `Quick
+            test_load_reports_file_and_line;
+          Alcotest.test_case "lenient classification" `Quick
+            test_lenient_reader_classifies;
+          qtest prop_nasty_trace_roundtrip;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "clean trace" `Quick test_check_clean;
+          Alcotest.test_case "flags anomalies" `Quick test_check_flags_anomalies;
+        ] );
+      ( "corrupt",
+        [
+          Alcotest.test_case "deterministic" `Quick test_corrupt_deterministic;
+          Alcotest.test_case "op count" `Quick test_corrupt_ops_count;
         ] );
     ]
