@@ -72,6 +72,23 @@ let microbenches () =
   let store, _ = Import.run trace in
   let dataset = Dataset.of_store store in
   let clock_trace = Lockdoc_ksim.Clock_example.run () in
+  let durable_checkpoint =
+    max 1 (Array.length trace.Lockdoc_trace.Trace.events / 4)
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let with_fresh_dir f =
+    let dir = Filename.temp_file "lockdoc_bench_durable" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
   let obs = Dataset.by_member dataset "inode:ext4" ~member:"i_state" ~kind:Rule.W in
   let tests =
     [
@@ -87,6 +104,21 @@ let microbenches () =
       Test.make ~name:"import: corrupted trace (lenient)"
         (Staged.stage (fun () ->
              ignore (Import.run ~mode:Import.Lenient corrupted)));
+      (* Durability overhead: same trace, with WAL + checkpoints. A
+         fresh directory per iteration so every run pays the full
+         fresh-import cost. *)
+      Test.make ~name:"import: durable (wal sync=1, 4 checkpoints)"
+        (Staged.stage (fun () ->
+             with_fresh_dir (fun dir ->
+                 ignore
+                   (Lockdoc_db.Durable.import ~dir
+                      ~checkpoint_every:durable_checkpoint trace))));
+      Test.make ~name:"import: durable (wal sync=256, 4 checkpoints)"
+        (Staged.stage (fun () ->
+             with_fresh_dir (fun dir ->
+                 ignore
+                   (Lockdoc_db.Durable.import ~dir ~wal_sync_every:256
+                      ~checkpoint_every:durable_checkpoint trace))));
       Test.make ~name:"check: stream invariants"
         (Staged.stage (fun () ->
              ignore (Lockdoc_trace.Check.run trace)));

@@ -102,12 +102,93 @@ let trace_cmd =
 (* {2 import} *)
 
 let import_cmd =
-  let run mode path =
-    let _, stats = load_dataset ~mode path in
-    Format.printf "%a@." Import.pp_stats stats
+  let durable_arg =
+    Arg.(value & opt (some string) None & info [ "durable" ] ~docv:"DIR"
+           ~doc:"Import durably: write-ahead-log every store operation and \
+                 checkpoint into $(docv). A crashed import resumes from the \
+                 last checkpoint when rerun with the same $(docv).")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt int 50_000 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Events between checkpoints (with --durable).")
+  in
+  let run mode durable checkpoint_every path =
+    match durable with
+    | None ->
+        let _, stats = load_dataset ~mode path in
+        Format.printf "%a@." Import.pp_stats stats
+    | Some dir ->
+        or_fail @@ fun () ->
+        let trace = load_trace mode path in
+        let _, stats, progress =
+          Lockdoc_db.Durable.import ~dir ~checkpoint_every ~mode
+            ~trace_file:path trace
+        in
+        if progress.Lockdoc_db.Durable.pr_resumed_from > 0 then
+          Printf.printf "resumed from event %d\n"
+            progress.Lockdoc_db.Durable.pr_resumed_from;
+        Printf.printf "%d checkpoint(s), %d WAL record(s) -> %s\n"
+          progress.Lockdoc_db.Durable.pr_checkpoints
+          progress.Lockdoc_db.Durable.pr_wal_records dir;
+        Format.printf "%a@." Import.pp_stats stats
   in
   Cmd.v (Cmd.info "import" ~doc:"Post-process a trace and print statistics")
-    Term.(const run $ mode_arg $ trace_file_arg)
+    Term.(const run $ mode_arg $ durable_arg $ checkpoint_arg $ trace_file_arg)
+
+(* {2 recover} *)
+
+let recover_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Durable directory written by $(b,lockdoc import --durable).")
+  in
+  let derive_arg =
+    Arg.(value & flag & info [ "derive" ]
+           ~doc:"Also mine and print locking rules from the recovered store.")
+  in
+  let run dir derive tac =
+    let module Durable = Lockdoc_db.Durable in
+    let module Store = Lockdoc_db.Store in
+    let r = Durable.recover ~dir in
+    (match r.Durable.r_snapshot with
+    | Some s -> Printf.printf "snapshot: %s\n" s
+    | None -> Printf.printf "snapshot: none (replaying WAL from scratch)\n");
+    Printf.printf "wal: %d record(s) replayed up to lsn %d\n"
+      r.Durable.r_replayed r.Durable.r_wal_lsn;
+    (match r.Durable.r_torn with
+    | Some reason -> Printf.printf "wal tail: %s (truncated there)\n" reason
+    | None -> Printf.printf "wal tail: clean\n");
+    Printf.printf "state: %s"
+      (if r.Durable.r_complete then "complete import"
+       else "interrupted import");
+    if not r.Durable.r_complete && r.Durable.r_trace_file <> "" then
+      Printf.printf " (resume with: lockdoc import --durable %s %s)" dir
+        r.Durable.r_trace_file;
+    print_newline ();
+    let s = r.Durable.r_store in
+    Printf.printf
+      "store: %d access(es), %d txn(s), %d lock(s), %d allocation(s), %d \
+       type(s)\n"
+      (Store.n_accesses s) (Store.n_txns s) (Store.n_locks s)
+      (Store.n_allocations s) (Store.n_data_types s);
+    if derive then begin
+      let dataset = Dataset.of_store s in
+      List.iter
+        (fun key ->
+          Printf.printf "== %s ==\n" key;
+          List.iter
+            (fun m -> print_endline ("  " ^ Docgen.member_line m))
+            (Derivator.derive_type ~tac dataset key))
+        (Dataset.type_keys dataset)
+    end
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild a store from a durable directory (snapshot + WAL tail) \
+          without the source trace. Tolerates torn and corrupt WAL tails: \
+          replay stops at the first bad record instead of failing.")
+    Term.(const run $ dir_arg $ derive_arg $ tac_arg)
 
 (* {2 derive} *)
 
@@ -382,7 +463,8 @@ let main =
     (Cmd.info "lockdoc" ~version:"1.0.0"
        ~doc:"Trace-based analysis of locking in a simulated Linux kernel")
     [
-      trace_cmd; import_cmd; fsck_cmd; derive_cmd; doc_cmd; check_cmd;
+      trace_cmd; import_cmd; recover_cmd; fsck_cmd; derive_cmd; doc_cmd;
+      check_cmd;
       violations_cmd; lockdep_cmd; lockmeter_cmd; export_cmd; relations_cmd;
       repro_cmd;
     ]

@@ -1,6 +1,7 @@
 module Layout = Lockdoc_trace.Layout
 module Srcloc = Lockdoc_trace.Srcloc
 module Event = Lockdoc_trace.Event
+module Fieldenc = Lockdoc_trace.Fieldenc
 open Schema
 
 let files =
@@ -34,16 +35,26 @@ let read_lines path =
       in
       go [])
 
-let opt_to_field to_string = function None -> "-" | Some x -> to_string x
+(* Free-form fields use the trace format's [Fieldenc] escaping, so the
+   CSV and trace encodings cannot drift: separators, tabs and newlines
+   inside identifiers all round-trip, and layout strings (which contain
+   ';' and ',' in their own serialisation) need no special casing. *)
+let enc = Fieldenc.encode
+let dec = Fieldenc.decode
+
+(* "-" marks an absent optional field; a literal "-" escapes to "\-",
+   which [Fieldenc.decode] maps back. *)
+let opt_to_field to_string = function
+  | None -> "-"
+  | Some x ->
+      let s = to_string x in
+      if s = "-" then "\\-" else s
 
 let field_to_opt of_string = function "-" -> None | s -> Some (of_string s)
 
-(* Layouts contain ';' in their own serialisation: escape it. *)
-let encode_layout l =
-  String.concat "|" (String.split_on_char sep (Layout.to_string l))
+let enc_layout l = enc (Layout.to_string l)
 
-let decode_layout s =
-  Layout.of_string (String.concat ";" (String.split_on_char '|' s))
+let dec_layout s = Layout.of_string (dec s)
 
 let side_to_string = function Event.Exclusive -> "x" | Event.Shared -> "s"
 
@@ -65,7 +76,7 @@ let export ~dir store =
   (* data_types *)
   for i = 0 to Store.n_data_types store - 1 do
     let dt = Store.data_type store i in
-    emit [ string_of_int dt.dt_id; dt.dt_name; encode_layout dt.dt_layout ]
+    emit [ string_of_int dt.dt_id; enc dt.dt_name; enc_layout dt.dt_layout ]
   done;
   flush "data_types.csv";
 
@@ -75,7 +86,7 @@ let export ~dir store =
         [
           string_of_int al.al_id; string_of_int al.al_ptr;
           string_of_int al.al_size; string_of_int al.al_type;
-          opt_to_field Fun.id al.al_subclass; string_of_int al.al_start;
+          opt_to_field enc al.al_subclass; string_of_int al.al_start;
           opt_to_field string_of_int al.al_end;
         ]);
   flush "allocations.csv";
@@ -85,19 +96,19 @@ let export ~dir store =
       let parent_alloc, parent_member =
         match lk.lk_parent with
         | None -> ("-", "-")
-        | Some (al, member) -> (string_of_int al, member)
+        | Some (al, member) -> (string_of_int al, enc member)
       in
       emit
         [
           string_of_int lk.lk_id; string_of_int lk.lk_ptr;
-          Event.lock_kind_to_string lk.lk_kind; lk.lk_name; parent_alloc;
+          Event.lock_kind_to_string lk.lk_kind; enc lk.lk_name; parent_alloc;
           parent_member;
         ]);
   flush "locks.csv";
 
   (* stacks: id column then frames *)
   for i = 0 to Store.n_stacks store - 1 do
-    emit (string_of_int i :: Store.stack store i)
+    emit (string_of_int i :: List.map enc (Store.stack store i))
   done;
   flush "stacks.csv";
 
@@ -108,7 +119,7 @@ let export ~dir store =
       List.concat_map
         (fun h ->
           [ string_of_int h.h_lock; side_to_string h.h_side;
-            Srcloc.to_string h.h_loc ])
+            enc (Srcloc.to_string h.h_loc) ])
         tx.tx_locks
     in
     emit (string_of_int tx.tx_id :: string_of_int tx.tx_ctx :: held)
@@ -120,14 +131,14 @@ let export ~dir store =
       emit
         [
           string_of_int a.ac_id; string_of_int a.ac_event;
-          string_of_int a.ac_alloc; a.ac_member;
+          string_of_int a.ac_alloc; enc a.ac_member;
           Event.(match a.ac_kind with Read -> "r" | Write -> "w");
-          opt_to_field string_of_int a.ac_txn; Srcloc.to_string a.ac_loc;
+          opt_to_field string_of_int a.ac_txn; enc (Srcloc.to_string a.ac_loc);
           string_of_int a.ac_stack; string_of_int a.ac_ctx;
         ]);
   flush "accesses.csv"
 
-let split line = String.split_on_char sep line
+let split line = Fieldenc.split_escaped sep line
 
 let import ~dir =
   let store = Store.create () in
@@ -137,7 +148,7 @@ let import ~dir =
     (fun line ->
       match split line with
       | [ _id; _name; layout ] ->
-          ignore (Store.add_data_type store (decode_layout layout))
+          ignore (Store.add_data_type store (dec_layout layout))
       | _ -> failwith ("Csv: bad data_types row: " ^ line))
     (read_lines (path "data_types.csv"));
 
@@ -148,10 +159,11 @@ let import ~dir =
           let al =
             Store.add_allocation store ~ptr:(int_of_string ptr)
               ~size:(int_of_string size) ~ty:(int_of_string ty)
-              ~subclass:(field_to_opt Fun.id subclass)
+              ~subclass:(field_to_opt dec subclass)
               ~start:(int_of_string start)
           in
-          al.al_end <- field_to_opt int_of_string al_end
+          Store.set_alloc_end store al.al_id
+            (field_to_opt int_of_string al_end)
       | _ -> failwith ("Csv: bad allocations row: " ^ line))
     (read_lines (path "allocations.csv"));
 
@@ -162,18 +174,18 @@ let import ~dir =
           let parent =
             match field_to_opt int_of_string parent_alloc with
             | None -> None
-            | Some al -> Some (al, parent_member)
+            | Some al -> Some (al, dec parent_member)
           in
           ignore
             (Store.add_lock store ~ptr:(int_of_string ptr)
-               ~kind:(Event.lock_kind_of_string kind) ~name ~parent)
+               ~kind:(Event.lock_kind_of_string kind) ~name:(dec name) ~parent)
       | _ -> failwith ("Csv: bad locks row: " ^ line))
     (read_lines (path "locks.csv"));
 
   List.iter
     (fun line ->
       match split line with
-      | _id :: frames -> ignore (Store.intern_stack store frames)
+      | _id :: frames -> ignore (Store.intern_stack store (List.map dec frames))
       | [] -> ())
     (read_lines (path "stacks.csv"));
 
@@ -186,7 +198,7 @@ let import ~dir =
                 {
                   h_lock = int_of_string lock;
                   h_side = side_of_string side;
-                  h_loc = Srcloc.of_string loc;
+                  h_loc = Srcloc.of_string (dec loc);
                 }
                 :: triples rest
             | [] -> []
@@ -204,10 +216,11 @@ let import ~dir =
       | [ _id; event; alloc; member; kind; txn; loc; stack; ctx ] ->
           ignore
             (Store.add_access store ~event:(int_of_string event)
-               ~alloc:(int_of_string alloc) ~member
+               ~alloc:(int_of_string alloc) ~member:(dec member)
                ~kind:(match kind with "r" -> Event.Read | _ -> Event.Write)
                ~txn:(field_to_opt int_of_string txn)
-               ~loc:(Srcloc.of_string loc) ~stack:(int_of_string stack)
+               ~loc:(Srcloc.of_string (dec loc))
+               ~stack:(int_of_string stack)
                ~ctx:(int_of_string ctx))
       | _ -> failwith ("Csv: bad accesses row: " ^ line))
     (read_lines (path "accesses.csv"));

@@ -1,0 +1,63 @@
+(** Durable, checkpointed, resumable trace import.
+
+    The durable directory holds three kinds of file:
+    - [wal-<lsn>.seg] — CRC-framed op log segments ({!Wal});
+    - [snap-<seq>.snap] — atomic snapshots of import state ({!Snapshot});
+    - [MANIFEST] — the commit point: names the current snapshot and
+      ties it to a WAL LSN and a source-trace event offset.
+
+    Crash-consistency contract: after a process death at ANY point,
+    either {!recover} rebuilds a consistent store (manifest snapshot +
+    the valid prefix of the WAL tail), or — when the crash predates the
+    first manifest — the directory reads as empty and the import simply
+    restarts. Resuming {!import} over the same directory and trace
+    produces a store whose derived rules are byte-identical to an
+    uninterrupted run: it reloads the checkpointed engine, discards the
+    WAL past the checkpoint, and deterministically re-imports the
+    remaining trace suffix. *)
+
+type progress = {
+  pr_resumed_from : int;  (** trace offset the run started at (0 = fresh) *)
+  pr_checkpoints : int;  (** checkpoints written by this run *)
+  pr_wal_records : int;  (** WAL records appended by this run *)
+}
+
+type recovery = {
+  r_store : Store.t;
+  r_snapshot : string option;  (** snapshot the store was rebuilt from *)
+  r_wal_lsn : int;  (** LSN up to which the WAL was replayed *)
+  r_replayed : int;  (** WAL records replayed on top of the snapshot *)
+  r_torn : string option;  (** why WAL replay stopped early, if it did *)
+  r_trace_offset : int;  (** trace events covered by the snapshot *)
+  r_trace_file : string;
+  r_complete : bool;  (** the recorded import had finished *)
+}
+
+val import :
+  dir:string ->
+  ?checkpoint_every:int ->
+  ?segment_bytes:int ->
+  ?wal_sync_every:int ->
+  ?filter:Filter.t ->
+  ?irq_mode:Import.irq_mode ->
+  ?mode:Import.mode ->
+  ?trace_file:string ->
+  Lockdoc_trace.Trace.t ->
+  Store.t * Import.stats * progress
+(** Import [trace] with durability: every row-creating op goes to the
+    WAL, and every [checkpoint_every] events (default 50000) a
+    snapshot + manifest checkpoint is committed. If [dir] already
+    holds a checkpoint for this trace, the import resumes from it; if
+    it holds a {e completed} import, the stored result is returned
+    without re-importing. [trace_file] (and the event count) guard
+    against resuming over a different trace — mismatch raises
+    [Failure].
+    @raise Invalid_argument if [checkpoint_every <= 0]. *)
+
+val recover : dir:string -> recovery
+(** Rebuild the freshest consistent store from [dir] without the
+    source trace: load the manifest's snapshot (falling back to the
+    newest loadable one), then replay the valid prefix of the WAL
+    tail, stopping — not failing — at the first torn, corrupt or
+    undecodable record. Never raises on damaged state; an empty or
+    missing directory yields an empty store. *)

@@ -69,313 +69,381 @@ let cur_txn ctx =
   | last :: _ -> Some last.opened_txn
   | [] -> ctx.base_txn
 
-let run ?(filter = Filter.default) ?(irq_mode = Inherit) ?(mode = Strict) trace =
+(* All per-run counters in one mutable record so the engine marshals as
+   plain data. *)
+type counters = {
+  mutable k_lock_ops : int;
+  mutable k_mem_accesses : int;
+  mutable k_kept : int;
+  mutable k_f_fn : int;
+  mutable k_f_member : int;
+  mutable k_f_kind : int;
+  mutable k_unresolved : int;
+  mutable k_unbalanced : int;
+  mutable k_allocs : int;
+  mutable k_frees : int;
+  mutable k_locks_static : int;
+  mutable k_locks_embedded : int;
+  mutable k_an_unknown_ty : int;
+  mutable k_an_double_free : int;
+  mutable k_an_free_noalloc : int;
+  mutable k_an_after_free : int;
+  mutable k_an_acq_freed : int;
+  mutable k_an_flow : int;
+  mutable k_an_unclosed : int;
+}
+
+let zero_counters () =
+  {
+    k_lock_ops = 0;
+    k_mem_accesses = 0;
+    k_kept = 0;
+    k_f_fn = 0;
+    k_f_member = 0;
+    k_f_kind = 0;
+    k_unresolved = 0;
+    k_unbalanced = 0;
+    k_allocs = 0;
+    k_frees = 0;
+    k_locks_static = 0;
+    k_locks_embedded = 0;
+    k_an_unknown_ty = 0;
+    k_an_double_free = 0;
+    k_an_free_noalloc = 0;
+    k_an_after_free = 0;
+    k_an_acq_freed = 0;
+    k_an_flow = 0;
+    k_an_unclosed = 0;
+  }
+
+(* The incremental importer. Everything in here is plain marshalable
+   data — no closures — so a checkpoint can capture mid-import state
+   with [Marshal]. The op logger lives on the {!Store}, not here, and
+   is cleared by the snapshot layer before marshalling. *)
+type engine = {
+  g_filter : Filter.t;
+  g_irq_mode : irq_mode;
+  g_mode : mode;
+  g_store : Store.t;
+  g_dt_ids : (string, int) Hashtbl.t;
+  mutable g_live_allocs : int IntMap.t; (* base ptr -> al_id *)
+  mutable g_freed : int IntMap.t; (* base ptr -> size, until reused *)
+  g_live_locks : (int, int) Hashtbl.t; (* lock ptr -> lk_id *)
+  g_locks_of_alloc : (int, int list) Hashtbl.t; (* al_id -> lock ptrs *)
+  g_flow_kinds : (int, Event.ctx_kind) Hashtbl.t;
+  g_ctxs : (int, ctx_state) Hashtbl.t;
+  mutable g_current : ctx_state;
+  mutable g_pos : int; (* index of the next event to feed *)
+  g_c : counters;
+}
+
+let engine ?(filter = Filter.default) ?(irq_mode = Inherit) ?(mode = Strict)
+    ?log layouts =
   let store = Store.create () in
+  Store.set_logger store log;
   let dt_ids = Hashtbl.create 32 in
   List.iter
     (fun layout ->
       let dt = Store.add_data_type store layout in
       Hashtbl.replace dt_ids dt.Schema.dt_name dt.Schema.dt_id)
-    trace.Lockdoc_trace.Trace.layouts;
-
-  (* Live-object state. *)
-  let live_allocs = ref IntMap.empty (* base ptr -> al_id *) in
-  let freed_allocs = ref IntMap.empty (* base ptr -> size, until reused *) in
-  let live_locks = Hashtbl.create 256 (* lock ptr -> lk_id *) in
-  let locks_of_alloc = Hashtbl.create 256 (* al_id -> lock ptr list *) in
-  let flow_kinds = Hashtbl.create 32 (* pid -> ctx_kind *) in
-
-  (* Per-control-flow state. *)
+    layouts;
+  let root = { pid = 0; frames = []; held = []; base_txn = None } in
   let ctxs = Hashtbl.create 32 in
-  let current = ref { pid = 0; frames = []; held = []; base_txn = None } in
-  Hashtbl.replace ctxs 0 !current;
+  Hashtbl.replace ctxs 0 root;
+  {
+    g_filter = filter;
+    g_irq_mode = irq_mode;
+    g_mode = mode;
+    g_store = store;
+    g_dt_ids = dt_ids;
+    g_live_allocs = IntMap.empty;
+    g_freed = IntMap.empty;
+    g_live_locks = Hashtbl.create 256;
+    g_locks_of_alloc = Hashtbl.create 256;
+    g_flow_kinds = Hashtbl.create 32;
+    g_ctxs = ctxs;
+    g_current = root;
+    g_pos = 0;
+    g_c = zero_counters ();
+  }
 
-  (* Counters. *)
-  let lock_ops = ref 0
-  and mem_accesses = ref 0
-  and kept = ref 0
-  and f_fn = ref 0
-  and f_member = ref 0
-  and f_kind = ref 0
-  and unresolved = ref 0
-  and unbalanced = ref 0
-  and allocs = ref 0
-  and frees = ref 0
-  and locks_static = ref 0
-  and locks_embedded = ref 0 in
+let position g = g.g_pos
+let engine_store g = g.g_store
 
-  (* Anomaly counters: detected corruption the lenient mode recovers
-     from. Strict mode raises on the first fatal one instead. *)
-  let an_unknown_ty = ref 0
-  and an_double_free = ref 0
-  and an_free_noalloc = ref 0
-  and an_after_free = ref 0
-  and an_acq_freed = ref 0
-  and an_flow = ref 0
-  and an_unclosed = ref 0 in
+let anomaly g ~event kind message =
+  let d = Diag.make ~event kind message in
+  if g.g_mode = Strict && Diag.is_fatal d then raise (Trace.Invalid d)
 
-  let anomaly counter ~event kind message =
-    incr counter;
-    let d = Diag.make ~event kind message in
-    if mode = Strict && Diag.is_fatal d then raise (Trace.Invalid d)
-  in
+let in_freed g ptr =
+  match IntMap.find_last_opt (fun base -> base <= ptr) g.g_freed with
+  | Some (base, size) -> ptr < base + size
+  | None -> false
 
-  let in_freed ptr =
-    match IntMap.find_last_opt (fun base -> base <= ptr) !freed_allocs with
-    | Some (base, size) -> ptr < base + size
-    | None -> false
-  in
+let find_alloc g ptr =
+  match IntMap.find_last_opt (fun base -> base <= ptr) g.g_live_allocs with
+  | Some (base, al_id) ->
+      let al = Store.allocation g.g_store al_id in
+      if ptr < base + al.Schema.al_size then Some al else None
+  | None -> None
 
-  let find_alloc ptr =
-    match IntMap.find_last_opt (fun base -> base <= ptr) !live_allocs with
-    | Some (base, al_id) ->
-        let al = Store.allocation store al_id in
-        if ptr < base + al.Schema.al_size then Some al else None
-    | None -> None
-  in
-
-  let resolve_lock ~event ptr kind name =
-    match Hashtbl.find_opt live_locks ptr with
-    | Some lk_id -> Store.lock store lk_id
-    | None ->
-        let parent =
-          match find_alloc ptr with
-          | None -> None
-          | Some al ->
-              let dt = Store.data_type store al.Schema.al_type in
-              let offset = ptr - al.Schema.al_ptr in
-              Option.map
-                (fun m -> (al.Schema.al_id, m.Layout.m_name))
-                (Layout.member_at dt.Schema.dt_layout offset)
-        in
-        (match parent with
-        | None ->
-            if in_freed ptr then
-              anomaly an_acq_freed ~event Diag.Acquire_on_freed_lock
-                (Printf.sprintf
-                   "acquire of %s at 0x%x inside a freed allocation" name ptr);
-            incr locks_static
-        | Some (al_id, _) ->
-            incr locks_embedded;
-            let existing =
-              Option.value ~default:[] (Hashtbl.find_opt locks_of_alloc al_id)
-            in
-            Hashtbl.replace locks_of_alloc al_id (ptr :: existing));
-        let lk = Store.add_lock store ~ptr ~kind ~name ~parent in
-        Hashtbl.replace live_locks ptr lk.Schema.lk_id;
-        lk
-  in
-
-  (* Rebuild the nested transactions above a removal point: their opened
-     transactions included the removed lock, so they get fresh rows. *)
-  let reopen_txns ctx kept_prefix tail =
-    let rebuilt =
-      List.fold_left
-        (fun prefix he ->
-          let held_list = List.map (fun e -> e.entry) prefix @ [ he.entry ] in
-          let tx = Store.add_txn store ~locks:held_list ~ctx:ctx.pid in
-          prefix @ [ { he with opened_txn = tx.Schema.tx_id } ])
-        kept_prefix tail
-    in
-    ctx.held <- rebuilt
-  in
-
-  let handle_acquire ctx ~event ~lock_ptr ~kind ~side ~name ~loc =
-    let lk = resolve_lock ~event lock_ptr kind name in
-    let entry =
-      { Schema.h_lock = lk.Schema.lk_id; h_side = side; h_loc = loc }
-    in
-    let held_list = List.map (fun e -> e.entry) ctx.held @ [ entry ] in
-    let tx = Store.add_txn store ~locks:held_list ~ctx:ctx.pid in
-    ctx.held <- ctx.held @ [ { entry; opened_txn = tx.Schema.tx_id } ]
-  in
-
-  let handle_release ctx ~lock_ptr =
-    match Hashtbl.find_opt live_locks lock_ptr with
-    | None -> incr unbalanced
-    | Some lk_id ->
-        (* Drop the most recent occurrence of this lock. *)
-        let rec split_last_match rev_seen = function
-          | [] -> None
-          | he :: rest when he.entry.Schema.h_lock = lk_id
-                            && not (List.exists
-                                      (fun h -> h.entry.Schema.h_lock = lk_id)
-                                      rest) ->
-              Some (List.rev rev_seen, rest)
-          | he :: rest -> split_last_match (he :: rev_seen) rest
-        in
-        (match split_last_match [] ctx.held with
-        | None -> incr unbalanced
-        | Some (prefix, []) -> ctx.held <- prefix
-        | Some (prefix, tail) -> reopen_txns ctx prefix tail)
-  in
-
-  Array.iteri
-    (fun idx ev ->
-      match ev with
-      | Event.Ctx_switch { pid; kind } ->
-          (match Hashtbl.find_opt flow_kinds pid with
-          | Some k when k <> kind ->
-              anomaly an_flow ~event:idx Diag.Flow_kind_conflict
-                (Printf.sprintf "flow %d switches kind %s -> %s" pid
-                   (Event.ctx_to_string k) (Event.ctx_to_string kind))
-          | Some _ -> ()
-          | None -> Hashtbl.replace flow_kinds pid kind);
-          (match kind with
-          | Event.Task -> (
-              match Hashtbl.find_opt ctxs pid with
-              | Some st -> current := st
-              | None ->
-                  let st = { pid; frames = []; held = []; base_txn = None } in
-                  Hashtbl.replace ctxs pid st;
-                  current := st)
-          | Event.Softirq | Event.Hardirq ->
-              (* Handlers run to completion: always a fresh state. *)
-              let st =
-                match irq_mode with
-                | Separate -> { pid; frames = []; held = []; base_txn = None }
-                | Inherit ->
-                    {
-                      pid;
-                      frames = [];
-                      held = (!current).held;
-                      base_txn = (!current).base_txn;
-                    }
-              in
-              current := st)
-      | Event.Alloc { ptr; size; data_type; subclass } -> (
-          incr allocs;
-          match Hashtbl.find_opt dt_ids data_type with
-          | None ->
-              (* Lenient recovery: skip the allocation; its accesses count
-                 as unresolved, exactly as if the region were unmonitored. *)
-              anomaly an_unknown_ty ~event:idx Diag.Unknown_data_type
-                (Printf.sprintf "allocation of undeclared type %s at 0x%x"
-                   data_type ptr)
-          | Some ty ->
-              let al =
-                Store.add_allocation store ~ptr ~size ~ty ~subclass ~start:idx
-              in
-              freed_allocs :=
-                IntMap.filter
-                  (fun base fsize -> base + fsize <= ptr || ptr + size <= base)
-                  !freed_allocs;
-              live_allocs := IntMap.add ptr al.Schema.al_id !live_allocs)
-      | Event.Free { ptr } -> (
-          incr frees;
-          match IntMap.find_opt ptr !live_allocs with
-          | None ->
-              if in_freed ptr then
-                anomaly an_double_free ~event:idx Diag.Double_free
-                  (Printf.sprintf "free of 0x%x which was already freed" ptr)
-              else
-                anomaly an_free_noalloc ~event:idx Diag.Free_without_alloc
-                  (Printf.sprintf "free of 0x%x which was never allocated" ptr)
-          | Some al_id ->
-              let al = Store.allocation store al_id in
-              al.Schema.al_end <- Some idx;
-              freed_allocs := IntMap.add ptr al.Schema.al_size !freed_allocs;
-              live_allocs := IntMap.remove ptr !live_allocs;
-              (match Hashtbl.find_opt locks_of_alloc al_id with
-              | None -> ()
-              | Some ptrs ->
-                  List.iter (Hashtbl.remove live_locks) ptrs;
-                  Hashtbl.remove locks_of_alloc al_id))
-      | Event.Lock_acquire { lock_ptr; kind; side; name; loc } ->
-          incr lock_ops;
-          handle_acquire !current ~event:idx ~lock_ptr ~kind ~side ~name ~loc
-      | Event.Lock_release { lock_ptr; loc = _ } ->
-          incr lock_ops;
-          handle_release !current ~lock_ptr
-      | Event.Fun_enter { fn; loc = _ } ->
-          (!current).frames <- fn :: (!current).frames
-      | Event.Fun_exit { fn } ->
-          let rec pop = function
-            | [] -> []
-            | frame :: rest -> if frame = fn then rest else pop rest
+let resolve_lock g ~event ptr kind name =
+  let c = g.g_c in
+  match Hashtbl.find_opt g.g_live_locks ptr with
+  | Some lk_id -> Store.lock g.g_store lk_id
+  | None ->
+      let parent =
+        match find_alloc g ptr with
+        | None -> None
+        | Some al ->
+            let dt = Store.data_type g.g_store al.Schema.al_type in
+            let offset = ptr - al.Schema.al_ptr in
+            Option.map
+              (fun m -> (al.Schema.al_id, m.Layout.m_name))
+              (Layout.member_at dt.Schema.dt_layout offset)
+      in
+      (match parent with
+      | None ->
+          if in_freed g ptr then begin
+            c.k_an_acq_freed <- c.k_an_acq_freed + 1;
+            anomaly g ~event Diag.Acquire_on_freed_lock
+              (Printf.sprintf
+                 "acquire of %s at 0x%x inside a freed allocation" name ptr)
+          end;
+          c.k_locks_static <- c.k_locks_static + 1
+      | Some (al_id, _) ->
+          c.k_locks_embedded <- c.k_locks_embedded + 1;
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt g.g_locks_of_alloc al_id)
           in
-          (!current).frames <- pop (!current).frames
-      | Event.Mem_access { ptr; size = _; kind; loc } -> (
-          incr mem_accesses;
-          match find_alloc ptr with
-          | None ->
-              incr unresolved;
-              if in_freed ptr then
-                anomaly an_after_free ~event:idx Diag.Access_after_free
-                  (Printf.sprintf "access at 0x%x inside a freed allocation"
-                     ptr)
-          | Some al -> (
-              let dt = Store.data_type store al.Schema.al_type in
-              let offset = ptr - al.Schema.al_ptr in
-              match Layout.member_at dt.Schema.dt_layout offset with
-              | None -> incr unresolved
-              | Some m ->
-                  let ctx = !current in
-                  if
-                    (filter.Filter.drop_lock_members && m.Layout.m_kind = Layout.Lock)
-                    || (filter.Filter.drop_atomic_members
-                        && m.Layout.m_kind = Layout.Atomic)
-                  then incr f_kind
-                  else if
-                    Filter.member_blacklisted filter ~ty:dt.Schema.dt_name
-                      ~member:m.Layout.m_name
-                  then incr f_member
-                  else if Filter.fn_blacklisted filter ctx.frames then incr f_fn
-                  else begin
-                    incr kept;
-                    let stack = Store.intern_stack store ctx.frames in
-                    ignore
-                      (Store.add_access store ~event:idx ~alloc:al.Schema.al_id
-                         ~member:m.Layout.m_name ~kind ~txn:(cur_txn ctx) ~loc
-                         ~stack ~ctx:ctx.pid)
-                  end)))
-    trace.Lockdoc_trace.Trace.events;
+          Hashtbl.replace g.g_locks_of_alloc al_id (ptr :: existing));
+      let lk = Store.add_lock g.g_store ~ptr ~kind ~name ~parent in
+      Hashtbl.replace g.g_live_locks ptr lk.Schema.lk_id;
+      lk
 
+(* Rebuild the nested transactions above a removal point: their opened
+   transactions included the removed lock, so they get fresh rows. *)
+let reopen_txns g ctx kept_prefix tail =
+  let rebuilt =
+    List.fold_left
+      (fun prefix he ->
+        let held_list = List.map (fun e -> e.entry) prefix @ [ he.entry ] in
+        let tx = Store.add_txn g.g_store ~locks:held_list ~ctx:ctx.pid in
+        prefix @ [ { he with opened_txn = tx.Schema.tx_id } ])
+      kept_prefix tail
+  in
+  ctx.held <- rebuilt
+
+let handle_acquire g ctx ~event ~lock_ptr ~kind ~side ~name ~loc =
+  let lk = resolve_lock g ~event lock_ptr kind name in
+  let entry = { Schema.h_lock = lk.Schema.lk_id; h_side = side; h_loc = loc } in
+  let held_list = List.map (fun e -> e.entry) ctx.held @ [ entry ] in
+  let tx = Store.add_txn g.g_store ~locks:held_list ~ctx:ctx.pid in
+  ctx.held <- ctx.held @ [ { entry; opened_txn = tx.Schema.tx_id } ]
+
+let handle_release g ctx ~lock_ptr =
+  let c = g.g_c in
+  match Hashtbl.find_opt g.g_live_locks lock_ptr with
+  | None -> c.k_unbalanced <- c.k_unbalanced + 1
+  | Some lk_id ->
+      (* Drop the most recent occurrence of this lock. *)
+      let rec split_last_match rev_seen = function
+        | [] -> None
+        | he :: rest when he.entry.Schema.h_lock = lk_id
+                          && not (List.exists
+                                    (fun h -> h.entry.Schema.h_lock = lk_id)
+                                    rest) ->
+            Some (List.rev rev_seen, rest)
+        | he :: rest -> split_last_match (he :: rev_seen) rest
+      in
+      (match split_last_match [] ctx.held with
+      | None -> c.k_unbalanced <- c.k_unbalanced + 1
+      | Some (prefix, []) -> ctx.held <- prefix
+      | Some (prefix, tail) -> reopen_txns g ctx prefix tail)
+
+let feed g ev =
+  let idx = g.g_pos in
+  let c = g.g_c in
+  (match ev with
+  | Event.Ctx_switch { pid; kind } ->
+      (match Hashtbl.find_opt g.g_flow_kinds pid with
+      | Some k when k <> kind ->
+          c.k_an_flow <- c.k_an_flow + 1;
+          anomaly g ~event:idx Diag.Flow_kind_conflict
+            (Printf.sprintf "flow %d switches kind %s -> %s" pid
+               (Event.ctx_to_string k) (Event.ctx_to_string kind))
+      | Some _ -> ()
+      | None -> Hashtbl.replace g.g_flow_kinds pid kind);
+      (match kind with
+      | Event.Task -> (
+          match Hashtbl.find_opt g.g_ctxs pid with
+          | Some st -> g.g_current <- st
+          | None ->
+              let st = { pid; frames = []; held = []; base_txn = None } in
+              Hashtbl.replace g.g_ctxs pid st;
+              g.g_current <- st)
+      | Event.Softirq | Event.Hardirq ->
+          (* Handlers run to completion: always a fresh state. *)
+          let st =
+            match g.g_irq_mode with
+            | Separate -> { pid; frames = []; held = []; base_txn = None }
+            | Inherit ->
+                {
+                  pid;
+                  frames = [];
+                  held = g.g_current.held;
+                  base_txn = g.g_current.base_txn;
+                }
+          in
+          g.g_current <- st)
+  | Event.Alloc { ptr; size; data_type; subclass } -> (
+      c.k_allocs <- c.k_allocs + 1;
+      match Hashtbl.find_opt g.g_dt_ids data_type with
+      | None ->
+          (* Lenient recovery: skip the allocation; its accesses count
+             as unresolved, exactly as if the region were unmonitored. *)
+          c.k_an_unknown_ty <- c.k_an_unknown_ty + 1;
+          anomaly g ~event:idx Diag.Unknown_data_type
+            (Printf.sprintf "allocation of undeclared type %s at 0x%x"
+               data_type ptr)
+      | Some ty ->
+          let al =
+            Store.add_allocation g.g_store ~ptr ~size ~ty ~subclass ~start:idx
+          in
+          g.g_freed <-
+            IntMap.filter
+              (fun base fsize -> base + fsize <= ptr || ptr + size <= base)
+              g.g_freed;
+          g.g_live_allocs <- IntMap.add ptr al.Schema.al_id g.g_live_allocs)
+  | Event.Free { ptr } -> (
+      c.k_frees <- c.k_frees + 1;
+      match IntMap.find_opt ptr g.g_live_allocs with
+      | None ->
+          if in_freed g ptr then begin
+            c.k_an_double_free <- c.k_an_double_free + 1;
+            anomaly g ~event:idx Diag.Double_free
+              (Printf.sprintf "free of 0x%x which was already freed" ptr)
+          end
+          else begin
+            c.k_an_free_noalloc <- c.k_an_free_noalloc + 1;
+            anomaly g ~event:idx Diag.Free_without_alloc
+              (Printf.sprintf "free of 0x%x which was never allocated" ptr)
+          end
+      | Some al_id ->
+          let al = Store.allocation g.g_store al_id in
+          Store.set_alloc_end g.g_store al_id (Some idx);
+          g.g_freed <- IntMap.add ptr al.Schema.al_size g.g_freed;
+          g.g_live_allocs <- IntMap.remove ptr g.g_live_allocs;
+          (match Hashtbl.find_opt g.g_locks_of_alloc al_id with
+          | None -> ()
+          | Some ptrs ->
+              List.iter (Hashtbl.remove g.g_live_locks) ptrs;
+              Hashtbl.remove g.g_locks_of_alloc al_id))
+  | Event.Lock_acquire { lock_ptr; kind; side; name; loc } ->
+      c.k_lock_ops <- c.k_lock_ops + 1;
+      handle_acquire g g.g_current ~event:idx ~lock_ptr ~kind ~side ~name ~loc
+  | Event.Lock_release { lock_ptr; loc = _ } ->
+      c.k_lock_ops <- c.k_lock_ops + 1;
+      handle_release g g.g_current ~lock_ptr
+  | Event.Fun_enter { fn; loc = _ } ->
+      g.g_current.frames <- fn :: g.g_current.frames
+  | Event.Fun_exit { fn } ->
+      let rec pop = function
+        | [] -> []
+        | frame :: rest -> if frame = fn then rest else pop rest
+      in
+      g.g_current.frames <- pop g.g_current.frames
+  | Event.Mem_access { ptr; size = _; kind; loc } -> (
+      c.k_mem_accesses <- c.k_mem_accesses + 1;
+      match find_alloc g ptr with
+      | None ->
+          c.k_unresolved <- c.k_unresolved + 1;
+          if in_freed g ptr then begin
+            c.k_an_after_free <- c.k_an_after_free + 1;
+            anomaly g ~event:idx Diag.Access_after_free
+              (Printf.sprintf "access at 0x%x inside a freed allocation" ptr)
+          end
+      | Some al -> (
+          let dt = Store.data_type g.g_store al.Schema.al_type in
+          let offset = ptr - al.Schema.al_ptr in
+          match Layout.member_at dt.Schema.dt_layout offset with
+          | None -> c.k_unresolved <- c.k_unresolved + 1
+          | Some m ->
+              let ctx = g.g_current in
+              let filter = g.g_filter in
+              if
+                (filter.Filter.drop_lock_members && m.Layout.m_kind = Layout.Lock)
+                || (filter.Filter.drop_atomic_members
+                    && m.Layout.m_kind = Layout.Atomic)
+              then c.k_f_kind <- c.k_f_kind + 1
+              else if
+                Filter.member_blacklisted filter ~ty:dt.Schema.dt_name
+                  ~member:m.Layout.m_name
+              then c.k_f_member <- c.k_f_member + 1
+              else if Filter.fn_blacklisted filter ctx.frames then
+                c.k_f_fn <- c.k_f_fn + 1
+              else begin
+                c.k_kept <- c.k_kept + 1;
+                let stack = Store.intern_stack g.g_store ctx.frames in
+                ignore
+                  (Store.add_access g.g_store ~event:idx ~alloc:al.Schema.al_id
+                     ~member:m.Layout.m_name ~kind ~txn:(cur_txn ctx) ~loc
+                     ~stack ~ctx:ctx.pid)
+              end)));
+  g.g_pos <- idx + 1
+
+let stats g =
+  let c = g.g_c in
+  {
+    total_events = g.g_pos;
+    lock_ops = c.k_lock_ops;
+    mem_accesses = c.k_mem_accesses;
+    accesses_kept = c.k_kept;
+    filtered_fn = c.k_f_fn;
+    filtered_member = c.k_f_member;
+    filtered_kind = c.k_f_kind;
+    unresolved = c.k_unresolved;
+    unbalanced_releases = c.k_unbalanced;
+    allocations = c.k_allocs;
+    frees = c.k_frees;
+    locks_static = c.k_locks_static;
+    locks_embedded = c.k_locks_embedded;
+    txns = Store.n_txns g.g_store;
+    anomalies =
+      {
+        an_unknown_data_type = c.k_an_unknown_ty;
+        an_double_free = c.k_an_double_free;
+        an_free_without_alloc = c.k_an_free_noalloc;
+        an_access_after_free = c.k_an_after_free;
+        an_acquire_on_freed = c.k_an_acq_freed;
+        an_flow_conflict = c.k_an_flow;
+        an_unclosed_txns = c.k_an_unclosed;
+      };
+  }
+
+let finalize g =
   (* Transactions still open at the end of the trace. Their rows are
      already in the store (flushed, not dropped); we only report them.
      IRQ flows are not in [ctxs], so inherited held lists are not double
      counted. *)
-  let n_events = Array.length trace.Lockdoc_trace.Trace.events in
+  let c = g.g_c in
   Hashtbl.iter
     (fun _pid st ->
       List.iter
         (fun he ->
-          let lk = Store.lock store he.entry.Schema.h_lock in
-          anomaly an_unclosed ~event:n_events Diag.Unclosed_txn
+          let lk = Store.lock g.g_store he.entry.Schema.h_lock in
+          c.k_an_unclosed <- c.k_an_unclosed + 1;
+          anomaly g ~event:g.g_pos Diag.Unclosed_txn
             (Printf.sprintf "flow %d still holds %s at end of trace" st.pid
                lk.Schema.lk_name))
         st.held)
-    ctxs;
+    g.g_ctxs;
+  stats g
 
-  let stats =
-    {
-      total_events = Array.length trace.Lockdoc_trace.Trace.events;
-      lock_ops = !lock_ops;
-      mem_accesses = !mem_accesses;
-      accesses_kept = !kept;
-      filtered_fn = !f_fn;
-      filtered_member = !f_member;
-      filtered_kind = !f_kind;
-      unresolved = !unresolved;
-      unbalanced_releases = !unbalanced;
-      allocations = !allocs;
-      frees = !frees;
-      locks_static = !locks_static;
-      locks_embedded = !locks_embedded;
-      txns = Store.n_txns store;
-      anomalies =
-        {
-          an_unknown_data_type = !an_unknown_ty;
-          an_double_free = !an_double_free;
-          an_free_without_alloc = !an_free_noalloc;
-          an_access_after_free = !an_after_free;
-          an_acquire_on_freed = !an_acq_freed;
-          an_flow_conflict = !an_flow;
-          an_unclosed_txns = !an_unclosed;
-        };
-    }
-  in
-  (store, stats)
+let run ?filter ?irq_mode ?mode trace =
+  let g = engine ?filter ?irq_mode ?mode trace.Lockdoc_trace.Trace.layouts in
+  Array.iter (feed g) trace.Lockdoc_trace.Trace.events;
+  let stats = finalize g in
+  (g.g_store, stats)
 
 let pp_stats fmt s =
   Format.fprintf fmt

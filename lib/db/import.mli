@@ -68,6 +68,44 @@ val run :
 (** [run trace] imports with {!Filter.default}, [Inherit] and [Strict].
     On a well-formed trace the two modes produce identical results. *)
 
+(** {2 Incremental engine}
+
+    [run] is a thin wrapper over an incremental engine that consumes
+    one event at a time. The engine is plain marshalable data (no
+    closures), which is what lets the durability layer checkpoint an
+    import mid-stream and resume it after a crash: a snapshot captures
+    the engine, and replay continues from {!position}. *)
+
+type engine
+
+val engine :
+  ?filter:Filter.t ->
+  ?irq_mode:irq_mode ->
+  ?mode:mode ->
+  ?log:(Op.t -> unit) ->
+  Lockdoc_trace.Layout.t list ->
+  engine
+(** Fresh engine over the given layouts. [log], when given, is
+    installed as the store's op logger before the layout rows are
+    created, so every row the engine makes is observed. *)
+
+val feed : engine -> Lockdoc_trace.Event.t -> unit
+(** Process one event. Events must be fed in trace order; the engine
+    tracks the index itself. May raise {!Lockdoc_trace.Trace.Invalid}
+    in [Strict] mode. *)
+
+val position : engine -> int
+(** Index of the next event to feed (= number of events consumed). *)
+
+val engine_store : engine -> Store.t
+
+val stats : engine -> stats
+(** Stats so far, without the end-of-trace unclosed-transaction pass. *)
+
+val finalize : engine -> stats
+(** Run the end-of-trace unclosed-transaction pass and return final
+    stats. Call exactly once, after the last event. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 (** Prints the anomaly breakdown only when {!anomaly_total} is
     positive, so output for a clean trace is unchanged. *)

@@ -1,0 +1,149 @@
+module Event = Lockdoc_trace.Event
+module Layout = Lockdoc_trace.Layout
+module Srcloc = Lockdoc_trace.Srcloc
+module Fieldenc = Lockdoc_trace.Fieldenc
+
+type t =
+  | Add_data_type of Layout.t
+  | Add_allocation of {
+      ptr : int;
+      size : int;
+      ty : int;
+      subclass : string option;
+      start : int;
+    }
+  | Set_alloc_end of { al : int; at : int option }
+  | Add_lock of {
+      ptr : int;
+      kind : Event.lock_kind;
+      name : string;
+      parent : (int * string) option;
+    }
+  | Add_txn of { locks : Schema.held list; ctx : int }
+  | Add_access of {
+      event : int;
+      alloc : int;
+      member : string;
+      kind : Event.access_kind;
+      txn : int option;
+      loc : Srcloc.t;
+      stack : int;
+      ctx : int;
+    }
+  | Intern_stack of string list
+
+let tab = String.concat "\t"
+let soi = string_of_int
+let enc = Fieldenc.encode
+let dec = Fieldenc.decode
+let enc_loc loc = Fieldenc.encode (Srcloc.to_string loc)
+let dec_loc s = Srcloc.of_string (Fieldenc.decode s)
+
+(* Same convention as the trace format: "-" marks an absent optional
+   field, and a literal "-" value escapes to "\-". *)
+let enc_opt = function None -> "-" | Some s -> if s = "-" then "\\-" else enc s
+let dec_opt = function "-" -> None | s -> Some (dec s)
+let enc_int_opt = function None -> "-" | Some i -> soi i
+let dec_int_opt = function "-" -> None | s -> Some (int_of_string s)
+
+let side_to_string = function Event.Exclusive -> "x" | Event.Shared -> "s"
+
+let side_of_string = function
+  | "x" -> Event.Exclusive
+  | "s" -> Event.Shared
+  | s -> failwith ("Op: bad lock side " ^ s)
+
+let access_to_string = function Event.Read -> "r" | Event.Write -> "w"
+
+let access_of_string = function
+  | "r" -> Event.Read
+  | "w" -> Event.Write
+  | s -> failwith ("Op: bad access kind " ^ s)
+
+let to_line = function
+  | Add_data_type l -> tab [ "DT"; enc (Layout.to_string l) ]
+  | Add_allocation { ptr; size; ty; subclass; start } ->
+      tab [ "AL"; soi ptr; soi size; soi ty; enc_opt subclass; soi start ]
+  | Set_alloc_end { al; at } -> tab [ "AE"; soi al; enc_int_opt at ]
+  | Add_lock { ptr; kind; name; parent } ->
+      let pa, pm =
+        match parent with
+        | None -> ("-", "-")
+        | Some (al, m) -> (soi al, enc m)
+      in
+      tab [ "LK"; soi ptr; Event.lock_kind_to_string kind; enc name; pa; pm ]
+  | Add_txn { locks; ctx } ->
+      tab
+        ("TX" :: soi ctx
+        :: List.concat_map
+             (fun h ->
+               [
+                 soi h.Schema.h_lock;
+                 side_to_string h.Schema.h_side;
+                 enc_loc h.Schema.h_loc;
+               ])
+             locks)
+  | Add_access { event; alloc; member; kind; txn; loc; stack; ctx } ->
+      tab
+        [
+          "AC"; soi event; soi alloc; enc member; access_to_string kind;
+          enc_int_opt txn; enc_loc loc; soi stack; soi ctx;
+        ]
+  | Intern_stack frames -> tab ("ST" :: List.map enc frames)
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ "DT"; l ] -> Add_data_type (Layout.of_string (dec l))
+  | [ "AL"; ptr; size; ty; subclass; start ] ->
+      Add_allocation
+        {
+          ptr = int_of_string ptr;
+          size = int_of_string size;
+          ty = int_of_string ty;
+          subclass = dec_opt subclass;
+          start = int_of_string start;
+        }
+  | [ "AE"; al; at ] ->
+      Set_alloc_end { al = int_of_string al; at = dec_int_opt at }
+  | [ "LK"; ptr; kind; name; pa; pm ] ->
+      let parent =
+        match pa with "-" -> None | al -> Some (int_of_string al, dec pm)
+      in
+      Add_lock
+        {
+          ptr = int_of_string ptr;
+          kind = Event.lock_kind_of_string kind;
+          name = dec name;
+          parent;
+        }
+  | "TX" :: ctx :: held ->
+      let rec triples = function
+        | lock :: side :: loc :: rest ->
+            {
+              Schema.h_lock = int_of_string lock;
+              h_side = side_of_string side;
+              h_loc = dec_loc loc;
+            }
+            :: triples rest
+        | [] -> []
+        | _ -> failwith ("Op.of_line: ragged TX record: " ^ line)
+      in
+      Add_txn { locks = triples held; ctx = int_of_string ctx }
+  | [ "AC"; event; alloc; member; kind; txn; loc; stack; ctx ] ->
+      Add_access
+        {
+          event = int_of_string event;
+          alloc = int_of_string alloc;
+          member = dec member;
+          kind = access_of_string kind;
+          txn = dec_int_opt txn;
+          loc = dec_loc loc;
+          stack = int_of_string stack;
+          ctx = int_of_string ctx;
+        }
+  | "ST" :: frames -> Intern_stack (List.map dec frames)
+  | _ -> failwith ("Op.of_line: malformed record: " ^ line)
+
+let pp fmt t = Format.pp_print_string fmt (to_line t)
+
+let equal a b = to_line a = to_line b

@@ -1,0 +1,47 @@
+(** Logical operation log for the relational store.
+
+    Every row-creating [Store] mutation has a corresponding [Op.t]
+    constructor; replaying a sequence of ops against an empty store (in
+    order) reproduces the store exactly, because row ids are allocation
+    order.  Ops serialise to single tab-separated lines (same
+    [Fieldenc] escaping discipline as the trace format) so they can be
+    framed into WAL records. *)
+
+type t =
+  | Add_data_type of Lockdoc_trace.Layout.t
+  | Add_allocation of {
+      ptr : int;
+      size : int;
+      ty : int;  (** data_type row id *)
+      subclass : string option;
+      start : int;  (** event index of the allocation *)
+    }
+  | Set_alloc_end of { al : int; at : int option }
+  | Add_lock of {
+      ptr : int;
+      kind : Lockdoc_trace.Event.lock_kind;
+      name : string;
+      parent : (int * string) option;  (** embedding allocation, member *)
+    }
+  | Add_txn of { locks : Schema.held list; ctx : int }
+  | Add_access of {
+      event : int;
+      alloc : int;
+      member : string;
+      kind : Lockdoc_trace.Event.access_kind;
+      txn : int option;
+      loc : Lockdoc_trace.Srcloc.t;
+      stack : int;
+      ctx : int;
+    }
+  | Intern_stack of string list
+      (** Only logged when the stack was not already interned. *)
+
+val to_line : t -> string
+(** Single-line encoding; contains no ['\n']. *)
+
+val of_line : string -> t
+(** Inverse of [to_line]. @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,156 @@
+(* Atomic snapshots of import state, plus the durable directory's
+   manifest. A snapshot file is [magic][payload-length][crc32][payload]
+   written to a temp name and renamed into place; the manifest — also
+   written atomically — is the commit point that ties a snapshot to a
+   WAL position and a source-trace offset. *)
+
+type meta = {
+  m_snapshot : string; (* snapshot file name, relative to the dir *)
+  m_wal_lsn : int; (* first WAL lsn NOT covered by the snapshot *)
+  m_trace_offset : int; (* next trace event to import *)
+  m_trace_file : string; (* source trace path, "" if unknown *)
+  m_trace_events : int; (* total events in the source trace *)
+  m_complete : bool;
+}
+
+type payload = {
+  p_meta : meta;
+  p_store : Store.t;
+  p_engine : Import.engine option; (* None once the import completed *)
+  p_stats : Import.stats option; (* Some once the import completed *)
+}
+
+let magic = "LOCKDOCSNAP1\n"
+
+let snapshot_name seq = Printf.sprintf "snap-%06d.snap" seq
+
+let snapshot_seq name =
+  if
+    String.length name = 16
+    && String.sub name 0 5 = "snap-"
+    && Filename.check_suffix name ".snap"
+  then int_of_string_opt (String.sub name 5 6)
+  else None
+
+let snapshots ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           Option.map (fun seq -> (seq, f)) (snapshot_seq f))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let save ~dir p =
+  (* The store's op logger is a closure; Marshal refuses those. Clear
+     it for the duration of serialisation. *)
+  let blob =
+    Store.with_logger p.p_store None (fun () -> Marshal.to_string p [])
+  in
+  let path = Filename.concat dir p.p_meta.m_snapshot in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc magic;
+      let hdr = Bytes.create 8 in
+      Bytes.set_int32_le hdr 0 (Int32.of_int (String.length blob));
+      Bytes.set_int32_le hdr 4 (Int32.of_int (Wal.crc32 blob));
+      Out_channel.output_bytes oc hdr;
+      Crashpoint.hit "snapshot.write";
+      Out_channel.output_string oc blob;
+      Out_channel.flush oc);
+  Crashpoint.hit "snapshot.rename";
+  Sys.rename tmp path
+
+let load path =
+  match
+    In_channel.with_open_bin path (fun ic ->
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then None
+        else
+          let hdr = really_input_string ic 8 in
+          let len = Int32.to_int (String.get_int32_le hdr 0) in
+          let crc =
+            Int32.to_int (String.get_int32_le hdr 4) land 0xFFFFFFFF
+          in
+          if len < 0 then None
+          else
+            let blob = really_input_string ic len in
+            if Wal.crc32 blob <> crc then None
+            else Some (Marshal.from_string blob 0 : payload))
+  with
+  | p -> p
+  | exception _ -> None
+
+let latest_loadable ~dir =
+  List.fold_left
+    (fun acc (_, name) ->
+      match acc with
+      | Some _ -> acc
+      | None -> load (Filename.concat dir name))
+    None (snapshots ~dir)
+
+(* ---- Manifest ----------------------------------------------------- *)
+
+let manifest_file = "MANIFEST"
+
+let write_manifest ~dir m =
+  let path = Filename.concat dir manifest_file in
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Crashpoint.hit "manifest.write";
+      Printf.fprintf oc "lockdoc-durable 1\n";
+      Printf.fprintf oc "snapshot=%s\n" m.m_snapshot;
+      Printf.fprintf oc "wal_lsn=%d\n" m.m_wal_lsn;
+      Printf.fprintf oc "trace_offset=%d\n" m.m_trace_offset;
+      Printf.fprintf oc "trace_file=%s\n"
+        (Lockdoc_trace.Fieldenc.encode m.m_trace_file);
+      Printf.fprintf oc "trace_events=%d\n" m.m_trace_events;
+      Printf.fprintf oc "complete=%b\n" m.m_complete;
+      Out_channel.flush oc);
+  Crashpoint.hit "manifest.rename";
+  Sys.rename tmp path
+
+let read_manifest ~dir =
+  let path = Filename.concat dir manifest_file in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      In_channel.with_open_bin path (fun ic ->
+          match In_channel.input_line ic with
+          | Some "lockdoc-durable 1" ->
+              let tbl = Hashtbl.create 8 in
+              let rec loop () =
+                match In_channel.input_line ic with
+                | None -> ()
+                | Some line ->
+                    (match String.index_opt line '=' with
+                    | Some i ->
+                        Hashtbl.replace tbl
+                          (String.sub line 0 i)
+                          (String.sub line (i + 1)
+                             (String.length line - i - 1))
+                    | None -> ());
+                    loop ()
+              in
+              loop ();
+              let str k = Hashtbl.find_opt tbl k in
+              let int k = Option.bind (str k) int_of_string_opt in
+              (match (str "snapshot", int "wal_lsn", int "trace_offset") with
+              | Some snapshot, Some wal_lsn, Some trace_offset ->
+                  Some
+                    {
+                      m_snapshot = snapshot;
+                      m_wal_lsn = wal_lsn;
+                      m_trace_offset = trace_offset;
+                      m_trace_file =
+                        (match str "trace_file" with
+                        | Some s -> Lockdoc_trace.Fieldenc.decode s
+                        | None -> "");
+                      m_trace_events =
+                        Option.value ~default:0 (int "trace_events");
+                      m_complete = str "complete" = Some "true";
+                    }
+              | _ -> None)
+          | _ -> None)
+    with
+    | m -> m
+    | exception _ -> None

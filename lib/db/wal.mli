@@ -1,0 +1,78 @@
+(** Segmented, CRC-framed write-ahead log.
+
+    Records are opaque byte strings framed as
+    [len:int32 LE][crc32:int32 LE][payload] and appended to segment
+    files named [wal-<start-lsn>.seg]. LSNs are dense: record [n] of
+    the log has LSN [n], and a segment's name carries the LSN of its
+    first record.
+
+    The reader never raises on damaged logs. Torn headers, short
+    payloads, checksum mismatches and absurd length fields all mean the
+    same thing — the process died mid-write — and everything before the
+    first bad byte is trusted while nothing after it is. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3). [crc32 "123456789" = 0xCBF43926]. *)
+
+(** {2 Writing} *)
+
+type writer
+
+val create :
+  dir:string ->
+  ?segment_bytes:int ->
+  ?sync_every:int ->
+  ?start_lsn:int ->
+  unit ->
+  writer
+(** Open a fresh segment at [start_lsn] (default 0), truncating any
+    existing segment of that name. [segment_bytes] (default 1 MiB)
+    bounds segment size; [sync_every] (default 1) batches that many
+    appends per flush. Creates [dir] if missing. *)
+
+val append : writer -> string -> unit
+(** Frame and buffer one record; flushes per [sync_every]. *)
+
+val flush : writer -> unit
+(** Push all buffered frames to the file. After [flush] returns, every
+    appended record survives a crash. *)
+
+val rotate : writer -> unit
+(** Flush, then start a new segment (no-op on an empty segment). *)
+
+val close : writer -> unit
+val lsn : writer -> int
+(** LSN the next appended record will get. *)
+
+(** {2 Reading} *)
+
+val read : dir:string -> from:int -> (int * string) list * string option
+(** [read ~dir ~from] returns the records with LSN >= [from], in order,
+    and the reason reading stopped early (torn tail, checksum mismatch,
+    missing segment) if it did. Damage strictly below [from] is
+    ignored as long as the records at and past [from] are reachable. *)
+
+(** {2 Maintenance} *)
+
+val truncate_after : dir:string -> lsn:int -> unit
+(** Physically discard every record with LSN >= [lsn], rewriting the
+    containing segment atomically. Used when resuming an import from a
+    checkpoint: the suffix will be regenerated deterministically. *)
+
+val drop_below : dir:string -> lsn:int -> unit
+(** Delete segments wholly below [lsn] (log compaction after a
+    checkpoint). Only removes a segment when its successor's start
+    proves every contained record precedes [lsn]. *)
+
+(**/**)
+
+val segment_files : dir:string -> (int * string) list
+(** Segments as [(start_lsn, path)], ascending. Exposed for tests. *)
+
+val segment_start : string -> int option
+(** Start LSN encoded in a segment file name, [None] for other names. *)
+
+type parsed = { ps_records : (int * string) list; ps_torn : string option }
+
+val parse_segment : start:int -> string -> parsed
+(** Parse raw segment bytes. Exposed for tests. *)

@@ -1,0 +1,527 @@
+(* The durability layer: WAL framing and damage tolerance, atomic
+   snapshots, the durable import coordinator, and the satellite fixes
+   that ride along with it (Fieldenc-escaped CSV, descriptive store
+   lookup errors). *)
+
+module Trace = Lockdoc_trace.Trace
+module Layout = Lockdoc_trace.Layout
+module Event = Lockdoc_trace.Event
+module Srcloc = Lockdoc_trace.Srcloc
+module Schema = Lockdoc_db.Schema
+module Store = Lockdoc_db.Store
+module Op = Lockdoc_db.Op
+module Wal = Lockdoc_db.Wal
+module Snapshot = Lockdoc_db.Snapshot
+module Durable = Lockdoc_db.Durable
+module Crashpoint = Lockdoc_db.Crashpoint
+module Import = Lockdoc_db.Import
+module Filter = Lockdoc_db.Filter
+module Run = Lockdoc_ksim.Run
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Report = Lockdoc_core.Report
+
+let check = Alcotest.check
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir prefix f =
+  let dir = temp_dir prefix in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let mined s = Report.mined_to_json (Derivator.derive_all (Dataset.of_store s))
+
+(* {2 WAL} *)
+
+let test_crc32 () =
+  check Alcotest.int "IEEE check vector" 0xCBF43926 (Wal.crc32 "123456789");
+  check Alcotest.int "empty" 0 (Wal.crc32 "")
+
+let payloads = List.init 100 (fun i -> Printf.sprintf "record %d \t with tabs" i)
+
+let test_wal_roundtrip () =
+  with_dir "lockdoc_wal" @@ fun dir ->
+  let w = Wal.create ~dir () in
+  List.iter (Wal.append w) payloads;
+  check Alcotest.int "lsn advanced" 100 (Wal.lsn w);
+  Wal.close w;
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "no tear" true (torn = None);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "all records back"
+    (List.mapi (fun i p -> (i, p)) payloads)
+    records;
+  (* Reading from an offset skips the prefix. *)
+  let tail, torn = Wal.read ~dir ~from:97 in
+  check Alcotest.bool "no tear from offset" true (torn = None);
+  check Alcotest.int "suffix length" 3 (List.length tail);
+  check Alcotest.int "first lsn" 97 (fst (List.hd tail))
+
+let test_wal_rotation () =
+  with_dir "lockdoc_wal" @@ fun dir ->
+  (* Tiny segments: every record or two starts a new file. *)
+  let w = Wal.create ~dir ~segment_bytes:32 () in
+  List.iter (Wal.append w) payloads;
+  Wal.close w;
+  check Alcotest.bool "multiple segments" true
+    (List.length (Wal.segment_files ~dir) > 3);
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "no tear" true (torn = None);
+  check Alcotest.int "all records across segments" 100 (List.length records);
+  (* Compaction: dropping below lsn 50 must keep everything >= 50. *)
+  Wal.drop_below ~dir ~lsn:50;
+  let records, torn = Wal.read ~dir ~from:50 in
+  check Alcotest.bool "no tear after drop" true (torn = None);
+  check Alcotest.int "suffix intact" 50 (List.length records);
+  check Alcotest.bool "some segments deleted" true
+    (List.length (Wal.segment_files ~dir) < 50)
+
+let test_wal_torn_tail () =
+  with_dir "lockdoc_wal" @@ fun dir ->
+  let w = Wal.create ~dir () in
+  List.iter (Wal.append w) payloads;
+  Wal.close w;
+  let _, path = List.hd (Wal.segment_files ~dir) in
+  let content = read_file path in
+  (* Chop mid-record: the reader must deliver the intact prefix. *)
+  write_file path (String.sub content 0 (String.length content - 11));
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "tear detected" true (torn <> None);
+  check Alcotest.int "intact prefix survives" 99 (List.length records)
+
+let test_wal_bit_flip () =
+  with_dir "lockdoc_wal" @@ fun dir ->
+  let w = Wal.create ~dir () in
+  List.iter (Wal.append w) payloads;
+  Wal.close w;
+  let _, path = List.hd (Wal.segment_files ~dir) in
+  let content = Bytes.of_string (read_file path) in
+  let pos = Bytes.length content - 20 in
+  Bytes.set content pos (Char.chr (Char.code (Bytes.get content pos) lxor 0x40));
+  write_file path (Bytes.to_string content);
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "flip detected" true (torn <> None);
+  check Alcotest.bool "prefix survives, no raise" true
+    (List.length records >= 98)
+
+let test_wal_truncate_and_resume () =
+  with_dir "lockdoc_wal" @@ fun dir ->
+  let w = Wal.create ~dir ~segment_bytes:64 () in
+  List.iter (Wal.append w) payloads;
+  Wal.close w;
+  Wal.truncate_after ~dir ~lsn:42;
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "no tear after truncate" true (torn = None);
+  check Alcotest.int "exactly the prefix" 42 (List.length records);
+  (* A writer resuming at the truncation point continues the sequence. *)
+  let w = Wal.create ~dir ~start_lsn:42 () in
+  Wal.append w "resumed";
+  Wal.close w;
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "still clean" true (torn = None);
+  check Alcotest.int "sequence continued" 43 (List.length records);
+  check Alcotest.string "resumed record" "resumed"
+    (snd (List.nth records 42))
+
+(* {2 Op codec} *)
+
+let test_op_roundtrip () =
+  let loc = Srcloc.make "fs/inode.c" 77 in
+  let ops =
+    [
+      Op.Add_data_type
+        (Layout.make ~name:"w;x,\ty" [ ("m;1", 8, Layout.Data) ]);
+      Op.Add_allocation
+        { ptr = 0x100; size = 64; ty = 0; subclass = Some "-"; start = 3 };
+      Op.Add_allocation
+        { ptr = 0x200; size = 64; ty = 0; subclass = None; start = 4 };
+      Op.Set_alloc_end { al = 0; at = Some 9 };
+      Op.Set_alloc_end { al = 1; at = None };
+      Op.Add_lock
+        {
+          ptr = 0x108;
+          kind = Event.Spinlock;
+          name = "l;ock";
+          parent = Some (0, "m;1");
+        };
+      Op.Add_txn
+        {
+          locks =
+            [ { Schema.h_lock = 0; h_side = Event.Shared; h_loc = loc } ];
+          ctx = 12;
+        };
+      Op.Add_access
+        {
+          event = 5;
+          alloc = 0;
+          member = "m;1";
+          kind = Event.Write;
+          txn = Some 0;
+          loc;
+          stack = 0;
+          ctx = 12;
+        };
+      Op.Intern_stack [ "f\tn"; "g;h" ];
+    ]
+  in
+  List.iter
+    (fun op ->
+      let line = Op.to_line op in
+      check Alcotest.bool "single line" false (String.contains line '\n');
+      check Alcotest.bool
+        (Printf.sprintf "roundtrip [%s]" line)
+        true
+        (Op.equal op (Op.of_line line)))
+    ops
+
+let test_op_replay () =
+  (* Replaying the logged ops of an import must clone the store. *)
+  let trace = Run.workload_trace ~seed:11 ~scale:1 "fsstress" in
+  let ops = ref [] in
+  let g =
+    Import.engine ~log:(fun op -> ops := op :: !ops) trace.Trace.layouts
+  in
+  Array.iter (Import.feed g) trace.Trace.events;
+  ignore (Import.finalize g);
+  let original = Import.engine_store g in
+  let clone = Store.create () in
+  List.iter (Store.apply clone) (List.rev !ops);
+  check Alcotest.int "accesses" (Store.n_accesses original)
+    (Store.n_accesses clone);
+  check Alcotest.int "txns" (Store.n_txns original) (Store.n_txns clone);
+  check Alcotest.int "locks" (Store.n_locks original) (Store.n_locks clone);
+  check Alcotest.int "stacks" (Store.n_stacks original) (Store.n_stacks clone);
+  check
+    (Alcotest.list Alcotest.string)
+    "type keys" (Store.type_keys original) (Store.type_keys clone);
+  check Alcotest.string "mined rules" (mined original) (mined clone)
+
+(* {2 Snapshots} *)
+
+(* Satellite: serialise a store built from every ksim workload family,
+   reload, and compare counts, type keys and derived rules. *)
+let test_snapshot_roundtrip_all_families () =
+  List.iter
+    (fun name ->
+      with_dir "lockdoc_snap" @@ fun dir ->
+      let trace = Run.workload_trace ~seed:11 name in
+      let store, stats = Import.run trace in
+      let meta =
+        {
+          Snapshot.m_snapshot = Snapshot.snapshot_name 0;
+          m_wal_lsn = 0;
+          m_trace_offset = Array.length trace.Trace.events;
+          m_trace_file = "";
+          m_trace_events = Array.length trace.Trace.events;
+          m_complete = true;
+        }
+      in
+      Snapshot.save ~dir
+        {
+          Snapshot.p_meta = meta;
+          p_store = store;
+          p_engine = None;
+          p_stats = Some stats;
+        };
+      match Snapshot.load (Filename.concat dir meta.Snapshot.m_snapshot) with
+      | None -> Alcotest.failf "%s: snapshot did not load" name
+      | Some p ->
+          let back = p.Snapshot.p_store in
+          check Alcotest.int (name ^ ": n_accesses") (Store.n_accesses store)
+            (Store.n_accesses back);
+          check Alcotest.int (name ^ ": n_txns") (Store.n_txns store)
+            (Store.n_txns back);
+          check Alcotest.int (name ^ ": n_locks") (Store.n_locks store)
+            (Store.n_locks back);
+          check Alcotest.int (name ^ ": n_allocations")
+            (Store.n_allocations store) (Store.n_allocations back);
+          check Alcotest.int (name ^ ": n_data_types")
+            (Store.n_data_types store) (Store.n_data_types back);
+          check Alcotest.int (name ^ ": n_stacks") (Store.n_stacks store)
+            (Store.n_stacks back);
+          check
+            (Alcotest.list Alcotest.string)
+            (name ^ ": type keys") (Store.type_keys store)
+            (Store.type_keys back);
+          check Alcotest.bool (name ^ ": stats survive") true
+            (p.Snapshot.p_stats = Some stats);
+          check Alcotest.string (name ^ ": mined rules") (mined store)
+            (mined back))
+    Run.workload_names
+
+let test_snapshot_corruption () =
+  with_dir "lockdoc_snap" @@ fun dir ->
+  let trace = Run.workload_trace ~seed:11 ~scale:1 "fsstress" in
+  let store, _ = Import.run trace in
+  let meta =
+    {
+      Snapshot.m_snapshot = Snapshot.snapshot_name 0;
+      m_wal_lsn = 0;
+      m_trace_offset = 0;
+      m_trace_file = "";
+      m_trace_events = 0;
+      m_complete = false;
+    }
+  in
+  Snapshot.save ~dir
+    { Snapshot.p_meta = meta; p_store = store; p_engine = None; p_stats = None };
+  let path = Filename.concat dir meta.Snapshot.m_snapshot in
+  let good = read_file path in
+  (* Bit flip in the payload: checksum must catch it. *)
+  let bad = Bytes.of_string good in
+  let pos = Bytes.length bad / 2 in
+  Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 1));
+  write_file path (Bytes.to_string bad);
+  check Alcotest.bool "flipped snapshot rejected" true
+    (Snapshot.load path = None);
+  (* Truncation: short read must not raise. *)
+  write_file path (String.sub good 0 (String.length good / 2));
+  check Alcotest.bool "truncated snapshot rejected" true
+    (Snapshot.load path = None);
+  (* Wrong magic. *)
+  write_file path ("NOTASNAPSHOT\n" ^ good);
+  check Alcotest.bool "bad magic rejected" true (Snapshot.load path = None)
+
+let test_manifest_roundtrip () =
+  with_dir "lockdoc_manifest" @@ fun dir ->
+  let m =
+    {
+      Snapshot.m_snapshot = "snap-000003.snap";
+      m_wal_lsn = 12345;
+      m_trace_offset = 67890;
+      m_trace_file = "/tmp/odd;name\twith,stuff.trace";
+      m_trace_events = 99999;
+      m_complete = false;
+    }
+  in
+  Snapshot.write_manifest ~dir m;
+  check Alcotest.bool "manifest roundtrips" true
+    (Snapshot.read_manifest ~dir = Some m);
+  write_file (Filename.concat dir "MANIFEST") "not a manifest\nsnapshot=x\n";
+  check Alcotest.bool "damaged manifest rejected" true
+    (Snapshot.read_manifest ~dir = None)
+
+(* {2 Store lookup errors (satellite)} *)
+
+let test_descriptive_lookup_errors () =
+  let store = Store.create () in
+  let expect name fn =
+    match fn () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+        let has needle =
+          let rec go i =
+            i + String.length needle <= String.length msg
+            && (String.sub msg i (String.length needle) = needle || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool
+          (Printf.sprintf "%s names the accessor: %s" name msg)
+          true
+          (has ("Store." ^ name));
+        check Alcotest.bool
+          (Printf.sprintf "%s names the id: %s" name msg)
+          true (has "7")
+  in
+  expect "data_type" (fun () -> Store.data_type store 7);
+  expect "allocation" (fun () -> Store.allocation store 7);
+  expect "lock" (fun () -> Store.lock store 7);
+  expect "txn" (fun () -> Store.txn store 7);
+  expect "access" (fun () -> Store.access store 7);
+  expect "stack" (fun () -> Store.stack store 7)
+
+(* {2 CSV with hostile identifiers (satellite)} *)
+
+let test_csv_fieldenc () =
+  (* Identifiers full of the CSV separator, commas, tabs — and a
+     subclass that is literally "-", colliding with the null marker. *)
+  let loc = Srcloc.make "a;b.c" 1 in
+  let store = Store.create () in
+  let dt =
+    Store.add_data_type store
+      (Layout.make ~name:"ty;pe" [ ("mem;ber,\tone", 8, Layout.Data) ])
+  in
+  let al =
+    Store.add_allocation store ~ptr:0x1000 ~size:8 ~ty:dt.Schema.dt_id
+      ~subclass:(Some "-") ~start:0
+  in
+  Store.set_alloc_end store al.Schema.al_id (Some 10);
+  let lk =
+    Store.add_lock store ~ptr:0x2000 ~kind:Event.Spinlock ~name:"lo;ck,name"
+      ~parent:(Some (al.Schema.al_id, "mem;ber,\tone"))
+  in
+  let tx =
+    Store.add_txn store
+      ~locks:
+        [ { Schema.h_lock = lk.Schema.lk_id; h_side = Event.Exclusive; h_loc = loc } ]
+      ~ctx:1
+  in
+  let stack = Store.intern_stack store [ "fn;one"; "fn,two" ] in
+  ignore
+    (Store.add_access store ~event:1 ~alloc:al.Schema.al_id
+       ~member:"mem;ber,\tone" ~kind:Event.Write ~txn:(Some tx.Schema.tx_id)
+       ~loc ~stack ~ctx:1);
+  with_dir "lockdoc_csv_hostile" @@ fun dir ->
+  Lockdoc_db.Csv.export ~dir store;
+  let back = Lockdoc_db.Csv.import ~dir in
+  check Alcotest.string "data type name" "ty;pe"
+    (Store.data_type back 0).Schema.dt_name;
+  let al' = Store.allocation back 0 in
+  check (Alcotest.option Alcotest.string) "literal dash subclass" (Some "-")
+    al'.Schema.al_subclass;
+  check (Alcotest.option Alcotest.int) "al_end survives" (Some 10)
+    al'.Schema.al_end;
+  let lk' = Store.lock back 0 in
+  check Alcotest.string "lock name" "lo;ck,name" lk'.Schema.lk_name;
+  check Alcotest.bool "lock parent member" true
+    (lk'.Schema.lk_parent = Some (0, "mem;ber,\tone"));
+  check
+    (Alcotest.list Alcotest.string)
+    "stack frames" [ "fn;one"; "fn,two" ] (Store.stack back 0);
+  let a = Store.access back 0 in
+  check Alcotest.string "access member" "mem;ber,\tone" a.Schema.ac_member;
+  check Alcotest.string "access loc" "a;b.c:1"
+    (Srcloc.to_string a.Schema.ac_loc);
+  check
+    (Alcotest.list Alcotest.string)
+    "type keys (subclass intact)" [ "ty;pe:-" ] (Store.type_keys back)
+
+(* {2 Durable import} *)
+
+(* Checkpoint interval that guarantees several checkpoints whatever the
+   workload's event count. *)
+let cp_every trace =
+  max 1 (Array.length trace.Trace.events / 5)
+
+let test_durable_matches_plain () =
+  with_dir "lockdoc_durable" @@ fun dir ->
+  let trace = Run.workload_trace ~seed:11 "fsstress" in
+  let checkpoint_every = cp_every trace in
+  let plain_store, plain_stats = Import.run trace in
+  let store, stats, progress = Durable.import ~dir ~checkpoint_every trace in
+  check Alcotest.bool "stats identical" true (plain_stats = stats);
+  check Alcotest.int "fresh run" 0 progress.Durable.pr_resumed_from;
+  check Alcotest.bool "several checkpoints" true
+    (progress.Durable.pr_checkpoints > 2);
+  check Alcotest.string "mined rules identical" (mined plain_store)
+    (mined store);
+  (* recover from the completed dir reproduces the same store. *)
+  let r = Durable.recover ~dir in
+  check Alcotest.bool "recover complete" true r.Durable.r_complete;
+  check Alcotest.bool "recover clean" true (r.Durable.r_torn = None);
+  check Alcotest.string "recovered rules identical" (mined plain_store)
+    (mined r.Durable.r_store);
+  (* Re-importing a completed dir is a fast path: no new work. *)
+  let _, stats2, progress2 = Durable.import ~dir ~checkpoint_every trace in
+  check Alcotest.bool "fast path stats" true (plain_stats = stats2);
+  check Alcotest.int "fast path no checkpoints" 0
+    progress2.Durable.pr_checkpoints;
+  check Alcotest.int "fast path no wal" 0 progress2.Durable.pr_wal_records
+
+let test_durable_crash_resume () =
+  let trace = Run.workload_trace ~seed:11 "fsstress" in
+  let checkpoint_every = cp_every trace in
+  let golden_store, golden_stats = Import.run trace in
+  (* Measure how many crash points one uninterrupted durable import
+     has, then kill a second one in the middle of that range. *)
+  let total_hits =
+    with_dir "lockdoc_durable" @@ fun dir ->
+    Crashpoint.reset ();
+    ignore (Durable.import ~dir ~checkpoint_every trace);
+    Crashpoint.hits ()
+  in
+  with_dir "lockdoc_durable" @@ fun dir ->
+  Crashpoint.reset ();
+  Crashpoint.arm ~after:(total_hits / 2);
+  (match Durable.import ~dir ~checkpoint_every trace with
+  | _ -> Alcotest.fail "expected the armed crash to fire"
+  | exception Crashpoint.Crash _ -> ());
+  Crashpoint.reset ();
+  (* recover never raises and yields a consistent prefix store. *)
+  let r = Durable.recover ~dir in
+  check Alcotest.bool "prefix has no more accesses than golden" true
+    (Store.n_accesses r.Durable.r_store <= Store.n_accesses golden_store);
+  (* Resuming completes the import with identical results. *)
+  let store, stats, progress = Durable.import ~dir ~checkpoint_every trace in
+  check Alcotest.bool "resumed, not restarted" true
+    (progress.Durable.pr_resumed_from > 0);
+  check Alcotest.bool "stats identical after resume" true
+    (golden_stats = stats);
+  check Alcotest.string "rules identical after resume" (mined golden_store)
+    (mined store)
+
+let test_durable_trace_mismatch () =
+  with_dir "lockdoc_durable" @@ fun dir ->
+  let trace = Run.workload_trace ~seed:11 ~scale:1 "fsstress" in
+  let other = Run.workload_trace ~seed:11 ~scale:2 "fsstress" in
+  ignore (Durable.import ~dir ~checkpoint_every:5_000 trace);
+  match Durable.import ~dir ~checkpoint_every:5_000 other with
+  | _ -> Alcotest.fail "expected a trace-identity failure"
+  | exception Failure msg ->
+      check Alcotest.bool "message mentions the dir" true
+        (String.length msg > 0)
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "crc32" `Quick test_crc32;
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "rotation + compaction" `Quick test_wal_rotation;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "bit flip" `Quick test_wal_bit_flip;
+          Alcotest.test_case "truncate + resume" `Quick
+            test_wal_truncate_and_resume;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_op_roundtrip;
+          Alcotest.test_case "replay clones store" `Quick test_op_replay;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip, all families" `Slow
+            test_snapshot_roundtrip_all_families;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_snapshot_corruption;
+          Alcotest.test_case "manifest" `Quick test_manifest_roundtrip;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "descriptive lookup errors" `Quick
+            test_descriptive_lookup_errors;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "hostile identifiers" `Quick test_csv_fieldenc;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "matches plain import" `Slow
+            test_durable_matches_plain;
+          Alcotest.test_case "crash, recover, resume" `Slow
+            test_durable_crash_resume;
+          Alcotest.test_case "trace identity guard" `Quick
+            test_durable_trace_mismatch;
+        ] );
+    ]
