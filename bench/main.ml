@@ -90,6 +90,8 @@ let microbenches () =
     Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
   in
   let obs = Dataset.by_member dataset "inode:ext4" ~member:"i_state" ~kind:Rule.W in
+  let mined = Derivator.derive_all dataset in
+  let par_jobs = 4 in
   let tests =
     [
       Test.make ~name:"trace: benchmark mix (scale 1)"
@@ -128,6 +130,22 @@ let microbenches () =
         (Staged.stage (fun () -> ignore (Dataset.of_store store)));
       Test.make ~name:"derive: all types"
         (Staged.stage (fun () -> ignore (Derivator.derive_all dataset)));
+      (* Same work on a domain pool; `dune build @perf` reports the
+         speedup on the large workload mix. *)
+      Test.make ~name:(Printf.sprintf "derive: all types (-j %d)" par_jobs)
+        (Staged.stage (fun () ->
+             ignore (Derivator.derive_all ~jobs:par_jobs dataset)));
+      Test.make ~name:"violations: scan mined rules"
+        (Staged.stage (fun () ->
+             ignore (Lockdoc_core.Violation.find dataset mined)));
+      Test.make
+        ~name:(Printf.sprintf "violations: scan mined rules (-j %d)" par_jobs)
+        (Staged.stage (fun () ->
+             ignore (Lockdoc_core.Violation.find ~jobs:par_jobs dataset mined)));
+      Test.make
+        ~name:(Printf.sprintf "families: 6 workload pipelines (-j %d)" par_jobs)
+        (Staged.stage (fun () ->
+             ignore (Context.families ~jobs:par_jobs ())));
       Test.make ~name:"derive: struct inode merged"
         (Staged.stage (fun () -> ignore (Derivator.derive_merged dataset "inode")));
       Test.make ~name:"hypotheses: enumerate one member"

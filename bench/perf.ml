@@ -1,0 +1,111 @@
+(* Sequential-vs-parallel analysis comparison (`dune build @perf`).
+
+   For every isolated benchmark family plus the full benchmark mix
+   (the largest workload), times the derive+check phase — rule
+   derivation plus counterexample extraction — sequentially and on a
+   domain pool, verifies the outputs are byte-identical, and emits one
+   JSON record per workload on stdout (the @perf alias redirects it to
+   BENCH_parallel.json). Progress goes to stderr.
+
+   Environment knobs: LOCKDOC_PERF_JOBS (default 4), LOCKDOC_PERF_SCALE
+   (mix scale, default 8), LOCKDOC_PERF_REPEATS (default 3; the minimum
+   wall time over the repeats is reported). *)
+
+module Run = Lockdoc_ksim.Run
+module Kernel = Lockdoc_ksim.Kernel
+module Import = Lockdoc_db.Import
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Violation = Lockdoc_core.Violation
+module Report = Lockdoc_core.Report
+module Pool = Lockdoc_util.Pool
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> default)
+  | None -> default
+
+let jobs = env_int "LOCKDOC_PERF_JOBS" 4
+let mix_scale = env_int "LOCKDOC_PERF_SCALE" 8
+let repeats = env_int "LOCKDOC_PERF_REPEATS" 3
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* Minimum wall time over [repeats] runs — the usual noise filter. *)
+let best f =
+  let result, ms = wall f in
+  let best_ms = ref ms in
+  for _ = 2 to repeats do
+    let _, ms = wall f in
+    if ms < !best_ms then best_ms := ms
+  done;
+  (result, !best_ms)
+
+let fingerprint mined violations =
+  Digest.to_hex
+    (Digest.string
+       (Report.mined_to_json mined ^ "\x00" ^ Report.violations_to_json violations))
+
+let measure name trace =
+  Printf.eprintf "perf: %-10s %7d events: " name
+    (Array.length trace.Lockdoc_trace.Trace.events);
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+  let derive_check j () =
+    let mined = Derivator.derive_all ~jobs:j dataset in
+    let violations = Violation.find ~jobs:j dataset mined in
+    (mined, violations)
+  in
+  let (mined_s, violations_s), seq_ms = best (derive_check 1) in
+  let (mined_p, violations_p), par_ms = best (derive_check jobs) in
+  let identical =
+    fingerprint mined_s violations_s = fingerprint mined_p violations_p
+  in
+  let speedup = if par_ms > 0. then seq_ms /. par_ms else 0. in
+  Printf.eprintf "seq %.1fms par %.1fms speedup %.2fx%s\n" seq_ms par_ms
+    speedup
+    (if identical then "" else "  OUTPUT MISMATCH");
+  Report.(
+    O
+      [
+        ("workload", S name);
+        ("events", I (Array.length trace.Lockdoc_trace.Trace.events));
+        ("groups", I (List.length mined_s));
+        ("violations", I (List.length violations_s));
+        ("seq_ms", F seq_ms);
+        ("par_ms", F par_ms);
+        ("jobs", I jobs);
+        ("cores", I (Domain.recommended_domain_count ()));
+        ("speedup", F speedup);
+        ("identical", I (if identical then 1 else 0));
+      ])
+
+let () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.eprintf
+    "perf: derive+check sequential vs -j %d (repeats %d, mix scale %d, %d \
+     core(s))\n"
+    jobs repeats mix_scale cores;
+  if cores < jobs then
+    Printf.eprintf
+      "perf: note: only %d hardware core(s) — domains time-slice, expect \
+       speedup ~1.0x; the differential suite (test_parallel) is the \
+       meaningful check here\n"
+      cores;
+  let family_rows =
+    List.map
+      (fun name -> measure name (Run.workload_trace ~seed:11 name))
+      Run.workload_names
+  in
+  let mix_trace =
+    let config =
+      { Run.kernel = { Kernel.default_config with Kernel.seed = 42 };
+        Run.scale = mix_scale; Run.faults = true }
+    in
+    fst (Run.benchmark_mix ~config ())
+  in
+  let mix_row = measure "mix" mix_trace in
+  print_endline (Report.to_string (Report.L (family_rows @ [ mix_row ])))

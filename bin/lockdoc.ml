@@ -32,6 +32,16 @@ let tac_arg =
   Arg.(value & opt float 0.9 & info [ "tac" ] ~docv:"T"
          ~doc:"Acceptance threshold for hypothesis selection.")
 
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Analysis domains. 0 (default) uses the recommended domain \
+               count of this machine; 1 forces the sequential path. The \
+               output is bit-identical for every $(docv).")
+
+(* 0 = auto. *)
+let resolve_jobs j =
+  if j <= 0 then Lockdoc_util.Pool.default_jobs () else j
+
 let trace_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
          ~doc:"Trace file produced by $(b,lockdoc trace).")
@@ -196,7 +206,8 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
 let derive_cmd =
-  let run mode path ty tac json =
+  let run mode path ty tac json jobs =
+    let jobs = resolve_jobs jobs in
     let dataset, _ = load_dataset ~mode path in
     let keys =
       match ty with Some key -> [ key ] | None -> Dataset.type_keys dataset
@@ -204,18 +215,20 @@ let derive_cmd =
     if json then
       print_endline
         (Lockdoc_core.Report.mined_to_json
-           (List.concat_map (Derivator.derive_type ~tac dataset) keys))
+           (List.concat_map (Derivator.derive_type ~tac ~jobs dataset) keys))
     else
       List.iter
         (fun key ->
           Printf.printf "== %s ==\n" key;
           List.iter
             (fun m -> print_endline ("  " ^ Docgen.member_line m))
-            (Derivator.derive_type ~tac dataset key))
+            (Derivator.derive_type ~tac ~jobs dataset key))
         keys
   in
   Cmd.v (Cmd.info "derive" ~doc:"Mine locking rules from a trace")
-    Term.(const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ json_arg)
+    Term.(
+      const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ json_arg
+      $ jobs_arg)
 
 (* {2 doc} *)
 
@@ -224,45 +237,55 @@ let doc_cmd =
     Arg.(value & opt string "inode" & info [ "type" ] ~docv:"TYPE"
            ~doc:"Base data type to document (subclasses merged).")
   in
-  let run path base tac =
+  let run path base tac jobs =
     let dataset, _ = load_dataset path in
-    let mined = Derivator.derive_merged ~tac dataset base in
+    let mined =
+      Derivator.derive_merged ~tac ~jobs:(resolve_jobs jobs) dataset base
+    in
     print_endline
       (Docgen.generate ~kind:Lockdoc_core.Rule.W ~title:base mined);
     print_endline
       (Docgen.generate ~kind:Lockdoc_core.Rule.R ~title:(base ^ " (reads)") mined)
   in
   Cmd.v (Cmd.info "doc" ~doc:"Generate locking documentation from a trace")
-    Term.(const run $ trace_file_arg $ base_arg $ tac_arg)
+    Term.(const run $ trace_file_arg $ base_arg $ tac_arg $ jobs_arg)
 
 (* {2 check} *)
 
 let check_cmd =
-  let run mode path =
+  let run mode path jobs =
     let dataset, _ = load_dataset ~mode path in
     let module Doc = Lockdoc_ksim.Documentation in
     let module Checker = Lockdoc_core.Checker in
     let module Rule = Lockdoc_core.Rule in
+    let specs =
+      List.map
+        (fun (dr : Doc.doc_rule) ->
+          let kind =
+            match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W
+          in
+          {
+            Checker.sp_type = dr.Doc.d_type;
+            Checker.sp_member = dr.Doc.d_member;
+            Checker.sp_kind = kind;
+            Checker.sp_rule = Rule.parse dr.Doc.d_rule;
+          })
+        Doc.rules
+    in
+    let checked = Checker.check_many ~jobs:(resolve_jobs jobs) dataset specs in
     List.iter
-      (fun (dr : Doc.doc_rule) ->
-        let kind =
-          match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W
-        in
-        let c =
-          Checker.check_rule dataset ~ty:dr.Doc.d_type ~member:dr.Doc.d_member
-            ~kind (Rule.parse dr.Doc.d_rule)
-        in
-        Printf.printf "%-14s %-24s %s  %-40s sr=%6.2f%%  %s\n" dr.Doc.d_type
-          dr.Doc.d_member
-          (Rule.access_to_string kind)
-          dr.Doc.d_rule
+      (fun (c : Checker.checked) ->
+        Printf.printf "%-14s %-24s %s  %-40s sr=%6.2f%%  %s\n" c.Checker.c_type
+          c.Checker.c_member
+          (Rule.access_to_string c.Checker.c_kind)
+          (Rule.to_string c.Checker.c_rule)
           (100. *. c.Checker.c_support.Lockdoc_core.Hypothesis.sr)
           (Checker.verdict_to_string c.Checker.c_verdict))
-      Doc.rules
+      checked
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check the documented locking rules against a trace")
-    Term.(const run $ mode_arg $ trace_file_arg)
+    Term.(const run $ mode_arg $ trace_file_arg $ jobs_arg)
 
 (* {2 fsck} *)
 
@@ -326,10 +349,11 @@ let violations_cmd =
     Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N"
            ~doc:"Maximum violations to print.")
   in
-  let run mode path ty tac limit json =
+  let run mode path ty tac limit json jobs =
+    let jobs = resolve_jobs jobs in
     let dataset, _ = load_dataset ~mode path in
-    let mined = Derivator.derive_all ~tac dataset in
-    let violations = Violation.find dataset mined in
+    let mined = Derivator.derive_all ~tac ~jobs dataset in
+    let violations = Violation.find ~jobs dataset mined in
     let violations =
       match ty with
       | None -> violations
@@ -356,7 +380,7 @@ let violations_cmd =
   Cmd.v (Cmd.info "violations" ~doc:"Locate locking-rule violations in a trace")
     Term.(
       const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ limit_arg
-      $ json_arg)
+      $ json_arg $ jobs_arg)
 
 (* {2 lockmeter} *)
 

@@ -1,3 +1,5 @@
+module Pool = Lockdoc_util.Pool
+
 type verdict = Correct | Ambivalent | Incorrect | Unobserved
 
 type checked = {
@@ -30,6 +32,21 @@ let check_rule dataset ~ty ~member ~kind rule =
   in
   { c_type = ty; c_member = member; c_kind = kind; c_rule = rule;
     c_support = support; c_verdict = verdict }
+
+type spec = {
+  sp_type : string;
+  sp_member : string;
+  sp_kind : Rule.access;
+  sp_rule : Rule.t;
+}
+
+let check_many ?(jobs = 1) dataset specs =
+  if jobs > 1 then Lockdoc_db.Store.seal (Dataset.store dataset);
+  Pool.map ~jobs
+    (fun s ->
+      check_rule dataset ~ty:s.sp_type ~member:s.sp_member ~kind:s.sp_kind
+        s.sp_rule)
+    specs
 
 type summary = {
   s_type : string;

@@ -25,6 +25,20 @@ val check_rule :
 (** Judge one documented rule against all observations of the base type
     (subclasses merged, as source comments do not distinguish them). *)
 
+type spec = {
+  sp_type : string;
+  sp_member : string;
+  sp_kind : Rule.access;
+  sp_rule : Rule.t;
+}
+(** One documented rule to put on trial. *)
+
+val check_many : ?jobs:int -> Dataset.t -> spec list -> checked list
+(** {!check_rule} over a whole documented-rule corpus, input order
+    preserved. [jobs] (default 1) distributes the per-rule scans over
+    that many domains; results are bit-identical to the sequential path
+    ([jobs > 1] seals the store — see {!Lockdoc_db.Store.seal}). *)
+
 type summary = {
   s_type : string;
   s_rules : int;  (** documented rules (#R) *)

@@ -1,3 +1,6 @@
+module Pool = Lockdoc_util.Pool
+module Store = Lockdoc_db.Store
+
 type mined = {
   m_type : string;
   m_member : string;
@@ -9,6 +12,12 @@ type mined = {
 }
 
 let default_tac = 0.9
+
+(* Workers only read the dataset (and through it the store). Seal the
+   store before fanning out so any later mutation attempt fails loudly
+   instead of racing — see DESIGN.md 5d. *)
+let seal_for ~jobs dataset =
+  if jobs > 1 then Store.seal (Dataset.store dataset)
 
 let derive_observations ?strategy ?(tac = default_tac) ~ty ~member ~kind
     observations =
@@ -28,13 +37,14 @@ let derive_member ?strategy ?tac dataset key ~member ~kind =
   let observations = Dataset.by_member dataset key ~member ~kind in
   derive_observations ?strategy ?tac ~ty:key ~member ~kind observations
 
-let derive_merged ?strategy ?tac dataset base =
+let derive_merged ?strategy ?tac ?(jobs = 1) dataset base =
+  seal_for ~jobs dataset;
   let observations = Dataset.merged_base_type dataset base in
   let keys =
     List.map (fun (o : Dataset.obs) -> (o.Dataset.o_member, o.Dataset.o_kind)) observations
     |> List.sort_uniq compare
   in
-  List.map
+  Pool.map ~jobs
     (fun (member, kind) ->
       let obs =
         List.filter
@@ -45,13 +55,28 @@ let derive_merged ?strategy ?tac dataset base =
       derive_observations ?strategy ?tac ~ty:base ~member ~kind obs)
     keys
 
-let derive_type ?strategy ?tac dataset key =
+let derive_type ?strategy ?tac ?(jobs = 1) dataset key =
+  seal_for ~jobs dataset;
   Dataset.members_observed dataset key
-  |> List.map (fun (member, kind) ->
+  |> Pool.map ~jobs (fun (member, kind) ->
          derive_member ?strategy ?tac dataset key ~member ~kind)
 
-let derive_all ?strategy ?tac dataset =
+(* The derivation groups of the whole dataset, in canonical order: type
+   keys ascending, then (member, kind) ascending within each key. This
+   is both the sharding unit and the merge order of the parallel path,
+   which is what makes [derive_all ~jobs:n] bit-identical to the
+   sequential left-to-right map for every [n]. *)
+let groups dataset =
   Dataset.type_keys dataset
-  |> List.concat_map (derive_type ?strategy ?tac dataset)
+  |> List.concat_map (fun key ->
+         Dataset.members_observed dataset key
+         |> List.map (fun (member, kind) -> (key, member, kind)))
+
+let derive_all ?strategy ?tac ?(jobs = 1) dataset =
+  seal_for ~jobs dataset;
+  Pool.map ~jobs
+    (fun (key, member, kind) ->
+      derive_member ?strategy ?tac dataset key ~member ~kind)
+    (groups dataset)
 
 let needs_no_lock mined = Rule.equal mined.m_winner Rule.no_lock

@@ -23,8 +23,8 @@ val derive_observations :
     views). *)
 
 val derive_merged :
-  ?strategy:Selection.strategy -> ?tac:float -> Dataset.t -> string ->
-  mined list
+  ?strategy:Selection.strategy -> ?tac:float -> ?jobs:int -> Dataset.t ->
+  string -> mined list
 (** Derive rules for a base type with all subclasses merged — the view
     the generated fs/inode.c documentation of paper Fig. 8 takes. *)
 
@@ -40,12 +40,21 @@ val derive_member :
     adopted from Engler et al.). *)
 
 val derive_type :
-  ?strategy:Selection.strategy -> ?tac:float -> Dataset.t -> string ->
-  mined list
+  ?strategy:Selection.strategy -> ?tac:float -> ?jobs:int -> Dataset.t ->
+  string -> mined list
 (** All observed members of a type key, reads and writes separately. *)
 
 val derive_all :
-  ?strategy:Selection.strategy -> ?tac:float -> Dataset.t -> mined list
+  ?strategy:Selection.strategy -> ?tac:float -> ?jobs:int -> Dataset.t ->
+  mined list
+(** Mine every (type key, member, access kind) group of the dataset.
+
+    [jobs] (default 1) fans the per-group work out over that many
+    domains via {!Lockdoc_util.Pool}; groups are sharded by key and
+    merged in canonical key order, so the result is bit-identical to
+    the sequential path for every domain count. [jobs > 1] seals the
+    underlying store ({!Lockdoc_db.Store.seal}): workers share it
+    read-only. *)
 
 val needs_no_lock : mined -> bool
 (** The winner is the "no lock" rule (the #Nl columns of paper Tab. 6). *)

@@ -27,24 +27,12 @@ let score_all rules observations =
   List.map (fun rule -> { rule; support = support_of rule observations }) rules
   |> sort_scored
 
-let dedup_rules rules =
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun rule ->
-      let key = Rule.to_string rule in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.replace seen key ();
-        true
-      end)
-    rules
-
 let enumerate observations =
   let candidate_rules =
     List.concat_map
       (fun (o : Dataset.obs) -> Rule.subsequences o.Dataset.o_locks)
       observations
-    |> dedup_rules
+    |> Rule.dedup_rules
   in
   (* [Rule.subsequences] of any combination includes []; on an empty
      observation list still offer the no-lock rule. *)

@@ -6,6 +6,18 @@
     consume it. The encoder is self-contained (no JSON dependency) and
     escapes strings per RFC 8259. *)
 
+type json =
+  | S of string
+  | I of int
+  | F of float
+  | L of json list
+  | O of (string * json) list
+      (** A minimal JSON document; [F] renders with 6 decimals, [O]
+          preserves field order. *)
+
+val to_string : json -> string
+(** Serialise (RFC 8259 string escaping, no insignificant whitespace). *)
+
 val mined_to_json : Derivator.mined list -> string
 (** JSON array; one object per (type, member, direction) with the winning
     rule, support, and every scored hypothesis. *)

@@ -52,6 +52,27 @@ let dedup locks =
   in
   go [] locks
 
+module Rule_set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+(* Order-preserving structural dedup. Keying on [compare] rather than
+   [to_string] matters: the rendering is ambiguous — [Global "ES(x)"]
+   and [Es "x"] both print "ES(x)" — so distinct rules must not be
+   collapsed by their notation. *)
+let dedup_rules rules =
+  let seen = ref Rule_set.empty in
+  List.filter
+    (fun rule ->
+      if Rule_set.mem rule !seen then false
+      else begin
+        seen := Rule_set.add rule !seen;
+        true
+      end)
+    rules
+
 let subsequences locks =
   let locks = dedup locks in
   List.fold_right

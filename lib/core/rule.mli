@@ -25,6 +25,11 @@ val compare : t -> t -> int
 val access_to_string : access -> string
 (** ["r"] / ["w"]. *)
 
+val dedup_rules : t list -> t list
+(** Order-preserving structural deduplication (by {!compare}, not by
+    {!to_string} — the rendering is ambiguous, e.g. [Global "ES(x)"] and
+    [Es "x"] print identically but are different rules). *)
+
 val complies : rule:t -> held:Lockdesc.t list -> bool
 (** [complies ~rule ~held]: every lock of [rule] appears in [held], in
     the same relative order ([rule] is a subsequence of [held]). *)

@@ -1,5 +1,6 @@
 module Schema = Lockdoc_db.Schema
 module Store = Lockdoc_db.Store
+module Pool = Lockdoc_util.Pool
 
 type violation = {
   v_type : string;
@@ -12,9 +13,10 @@ type violation = {
   v_stack : string list;
 }
 
-let find dataset mined =
+let find ?(jobs = 1) dataset mined =
   let store = Dataset.store dataset in
-  List.concat_map
+  if jobs > 1 then Store.seal store;
+  Pool.concat_map ~jobs
     (fun (m : Derivator.mined) ->
       if
         Rule.equal m.Derivator.m_winner Rule.no_lock

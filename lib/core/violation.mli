@@ -14,9 +14,12 @@ type violation = {
   v_stack : string list;  (** innermost frame first *)
 }
 
-val find : Dataset.t -> Derivator.mined list -> violation list
+val find : ?jobs:int -> Dataset.t -> Derivator.mined list -> violation list
 (** Scan every mined rule with sr < 1 for non-complying observations.
-    Rules whose winner is "no lock" cannot be violated. *)
+    Rules whose winner is "no lock" cannot be violated. [jobs]
+    (default 1) shards the scan by mined rule over that many domains;
+    the violation list is bit-identical to the sequential scan
+    ([jobs > 1] seals the store — see {!Lockdoc_db.Store.seal}). *)
 
 type summary = {
   vs_type : string;

@@ -41,6 +41,17 @@ val intern_stack : t -> string list -> int
 val set_alloc_end : t -> int -> int option -> unit
 (** Record the free event index of an allocation. *)
 
+(** {2 Sealing}
+
+    Parallel analysis ({!Lockdoc_util.Pool}) shares one store read-only
+    across domains. [seal] makes that invariant checkable: every row
+    mutation above raises [Invalid_argument] afterwards. Sealing is
+    one-way and is asserted by the [jobs > 1] paths of the derivator,
+    checker and violation scanner before fanning out. *)
+
+val seal : t -> unit
+val is_sealed : t -> bool
+
 (** {2 Operation log}
 
     The durability layer observes every row-creating mutation as an

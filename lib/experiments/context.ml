@@ -23,7 +23,7 @@ let timed name f timings =
   let dt = Sys.time () -. t0 in
   (result, (name, dt) :: timings)
 
-let create ?(scale = 8) ?(seed = 42) () =
+let create ?(scale = 8) ?(seed = 42) ?(jobs = 1) () =
   let config =
     {
       Run.kernel = { Kernel.default_config with Kernel.seed };
@@ -41,13 +41,50 @@ let create ?(scale = 8) ?(seed = 42) () =
     timed "observations" (fun () -> Dataset.of_store store) timings
   in
   let mined, timings =
-    timed "derivation" (fun () -> Derivator.derive_all dataset) timings
+    timed "derivation" (fun () -> Derivator.derive_all ~jobs dataset) timings
   in
   let violations, timings =
-    timed "counterexamples" (fun () -> Violation.find dataset mined) timings
+    timed "counterexamples" (fun () -> Violation.find ~jobs dataset mined) timings
   in
   { config; trace; coverage; store; import_stats; dataset; mined; violations;
     timings = List.rev timings }
 
 let mined_for t key =
   List.filter (fun m -> m.Derivator.m_type = key) t.mined
+
+(* {2 Per-workload-family pipelines} *)
+
+type family = {
+  w_name : string;
+  w_trace : Lockdoc_trace.Trace.t;
+  w_groups : int;
+  w_mined : Derivator.mined list;
+  w_violations : Violation.violation list;
+}
+
+let analyse_family (name, trace) =
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+  (* Worker-local pipeline: each family owns its store, so the analysis
+     inside a worker stays sequential (no nested pools). *)
+  let mined = Derivator.derive_all dataset in
+  let violations = Violation.find dataset mined in
+  {
+    w_name = name;
+    w_trace = trace;
+    w_groups = List.length mined;
+    w_mined = mined;
+    w_violations = violations;
+  }
+
+let families ?(seed = 11) ?scale ?(jobs = 1) () =
+  (* Trace generation stays on the calling domain: the simulated kernel
+     holds global state (static locks, the current run, fault sites), so
+     only one simulation may run per process. Everything downstream of
+     the trace is per-family-private and fans out. *)
+  let traces =
+    List.map
+      (fun name -> (name, Run.workload_trace ~seed ?scale name))
+      Run.workload_names
+  in
+  Lockdoc_util.Pool.map ~jobs analyse_family traces

@@ -1,0 +1,63 @@
+let default_jobs () = min 64 (max 1 (Domain.recommended_domain_count ()))
+
+(* One failure slot shared by all domains; the lowest failing index wins
+   so the surfaced exception is the one the sequential map would have
+   raised first. *)
+type failure = { f_index : int; f_exn : exn; f_bt : Printexc.raw_backtrace }
+
+let rec record failures idx exn bt =
+  let cur = Atomic.get failures in
+  let better = match cur with None -> true | Some f -> idx < f.f_index in
+  if better then
+    let next = Some { f_index = idx; f_exn = exn; f_bt = bt } in
+    if not (Atomic.compare_and_set failures cur next) then
+      record failures idx exn bt
+
+let init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs <= 1 || n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failures = Atomic.make None in
+    (* Small chunks keep the domains balanced when item costs are
+       skewed (a handful of hot type keys dominate derivation). *)
+    let chunk = max 1 (n / (jobs * 8)) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          for i = start to min (start + chunk) n - 1 do
+            match f i with
+            | v -> results.(i) <- Some v
+            | exception exn ->
+                record failures i exn (Printexc.get_raw_backtrace ())
+          done
+      done
+    in
+    let domains =
+      Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get failures with
+    | Some f -> Printexc.raise_with_backtrace f.f_exn f.f_bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* all chunks ran *))
+          results
+  end
+
+let map_array ?jobs f items = init ?jobs (Array.length items) (fun i -> f items.(i))
+
+let map ?jobs f items =
+  Array.to_list (map_array ?jobs f (Array.of_list items))
+
+let mapi ?jobs f items =
+  let arr = Array.of_list items in
+  Array.to_list (init ?jobs (Array.length arr) (fun i -> f i arr.(i)))
+
+let concat_map ?jobs f items = List.concat (map ?jobs f items)

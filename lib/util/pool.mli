@@ -1,0 +1,40 @@
+(** A fixed-size domain work-pool for embarrassingly parallel analysis
+    phases.
+
+    Work items are distributed over a fixed number of OCaml 5 domains
+    through a chunked atomic work queue; results are collected into the
+    input order, so for a pure worker function the output is identical
+    to the sequential map regardless of the domain count or scheduling.
+
+    Exception semantics match the sequential path: every item is
+    attempted, failures are recorded per item, and after all domains
+    join the exception of the {e lowest} failing index is re-raised with
+    its original backtrace — exactly the exception a plain [List.map]
+    would have raised first.
+
+    Workers run concurrently in shared memory: they must not mutate
+    shared state. The analysis pipeline guarantees this by sealing the
+    trace store ({!Lockdoc_db.Store.seal} — but see that module) before
+    fanning out. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to [[1, 64]]. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] evaluated on [jobs] domains
+    (the calling domain included). [jobs] defaults to {!default_jobs};
+    [jobs <= 1] or [n <= 1] runs sequentially on the calling domain
+    without spawning. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], order preserved. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.mapi], order preserved. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], order preserved. *)
+
+val concat_map : ?jobs:int -> ('a -> 'b list) -> 'a list -> 'b list
+(** Parallel [List.concat_map]: the per-item lists are concatenated in
+    input order. *)

@@ -107,6 +107,35 @@ let test_permuted_subsets () =
   (* {}, {a}, {b}, {ab}, {ba} *)
   check Alcotest.int "count" 5 (List.length perms)
 
+let test_dedup_rules_structural () =
+  (* The rule notation is ambiguous: a global lock literally named
+     "ES(i_lock)" renders exactly like the embedded-in-same descriptor
+     Es "i_lock". Dedup keys on the structural compare, so the two must
+     both survive — a to_string-keyed dedup would collapse them. *)
+  let global = [ Lockdesc.Global "ES(i_lock)" ] in
+  let embedded = [ Lockdesc.Es "i_lock" ] in
+  check Alcotest.string "renderings collide" (Rule.to_string global)
+    (Rule.to_string embedded);
+  check Alcotest.bool "but the rules differ" false (Rule.equal global embedded);
+  check Alcotest.int "structural dedup keeps both" 2
+    (List.length (Rule.dedup_rules [ global; embedded; global; embedded ]));
+  (* Structurally equal rules collapse however they were constructed. *)
+  let direct = [ Lockdesc.Eo ("j_lock", "journal_t"); Lockdesc.Global "wq_lock" ] in
+  let parsed = Rule.parse "EO(j_lock in journal_t) -> wq_lock" in
+  check Alcotest.bool "equal rules" true (Rule.equal direct parsed);
+  check
+    (Alcotest.list Alcotest.string)
+    "equal rules collapse to the first"
+    [ Rule.to_string direct ]
+    (List.map Rule.to_string (Rule.dedup_rules [ direct; parsed ]));
+  (* Order-preserving: first occurrence wins. *)
+  let a = [ g "a" ] and b = [ g "b" ] in
+  check
+    (Alcotest.list Alcotest.string)
+    "first occurrences, input order"
+    [ "b"; "a" ]
+    (List.map Rule.to_string (Rule.dedup_rules [ b; a; b; a ]))
+
 let rule_gen =
   QCheck.Gen.(
     list_size (int_bound 4)
@@ -415,6 +444,7 @@ let () =
           Alcotest.test_case "subsequences" `Quick test_subsequences_count;
           Alcotest.test_case "recursion dedup" `Quick test_subsequences_dedup_recursion;
           Alcotest.test_case "permuted subsets" `Quick test_permuted_subsets;
+          Alcotest.test_case "structural dedup" `Quick test_dedup_rules_structural;
           qtest prop_rule_roundtrip;
           qtest prop_complies_insert_monotone;
         ] );

@@ -1,0 +1,130 @@
+(* Differential verification of the parallel analysis pipeline.
+
+   The contract of Derivator/Checker/Violation's [jobs] parameter is
+   that the output is *byte-identical* to the sequential path for every
+   domain count. This harness enforces it the hard way: for every
+   isolated workload family and a bank of pinned seeds, render the
+   mined rules (winners plus full hypothesis rankings), the violation
+   report, the documentation-check verdicts and the generated docgen
+   comments at -j 1, and require the -j 2/4/8 renderings to be equal
+   strings.
+
+   LOCKDOC_PAR_SEEDS overrides the seed-bank size (default 20). *)
+
+module Trace = Lockdoc_trace.Trace
+module Import = Lockdoc_db.Import
+module Store = Lockdoc_db.Store
+module Run = Lockdoc_ksim.Run
+module Doc = Lockdoc_ksim.Documentation
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Checker = Lockdoc_core.Checker
+module Violation = Lockdoc_core.Violation
+module Docgen = Lockdoc_core.Docgen
+module Report = Lockdoc_core.Report
+module Rule = Lockdoc_core.Rule
+module Pool = Lockdoc_util.Pool
+
+let check = Alcotest.check
+
+let n_seeds =
+  match Sys.getenv_opt "LOCKDOC_PAR_SEEDS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 20)
+  | None -> 20
+
+let job_counts = [ 2; 4; 8 ]
+
+let doc_specs =
+  List.map
+    (fun (dr : Doc.doc_rule) ->
+      let kind = match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W in
+      {
+        Checker.sp_type = dr.Doc.d_type;
+        Checker.sp_member = dr.Doc.d_member;
+        Checker.sp_kind = kind;
+        Checker.sp_rule = Rule.parse dr.Doc.d_rule;
+      })
+    Doc.rules
+
+(* Every analysis artefact the CLI can emit, rendered to one string. *)
+let render ~jobs dataset =
+  let mined = Derivator.derive_all ~jobs dataset in
+  let violations = Violation.find ~jobs dataset mined in
+  let checked = Checker.check_many ~jobs dataset doc_specs in
+  let doc base =
+    let merged = Derivator.derive_merged ~jobs dataset base in
+    Docgen.generate ~kind:Rule.W ~title:base merged
+    ^ "\n"
+    ^ Docgen.generate ~kind:Rule.R ~title:(base ^ " (reads)") merged
+  in
+  String.concat "\n--\n"
+    [
+      Report.mined_to_json mined;
+      Report.violations_to_json violations;
+      Report.checked_to_json checked;
+      doc "inode";
+      doc "dentry";
+    ]
+
+let test_differential () =
+  List.iter
+    (fun name ->
+      for seed = 0 to n_seeds - 1 do
+        let trace = Run.workload_trace ~seed name in
+        let store, _ = Import.run trace in
+        let dataset = Dataset.of_store store in
+        let sequential = render ~jobs:1 dataset in
+        List.iter
+          (fun jobs ->
+            let parallel = render ~jobs dataset in
+            check Alcotest.string
+              (Printf.sprintf "%s/seed %d: -j %d == -j 1" name seed jobs)
+              sequential parallel)
+          job_counts
+      done)
+    Run.workload_names
+
+(* The read-only invariant is enforced, not just documented: a parallel
+   run seals the store, after which any row mutation must raise. *)
+let test_seal_enforced () =
+  let trace = Run.workload_trace ~seed:0 "pipe" in
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+  check Alcotest.bool "fresh store unsealed" false (Store.is_sealed store);
+  ignore (Derivator.derive_all ~jobs:2 dataset);
+  check Alcotest.bool "parallel run seals" true (Store.is_sealed store);
+  Alcotest.check_raises "mutation refused"
+    (Invalid_argument
+       "Store.add_txn: store is sealed (read-only for parallel analysis)")
+    (fun () -> ignore (Store.add_txn store ~locks:[] ~ctx:0))
+
+(* Sequential analysis must never seal: the durable-import resume path
+   keeps appending rows to a recovered store after deriving from it. *)
+let test_sequential_does_not_seal () =
+  let trace = Run.workload_trace ~seed:1 "device" in
+  let store, _ = Import.run trace in
+  let dataset = Dataset.of_store store in
+  ignore (Derivator.derive_all ~jobs:1 dataset);
+  ignore (Violation.find dataset (Derivator.derive_all dataset));
+  ignore (Checker.check_many dataset doc_specs);
+  check Alcotest.bool "still unsealed" false (Store.is_sealed store)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "-j {2,4,8} == -j 1 (%d families x %d seeds)"
+               (List.length Run.workload_names)
+               n_seeds)
+            `Slow test_differential;
+        ] );
+      ( "store sealing",
+        [
+          Alcotest.test_case "parallel seals, mutation raises" `Quick
+            test_seal_enforced;
+          Alcotest.test_case "sequential leaves store unsealed" `Quick
+            test_sequential_does_not_seal;
+        ] );
+    ]
