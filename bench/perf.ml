@@ -19,20 +19,23 @@ module Derivator = Lockdoc_core.Derivator
 module Violation = Lockdoc_core.Violation
 module Report = Lockdoc_core.Report
 module Pool = Lockdoc_util.Pool
+module Obs = Lockdoc_obs.Obs
 
 let env_int name default =
   match Sys.getenv_opt name with
-  | Some s -> (try max 1 (int_of_string s) with Failure _ -> default)
+  | Some s -> (
+      match Lockdoc_util.Numarg.positive s with Ok n -> n | Error _ -> default)
   | None -> default
 
 let jobs = env_int "LOCKDOC_PERF_JOBS" 4
 let mix_scale = env_int "LOCKDOC_PERF_SCALE" 8
 let repeats = env_int "LOCKDOC_PERF_REPEATS" 3
 
+(* Wall-clock milliseconds through the shared Obs clock, so the bench
+   and the CLI's --metrics snapshots measure with the same primitive. *)
 let wall f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  let r, c = Obs.Clock.timed f in
+  (r, c.Obs.Clock.wall *. 1000.)
 
 (* Minimum wall time over [repeats] runs — the usual noise filter. *)
 let best f =

@@ -17,30 +17,65 @@ module Docgen = Lockdoc_core.Docgen
 module Violation = Lockdoc_core.Violation
 module Registry = Lockdoc_experiments.Registry
 module Context = Lockdoc_experiments.Context
+module Obs = Lockdoc_obs.Obs
+module Numarg = Lockdoc_util.Numarg
+
+(* {2 Checked numeric converters}
+
+   Bare [int]/[float] converters accept junk like "0x" leniently or
+   produce terse messages; these reject with a one-line diagnostic
+   (cmdliner turns [`Msg] into a usage error and a non-zero exit). *)
+
+let conv_checked ~docv pp parse =
+  Arg.conv ~docv
+    ((fun s -> Result.map_error (fun e -> `Msg e) (parse s)), pp)
+
+let checked_int = conv_checked ~docv:"N" Format.pp_print_int Numarg.int_arg
+let positive_int = conv_checked ~docv:"N" Format.pp_print_int Numarg.positive
+
+let non_negative_int =
+  conv_checked ~docv:"N" Format.pp_print_int Numarg.non_negative
+
+let fraction_float =
+  conv_checked ~docv:"T" Format.pp_print_float Numarg.fraction
 
 (* {2 Common options} *)
 
 let scale_arg =
-  Arg.(value & opt int 8 & info [ "scale" ] ~docv:"N"
+  Arg.(value & opt positive_int 8 & info [ "scale" ] ~docv:"N"
          ~doc:"Workload iteration multiplier (trace volume).")
 
 let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+  Arg.(value & opt checked_int 42 & info [ "seed" ] ~docv:"SEED"
          ~doc:"PRNG seed; runs are deterministic per seed.")
 
 let tac_arg =
-  Arg.(value & opt float 0.9 & info [ "tac" ] ~docv:"T"
-         ~doc:"Acceptance threshold for hypothesis selection.")
+  Arg.(value & opt fraction_float 0.9 & info [ "tac" ] ~docv:"T"
+         ~doc:"Acceptance threshold for hypothesis selection, in [0,1].")
 
 let jobs_arg =
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Analysis domains. 0 (default) uses the recommended domain \
-               count of this machine; 1 forces the sequential path. The \
-               output is bit-identical for every $(docv).")
+  Arg.(value & opt (some positive_int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Analysis domains (a positive integer). The default uses the \
+               recommended domain count of this machine; 1 forces the \
+               sequential path. The output is bit-identical for every \
+               $(docv).")
 
-(* 0 = auto. *)
-let resolve_jobs j =
-  if j <= 0 then Lockdoc_util.Pool.default_jobs () else j
+let resolve_jobs = function
+  | None -> Lockdoc_util.Pool.default_jobs ()
+  | Some j -> j
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Record internal metrics (counters, histograms, spans) during \
+               the run and write a JSON snapshot to $(docv) on exit. Never \
+               changes analysis output bytes.")
+
+let with_metrics path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+      Obs.set_enabled true;
+      Fun.protect ~finally:(fun () -> Obs.write path) f
 
 let trace_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
@@ -100,14 +135,15 @@ let trace_cmd =
     Arg.(value & opt string "lockdoc.trace" & info [ "o"; "output" ]
            ~docv:"FILE" ~doc:"Output trace file.")
   in
-  let run scale seed output =
+  let run scale seed output metrics =
+    with_metrics metrics @@ fun () ->
     let trace, _cov = Run.benchmark_mix ~config:(run_config scale seed) () in
     Trace.save output trace;
     Printf.printf "wrote %d events to %s\n"
       (Array.length trace.Trace.events) output
   in
   Cmd.v (Cmd.info "trace" ~doc:"Run the benchmark mix and record a trace")
-    Term.(const run $ scale_arg $ seed_arg $ output)
+    Term.(const run $ scale_arg $ seed_arg $ output $ metrics_arg)
 
 (* {2 import} *)
 
@@ -119,10 +155,11 @@ let import_cmd =
                  last checkpoint when rerun with the same $(docv).")
   in
   let checkpoint_arg =
-    Arg.(value & opt int 50_000 & info [ "checkpoint-every" ] ~docv:"N"
-           ~doc:"Events between checkpoints (with --durable).")
+    Arg.(value & opt positive_int 50_000 & info [ "checkpoint-every" ]
+           ~docv:"N" ~doc:"Events between checkpoints (with --durable).")
   in
-  let run mode durable checkpoint_every path =
+  let run mode durable checkpoint_every path metrics =
+    with_metrics metrics @@ fun () ->
     match durable with
     | None ->
         let _, stats = load_dataset ~mode path in
@@ -143,7 +180,9 @@ let import_cmd =
         Format.printf "%a@." Import.pp_stats stats
   in
   Cmd.v (Cmd.info "import" ~doc:"Post-process a trace and print statistics")
-    Term.(const run $ mode_arg $ durable_arg $ checkpoint_arg $ trace_file_arg)
+    Term.(
+      const run $ mode_arg $ durable_arg $ checkpoint_arg $ trace_file_arg
+      $ metrics_arg)
 
 (* {2 recover} *)
 
@@ -156,7 +195,8 @@ let recover_cmd =
     Arg.(value & flag & info [ "derive" ]
            ~doc:"Also mine and print locking rules from the recovered store.")
   in
-  let run dir derive tac =
+  let run dir derive tac metrics =
+    with_metrics metrics @@ fun () ->
     let module Durable = Lockdoc_db.Durable in
     let module Store = Lockdoc_db.Store in
     let r = Durable.recover ~dir in
@@ -198,7 +238,7 @@ let recover_cmd =
          "Rebuild a store from a durable directory (snapshot + WAL tail) \
           without the source trace. Tolerates torn and corrupt WAL tails: \
           replay stops at the first bad record instead of failing.")
-    Term.(const run $ dir_arg $ derive_arg $ tac_arg)
+    Term.(const run $ dir_arg $ derive_arg $ tac_arg $ metrics_arg)
 
 (* {2 derive} *)
 
@@ -206,7 +246,8 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
 let derive_cmd =
-  let run mode path ty tac json jobs =
+  let run mode path ty tac json jobs metrics =
+    with_metrics metrics @@ fun () ->
     let jobs = resolve_jobs jobs in
     let dataset, _ = load_dataset ~mode path in
     let keys =
@@ -228,7 +269,7 @@ let derive_cmd =
   Cmd.v (Cmd.info "derive" ~doc:"Mine locking rules from a trace")
     Term.(
       const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ json_arg
-      $ jobs_arg)
+      $ jobs_arg $ metrics_arg)
 
 (* {2 doc} *)
 
@@ -237,7 +278,8 @@ let doc_cmd =
     Arg.(value & opt string "inode" & info [ "type" ] ~docv:"TYPE"
            ~doc:"Base data type to document (subclasses merged).")
   in
-  let run path base tac jobs =
+  let run path base tac jobs metrics =
+    with_metrics metrics @@ fun () ->
     let dataset, _ = load_dataset path in
     let mined =
       Derivator.derive_merged ~tac ~jobs:(resolve_jobs jobs) dataset base
@@ -248,31 +290,38 @@ let doc_cmd =
       (Docgen.generate ~kind:Lockdoc_core.Rule.R ~title:(base ^ " (reads)") mined)
   in
   Cmd.v (Cmd.info "doc" ~doc:"Generate locking documentation from a trace")
-    Term.(const run $ trace_file_arg $ base_arg $ tac_arg $ jobs_arg)
+    Term.(
+      const run $ trace_file_arg $ base_arg $ tac_arg $ jobs_arg $ metrics_arg)
 
 (* {2 check} *)
 
+(* The documented-rule specs checked by [check] and [profile]. *)
+let doc_specs () =
+  let module Doc = Lockdoc_ksim.Documentation in
+  let module Checker = Lockdoc_core.Checker in
+  let module Rule = Lockdoc_core.Rule in
+  List.map
+    (fun (dr : Doc.doc_rule) ->
+      let kind =
+        match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W
+      in
+      {
+        Checker.sp_type = dr.Doc.d_type;
+        Checker.sp_member = dr.Doc.d_member;
+        Checker.sp_kind = kind;
+        Checker.sp_rule = Rule.parse dr.Doc.d_rule;
+      })
+    Doc.rules
+
 let check_cmd =
-  let run mode path jobs =
+  let run mode path jobs metrics =
+    with_metrics metrics @@ fun () ->
     let dataset, _ = load_dataset ~mode path in
-    let module Doc = Lockdoc_ksim.Documentation in
     let module Checker = Lockdoc_core.Checker in
     let module Rule = Lockdoc_core.Rule in
-    let specs =
-      List.map
-        (fun (dr : Doc.doc_rule) ->
-          let kind =
-            match dr.Doc.d_access with Doc.R -> Rule.R | Doc.W -> Rule.W
-          in
-          {
-            Checker.sp_type = dr.Doc.d_type;
-            Checker.sp_member = dr.Doc.d_member;
-            Checker.sp_kind = kind;
-            Checker.sp_rule = Rule.parse dr.Doc.d_rule;
-          })
-        Doc.rules
+    let checked =
+      Checker.check_many ~jobs:(resolve_jobs jobs) dataset (doc_specs ())
     in
-    let checked = Checker.check_many ~jobs:(resolve_jobs jobs) dataset specs in
     List.iter
       (fun (c : Checker.checked) ->
         Printf.printf "%-14s %-24s %s  %-40s sr=%6.2f%%  %s\n" c.Checker.c_type
@@ -285,7 +334,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check the documented locking rules against a trace")
-    Term.(const run $ mode_arg $ trace_file_arg $ jobs_arg)
+    Term.(const run $ mode_arg $ trace_file_arg $ jobs_arg $ metrics_arg)
 
 (* {2 fsck} *)
 
@@ -310,7 +359,8 @@ let fsck_cmd =
         Printf.printf "    ... %d more\n" (List.length diags - 10)
     end
   in
-  let run path =
+  let run path metrics =
+    with_metrics metrics @@ fun () ->
     (* Always lenient: the whole point is to survey the damage. *)
     let trace, reader_diags = Trace.read ~mode:Trace.Lenient path in
     let stream_diags = Check.run trace in
@@ -340,16 +390,17 @@ let fsck_cmd =
          "Validate a trace file: parse leniently, check stream invariants, \
           replay the importer, and report every anomaly. Exits non-zero if \
           any fatal anomaly was found.")
-    Term.(const run $ trace_file_arg)
+    Term.(const run $ trace_file_arg $ metrics_arg)
 
 (* {2 violations} *)
 
 let violations_cmd =
   let limit_arg =
-    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N"
+    Arg.(value & opt non_negative_int 20 & info [ "limit" ] ~docv:"N"
            ~doc:"Maximum violations to print.")
   in
-  let run mode path ty tac limit json jobs =
+  let run mode path ty tac limit json jobs metrics =
+    with_metrics metrics @@ fun () ->
     let jobs = resolve_jobs jobs in
     let dataset, _ = load_dataset ~mode path in
     let mined = Derivator.derive_all ~tac ~jobs dataset in
@@ -380,16 +431,17 @@ let violations_cmd =
   Cmd.v (Cmd.info "violations" ~doc:"Locate locking-rule violations in a trace")
     Term.(
       const run $ mode_arg $ trace_file_arg $ type_arg $ tac_arg $ limit_arg
-      $ json_arg $ jobs_arg)
+      $ json_arg $ jobs_arg $ metrics_arg)
 
 (* {2 lockmeter} *)
 
 let lockmeter_cmd =
   let top_arg =
-    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N"
+    Arg.(value & opt positive_int 15 & info [ "top" ] ~docv:"N"
            ~doc:"Number of classes to show.")
   in
-  let run path top =
+  let run path top metrics =
+    with_metrics metrics @@ fun () ->
     let trace = Trace.load path in
     let store, _ = Import.run trace in
     print_string
@@ -400,7 +452,7 @@ let lockmeter_cmd =
     (Cmd.info "lockmeter"
        ~doc:"Per-lock-class usage statistics over a trace (the Lockmeter \
              baseline of the paper's Sec. 3.2)")
-    Term.(const run $ trace_file_arg $ top_arg)
+    Term.(const run $ trace_file_arg $ top_arg $ metrics_arg)
 
 (* {2 export} *)
 
@@ -409,7 +461,8 @@ let export_cmd =
     Arg.(value & opt string "lockdoc-csv" & info [ "d"; "dir" ] ~docv:"DIR"
            ~doc:"Output directory for the CSV relations.")
   in
-  let run path dir =
+  let run path dir metrics =
+    with_metrics metrics @@ fun () ->
     let trace = Trace.load path in
     let store, _ = Import.run trace in
     Lockdoc_db.Csv.export ~dir store;
@@ -424,12 +477,13 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Post-process a trace and export the relational store as CSV \
              (the MariaDB bulk-load interface of the paper's Sec. 6)")
-    Term.(const run $ trace_file_arg $ dir_arg)
+    Term.(const run $ trace_file_arg $ dir_arg $ metrics_arg)
 
 (* {2 relations} *)
 
 let relations_cmd =
-  let run path tac =
+  let run path tac metrics =
+    with_metrics metrics @@ fun () ->
     let dataset, _ = load_dataset path in
     let mined = Derivator.derive_all ~tac dataset in
     print_string (Lockdoc_core.Relations.render (Lockdoc_core.Relations.analyse mined))
@@ -438,12 +492,13 @@ let relations_cmd =
     (Cmd.info "relations"
        ~doc:"Report cross-object protection relations mined from EO rules \
              (the paper's future-work extension)")
-    Term.(const run $ trace_file_arg $ tac_arg)
+    Term.(const run $ trace_file_arg $ tac_arg $ metrics_arg)
 
 (* {2 lockdep} *)
 
 let lockdep_cmd =
-  let run path =
+  let run path metrics =
+    with_metrics metrics @@ fun () ->
     let trace = Trace.load path in
     let store, _ = Import.run trace in
     print_string (Lockdoc_core.Lockdep.render (Lockdoc_core.Lockdep.analyse store))
@@ -453,7 +508,98 @@ let lockdep_cmd =
        ~doc:
          "Run the lockdep-style lock-order analysis over a trace (the \
           in-situ baseline the paper contrasts LockDoc with)")
-    Term.(const run $ trace_file_arg)
+    Term.(const run $ trace_file_arg $ metrics_arg)
+
+(* {2 profile} *)
+
+let profile_cmd =
+  let workload_arg =
+    Arg.(value & pos 0 string "mix" & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to profile: $(b,mix) (the full benchmark mix, the \
+                 default) or one benchmark family.")
+  in
+  let run scale seed tac jobs workload metrics =
+    if workload <> "mix" && not (List.mem workload Run.workload_names) then
+      begin
+        Printf.eprintf "lockdoc: unknown workload %S (known: mix, %s)\n"
+          workload
+          (String.concat ", " Run.workload_names);
+        exit 1
+      end;
+    let jobs = resolve_jobs jobs in
+    Obs.set_enabled true;
+    let phase name f = Obs.Span.timed ("profile/" ^ name) f in
+    let trace, t_trace =
+      phase "tracing" (fun () ->
+          if workload = "mix" then
+            fst (Run.benchmark_mix ~config:(run_config scale seed) ())
+          else Run.workload_trace ~seed ~scale workload)
+    in
+    let (store, _), t_import = phase "import" (fun () -> Import.run trace) in
+    let dataset, t_observations =
+      phase "observations" (fun () -> Dataset.of_store store)
+    in
+    let mined, t_derive =
+      phase "derive" (fun () -> Derivator.derive_all ~tac ~jobs dataset)
+    in
+    let checked, t_check =
+      phase "check" (fun () ->
+          Lockdoc_core.Checker.check_many ~jobs dataset (doc_specs ()))
+    in
+    let violations, t_violations =
+      phase "violations" (fun () -> Violation.find ~jobs dataset mined)
+    in
+    Printf.printf "profile: %s (scale %d, seed %d, jobs %d)\n" workload scale
+      seed jobs;
+    Printf.printf "%-14s %12s %12s\n" "phase" "wall" "cpu";
+    let row name (c : Obs.Clock.t) =
+      Printf.printf "%-14s %9.1f ms %9.1f ms\n" name (1000. *. c.Obs.Clock.wall)
+        (1000. *. c.Obs.Clock.cpu)
+    in
+    let phases =
+      [
+        ("tracing", t_trace); ("import", t_import);
+        ("observations", t_observations); ("derive", t_derive);
+        ("check", t_check); ("violations", t_violations);
+      ]
+    in
+    List.iter (fun (n, c) -> row n c) phases;
+    row "total"
+      (List.fold_left
+         (fun acc (_, c) ->
+           { Obs.Clock.wall = acc.Obs.Clock.wall +. c.Obs.Clock.wall;
+             Obs.Clock.cpu = acc.Obs.Clock.cpu +. c.Obs.Clock.cpu })
+         { Obs.Clock.wall = 0.; Obs.Clock.cpu = 0. }
+         phases);
+    Printf.printf
+      "pipeline: %d event(s), %d group(s), %d rule(s) checked, %d \
+       violation(s)\n"
+      (Array.length trace.Trace.events)
+      (List.length mined) (List.length checked) (List.length violations);
+    let snap = Obs.snapshot () in
+    let top =
+      List.sort
+        (fun (na, a) (nb, b) ->
+          match compare b a with 0 -> compare na nb | c -> c)
+        snap.Obs.sn_counters
+    in
+    print_endline "top counters:";
+    List.iteri
+      (fun i (name, v) ->
+        if i < 12 && v > 0 then Printf.printf "  %-28s %d\n" name v)
+      top;
+    match metrics with Some path -> Obs.write path | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the pipeline end to end on one workload with metrics enabled \
+          and print per-phase wall/cpu timings plus the busiest internal \
+          counters. Wall and CPU time are reported separately: CPU time \
+          sums over domains and exceeds wall time for parallel phases.")
+    Term.(
+      const run $ scale_arg $ seed_arg $ tac_arg $ jobs_arg $ workload_arg
+      $ metrics_arg)
 
 (* {2 repro} *)
 
@@ -463,7 +609,8 @@ let repro_cmd =
            ~doc:"Experiment ids (fig1, tab1..tab8, fig7, fig8, sec72); \
                  default: all.")
   in
-  let run scale seed ids =
+  let run scale seed ids metrics =
+    with_metrics metrics @@ fun () ->
     let ids = if ids = [] then Registry.ids else ids in
     let ctx = lazy (Context.create ~scale ~seed ()) in
     List.iter
@@ -480,7 +627,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Regenerate the paper's evaluation tables/figures")
-    Term.(const run $ scale_arg $ seed_arg $ ids_arg)
+    Term.(const run $ scale_arg $ seed_arg $ ids_arg $ metrics_arg)
 
 let main =
   Cmd.group
@@ -490,7 +637,7 @@ let main =
       trace_cmd; import_cmd; recover_cmd; fsck_cmd; derive_cmd; doc_cmd;
       check_cmd;
       violations_cmd; lockdep_cmd; lockmeter_cmd; export_cmd; relations_cmd;
-      repro_cmd;
+      profile_cmd; repro_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,7 @@
 module Pool = Lockdoc_util.Pool
+module Obs = Lockdoc_obs.Obs
+
+let c_specs = Obs.counter "check.specs"
 
 type verdict = Correct | Ambivalent | Incorrect | Unobserved
 
@@ -41,6 +44,7 @@ type spec = {
 }
 
 let check_many ?(jobs = 1) dataset specs =
+  Obs.add c_specs (List.length specs);
   if jobs > 1 then Lockdoc_db.Store.seal (Dataset.store dataset);
   Pool.map ~jobs
     (fun s ->

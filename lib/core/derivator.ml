@@ -1,5 +1,10 @@
 module Pool = Lockdoc_util.Pool
 module Store = Lockdoc_db.Store
+module Obs = Lockdoc_obs.Obs
+
+let c_groups = Obs.counter "derive.groups"
+let c_hypotheses = Obs.counter "derive.hypotheses"
+let c_observations = Obs.counter "derive.observations"
 
 type mined = {
   m_type : string;
@@ -22,6 +27,9 @@ let seal_for ~jobs dataset =
 let derive_observations ?strategy ?(tac = default_tac) ~ty ~member ~kind
     observations =
   let hypotheses = Hypothesis.enumerate observations in
+  Obs.incr c_groups;
+  Obs.add c_hypotheses (List.length hypotheses);
+  Obs.add c_observations (List.length observations);
   let winner = Selection.select ?strategy ~tac hypotheses in
   {
     m_type = ty;

@@ -1,5 +1,7 @@
 type t = Lockdesc.t list
 
+let c_deduped = Lockdoc_obs.Obs.counter "rule.deduped"
+
 type access = R | W
 
 let no_lock = []
@@ -64,14 +66,18 @@ end)
    collapsed by their notation. *)
 let dedup_rules rules =
   let seen = ref Rule_set.empty in
-  List.filter
-    (fun rule ->
-      if Rule_set.mem rule !seen then false
-      else begin
-        seen := Rule_set.add rule !seen;
-        true
-      end)
-    rules
+  let out =
+    List.filter
+      (fun rule ->
+        if Rule_set.mem rule !seen then false
+        else begin
+          seen := Rule_set.add rule !seen;
+          true
+        end)
+      rules
+  in
+  Lockdoc_obs.Obs.add c_deduped (List.length rules - List.length out);
+  out
 
 let subsequences locks =
   let locks = dedup locks in

@@ -1,6 +1,10 @@
 module Schema = Lockdoc_db.Schema
 module Store = Lockdoc_db.Store
 module Pool = Lockdoc_util.Pool
+module Obs = Lockdoc_obs.Obs
+
+let c_groups = Obs.counter "violations.groups"
+let c_found = Obs.counter "violations.found"
 
 type violation = {
   v_type : string;
@@ -15,8 +19,10 @@ type violation = {
 
 let find ?(jobs = 1) dataset mined =
   let store = Dataset.store dataset in
+  Obs.add c_groups (List.length mined);
   if jobs > 1 then Store.seal store;
-  Pool.concat_map ~jobs
+  let out =
+    Pool.concat_map ~jobs
     (fun (m : Derivator.mined) ->
       if
         Rule.equal m.Derivator.m_winner Rule.no_lock
@@ -43,7 +49,10 @@ let find ?(jobs = 1) dataset mined =
                      v_loc = first_access.Schema.ac_loc;
                      v_stack = Store.stack store first_access.Schema.ac_stack;
                    }))
-    mined
+      mined
+  in
+  Obs.add c_found (List.length out);
+  out
 
 type summary = {
   vs_type : string;

@@ -2,7 +2,17 @@ module Event = Lockdoc_trace.Event
 module Layout = Lockdoc_trace.Layout
 module Diag = Lockdoc_trace.Diag
 module Trace = Lockdoc_trace.Trace
+module Obs = Lockdoc_obs.Obs
 module IntMap = Map.Make (Int)
+
+(* Mirrored once per import at [finalize]; the per-event counters stay
+   in the marshalable [counters] record (metrics handles hold atomics
+   and would not survive a checkpoint). *)
+let c_events = Obs.counter "import.events"
+let c_kept = Obs.counter "import.accesses_kept"
+let c_txns = Obs.counter "import.txns"
+let c_anomalies = Obs.counter "import.anomalies"
+let c_runs = Obs.counter "import.runs"
 
 type irq_mode = Inherit | Separate
 
@@ -437,7 +447,13 @@ let finalize g =
                lk.Schema.lk_name))
         st.held)
     g.g_ctxs;
-  stats g
+  let s = stats g in
+  Obs.incr c_runs;
+  Obs.add c_events s.total_events;
+  Obs.add c_kept s.accesses_kept;
+  Obs.add c_txns s.txns;
+  Obs.add c_anomalies (anomaly_total s);
+  s
 
 let run ?filter ?irq_mode ?mode trace =
   let g = engine ?filter ?irq_mode ?mode trace.Lockdoc_trace.Trace.layouts in

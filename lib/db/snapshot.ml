@@ -4,6 +4,14 @@
    written atomically — is the commit point that ties a snapshot to a
    WAL position and a source-trace offset. *)
 
+module Obs = Lockdoc_obs.Obs
+
+let c_saves = Obs.counter "snapshot.saves"
+let c_loads = Obs.counter "snapshot.loads"
+let c_load_failures = Obs.counter "snapshot.load_failures"
+let h_save_ms = Obs.histogram "snapshot.save_ms"
+let h_load_ms = Obs.histogram "snapshot.load_ms"
+
 type meta = {
   m_snapshot : string; (* snapshot file name, relative to the dir *)
   m_wal_lsn : int; (* first WAL lsn NOT covered by the snapshot *)
@@ -41,6 +49,7 @@ let snapshots ~dir =
     |> List.sort (fun (a, _) (b, _) -> compare b a)
 
 let save ~dir p =
+  let t0 = if Obs.enabled () then Obs.Clock.wall () else 0. in
   (* The store's op logger is a closure; Marshal refuses those. Clear
      it for the duration of serialisation. *)
   let blob =
@@ -58,9 +67,12 @@ let save ~dir p =
       Out_channel.output_string oc blob;
       Out_channel.flush oc);
   Crashpoint.hit "snapshot.rename";
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Obs.incr c_saves;
+  if Obs.enabled () then Obs.observe h_save_ms ((Obs.Clock.wall () -. t0) *. 1000.)
 
 let load path =
+  let t0 = if Obs.enabled () then Obs.Clock.wall () else 0. in
   match
     In_channel.with_open_bin path (fun ic ->
         let m = really_input_string ic (String.length magic) in
@@ -77,8 +89,17 @@ let load path =
             if Wal.crc32 blob <> crc then None
             else Some (Marshal.from_string blob 0 : payload))
   with
-  | p -> p
-  | exception _ -> None
+  | Some _ as p ->
+      Obs.incr c_loads;
+      if Obs.enabled () then
+        Obs.observe h_load_ms ((Obs.Clock.wall () -. t0) *. 1000.);
+      p
+  | None ->
+      Obs.incr c_load_failures;
+      None
+  | exception _ ->
+      Obs.incr c_load_failures;
+      None
 
 let latest_loadable ~dir =
   List.fold_left

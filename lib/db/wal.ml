@@ -7,6 +7,18 @@
    there rather than failing: everything before the first bad byte is
    trusted, nothing after it is. *)
 
+module Obs = Lockdoc_obs.Obs
+
+(* Durability metrics. [wal.flushes] counts channel flushes — the
+   simulated-persistence equivalent of fsync; [wal.torn_tail] counts
+   replays that stopped early at damage. *)
+let c_appends = Obs.counter "wal.appends"
+let c_bytes = Obs.counter "wal.bytes"
+let c_flushes = Obs.counter "wal.flushes"
+let c_rotations = Obs.counter "wal.rotations"
+let c_torn = Obs.counter "wal.torn_tail"
+let c_replayed = Obs.counter "wal.records_read"
+
 (* ---- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------- *)
 
 let crc_table =
@@ -100,12 +112,14 @@ let flush w =
         Stdlib.flush w.w_oc);
     output_string w.w_oc data;
     Stdlib.flush w.w_oc;
+    Obs.incr c_flushes;
     w.w_pending <- 0
   end
 
 let rotate w =
   flush w;
   if w.w_seg_bytes > 0 then begin
+    Obs.incr c_rotations;
     close_out w.w_oc;
     w.w_oc <- open_segment w.w_dir w.w_lsn;
     w.w_seg_start <- w.w_lsn;
@@ -121,6 +135,8 @@ let append w payload =
   Bytes.set_int32_le hdr 4 (Int32.of_int (crc32 payload));
   Buffer.add_bytes w.w_buf hdr;
   Buffer.add_string w.w_buf payload;
+  Obs.incr c_appends;
+  Obs.add c_bytes (8 + len);
   w.w_seg_bytes <- w.w_seg_bytes + 8 + len;
   w.w_lsn <- w.w_lsn + 1;
   w.w_pending <- w.w_pending + 1;
@@ -226,7 +242,10 @@ let read ~dir ~from =
          end)
        segments
    with Exit -> ());
-  (List.rev !out, !torn)
+  let records = List.rev !out in
+  Obs.add c_replayed (List.length records);
+  if !torn <> None then Obs.incr c_torn;
+  (records, !torn)
 
 (* ---- Maintenance -------------------------------------------------- *)
 

@@ -186,12 +186,9 @@ let render_corruption (ctx : Context.t) =
   let module Check = Lockdoc_trace.Check in
   let module Corrupt = Lockdoc_trace.Corrupt in
   let lines = Trace.to_lines ctx.Context.trace in
-  (* Strict vs lenient cost on the clean trace. *)
-  let time f =
-    let t0 = Sys.time () in
-    let r = f () in
-    (r, Sys.time () -. t0)
-  in
+  (* Strict vs lenient cost on the clean trace. Wall clock, not
+     [Sys.time]: CPU time double-counts whenever domains are active. *)
+  let time f = Lockdoc_obs.Obs.Clock.timed f in
   let _, t_strict = time (fun () -> Import.run ~mode:Import.Strict ctx.Context.trace) in
   let _, t_lenient =
     time (fun () -> Import.run ~mode:Import.Lenient ctx.Context.trace)
@@ -226,9 +223,10 @@ let render_corruption (ctx : Context.t) =
   Printf.sprintf
     "Ablation: ingestion resilience under trace corruption\n\
      clean trace: strict import %.2fs, lenient import %.2fs, invariant \
-     check %.2fs\n\
+     check %.2fs (wall)\n\
      anomalies recovered per corruption seed (lenient mode):\n%s"
-    t_strict t_lenient t_check (Tablefmt.render table)
+    t_strict.Lockdoc_obs.Obs.Clock.wall t_lenient.Lockdoc_obs.Obs.Clock.wall
+    t_check.Lockdoc_obs.Obs.Clock.wall (Tablefmt.render table)
 
 (* {2 lockdep baseline comparison} *)
 

@@ -4,6 +4,7 @@ module Import = Lockdoc_db.Import
 module Dataset = Lockdoc_core.Dataset
 module Derivator = Lockdoc_core.Derivator
 module Violation = Lockdoc_core.Violation
+module Obs = Lockdoc_obs.Obs
 
 type t = {
   config : Run.config;
@@ -14,13 +15,16 @@ type t = {
   dataset : Dataset.t;
   mined : Derivator.mined list;
   violations : Violation.violation list;
-  timings : (string * float) list;
+  timings : (string * Obs.Clock.t) list;
 }
 
+(* [Sys.time] is process CPU time: with [jobs > 1] it sums the work of
+   every domain and overstates a phase by up to the job count. Measure
+   wall and CPU separately and report both. *)
 let timed name f timings =
-  let t0 = Sys.time () in
-  let result = f () in
-  let dt = Sys.time () -. t0 in
+  let result, dt =
+    Obs.Span.time ("context/" ^ name) (fun () -> Obs.Clock.timed f)
+  in
   (result, (name, dt) :: timings)
 
 let create ?(scale = 8) ?(seed = 42) ?(jobs = 1) () =
@@ -63,12 +67,20 @@ type family = {
 }
 
 let analyse_family (name, trace) =
-  let store, _ = Import.run trace in
-  let dataset = Dataset.of_store store in
+  (* Phase spans are shared across families (bounded cardinality); the
+     snapshot shows aggregate count/wall/cpu per phase. *)
+  let store, _ = Obs.Span.time "families/import" (fun () -> Import.run trace) in
+  let dataset =
+    Obs.Span.time "families/observations" (fun () -> Dataset.of_store store)
+  in
   (* Worker-local pipeline: each family owns its store, so the analysis
      inside a worker stays sequential (no nested pools). *)
-  let mined = Derivator.derive_all dataset in
-  let violations = Violation.find dataset mined in
+  let mined =
+    Obs.Span.time "families/derive" (fun () -> Derivator.derive_all dataset)
+  in
+  let violations =
+    Obs.Span.time "families/violations" (fun () -> Violation.find dataset mined)
+  in
   {
     w_name = name;
     w_trace = trace;

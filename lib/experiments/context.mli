@@ -3,7 +3,9 @@
 
     Building a context runs the full pipeline of the paper's Fig. 5 —
     tracing (phase ❶), import/filtering, rule derivation (phase ❷) — and
-    records per-phase wall-clock timings for the Sec. 7.2 statistics. *)
+    records per-phase timings (wall clock and CPU time, separately —
+    CPU time alone double-counts parallel phases) for the Sec. 7.2
+    statistics. *)
 
 type t = {
   config : Lockdoc_ksim.Run.config;
@@ -15,7 +17,8 @@ type t = {
   mined : Lockdoc_core.Derivator.mined list;  (** tac = 0.9 winners *)
   violations : Lockdoc_core.Violation.violation list;
       (** the paper's "counterexample extraction" output *)
-  timings : (string * float) list;  (** phase name, seconds *)
+  timings : (string * Lockdoc_obs.Obs.Clock.t) list;
+      (** phase name, elapsed wall/cpu seconds *)
 }
 
 val create : ?scale:int -> ?seed:int -> ?jobs:int -> unit -> t

@@ -7,7 +7,9 @@ let render (ctx : Context.t) =
   let s = ctx.Context.import_stats in
   let timing name =
     match List.assoc_opt name ctx.Context.timings with
-    | Some dt -> Printf.sprintf "%.2f s" dt
+    | Some c ->
+        Printf.sprintf "%.2f s wall (%.2f s cpu)" c.Lockdoc_obs.Obs.Clock.wall
+          c.Lockdoc_obs.Obs.Clock.cpu
     | None -> "-"
   in
   String.concat "\n"

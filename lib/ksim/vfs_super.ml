@@ -10,6 +10,12 @@ open Obj
 
 let fn file span name body = Kernel.fn_scope ~file ~span name body
 
+(* The magic used to come from [Hashtbl.hash fs.fs_name], but that hash
+   is not specified to be stable across OCaml releases or flambda — a
+   "deterministic" trace could differ between toolchains. FNV-1a is
+   pinned by golden tests in test_util.ml. *)
+let s_magic_of_name name = Lockdoc_util.Fnv.fnv1a32 name land 0xffff
+
 let super_blocks : sb list ref = ref []
 
 let () = Kernel.add_boot_hook (fun () -> super_blocks := [])
@@ -35,7 +41,7 @@ let mount fs =
   let sb = alloc_sb fs in
   Lock.down_write sb.s_umount;
   Memory.modify sb.sb_inst "s_flags" (fun f -> f lor 0x1 (* SB_ACTIVE *));
-  Memory.write sb.sb_inst "s_magic" (Hashtbl.hash fs.fs_name land 0xffff);
+  Memory.write sb.sb_inst "s_magic" (s_magic_of_name fs.fs_name);
   Memory.write sb.sb_inst "s_blocksize" 4096;
   Memory.write sb.sb_inst "s_blocksize_bits" 12;
   Memory.write sb.sb_inst "s_maxbytes" max_int;

@@ -37,6 +37,21 @@ type mode = Strict | Lenient
 
 exception Invalid of Diag.t
 
+module Obs = Lockdoc_obs.Obs
+
+(* Ingestion metrics (no-ops unless metrics are enabled). Anomalies
+   additionally count under a per-Diag-class name, created on first
+   occurrence — anomalies are rare, so the registry lookup is off the
+   hot path. *)
+let c_rows = Obs.counter "trace.rows"
+let c_events = Obs.counter "trace.events"
+let c_layouts = Obs.counter "trace.layouts"
+let c_recovered = Obs.counter "trace.recovered"
+
+let count_anomaly d =
+  if Obs.enabled () then
+    Obs.incr (Obs.counter ("trace.anomaly." ^ Diag.kind_to_string d.Diag.d_kind))
+
 let () =
   Printexc.register_printer (function
     | Invalid d -> Some (Diag.to_string d)
@@ -45,7 +60,12 @@ let () =
 let read_lines ?(mode = Strict) ?file lines =
   let diags = ref [] in
   let report d =
-    match mode with Strict -> raise (Invalid d) | Lenient -> diags := d :: !diags
+    count_anomaly d;
+    match mode with
+    | Strict -> raise (Invalid d)
+    | Lenient ->
+        Obs.incr c_recovered;
+        diags := d :: !diags
   in
   let seen_types = Hashtbl.create 16 in
   let layouts, rev_events, _ =
@@ -54,6 +74,7 @@ let read_lines ?(mode = Strict) ?file lines =
         let diag kind message =
           report (Diag.make ?file ~line:lineno kind message)
         in
+        Obs.incr c_rows;
         if String.length line = 0 then (layouts, events, lineno + 1)
         else if String.length line >= 2 && String.sub line 0 2 = "T\t" then begin
           let spec = String.sub line 2 (String.length line - 2) in
@@ -95,8 +116,12 @@ let read_lines ?(mode = Strict) ?file lines =
         end)
       ([], [], 1) lines
   in
-  ( { layouts = List.rev layouts; events = Array.of_list (List.rev rev_events) },
-    List.rev !diags )
+  let t =
+    { layouts = List.rev layouts; events = Array.of_list (List.rev rev_events) }
+  in
+  Obs.add c_events (Array.length t.events);
+  Obs.add c_layouts (List.length t.layouts);
+  (t, List.rev !diags)
 
 (* Strict reading used to raise a bare [Failure] from deep inside the
    parser; callers now always get the file (when known) and line number. *)

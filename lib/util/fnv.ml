@@ -1,0 +1,18 @@
+(* 32-bit FNV-1a, pinned by golden tests.
+
+   [Hashtbl.hash] is explicitly unspecified across OCaml versions and
+   flambda configurations, so anything derived from it (the simulated
+   kernel's [s_magic] values used to be) silently varies between
+   toolchains and breaks "same seed, same trace" reproducibility. This
+   implementation is the reference FNV-1a: offset basis 0x811c9dc5,
+   prime 0x01000193, masked to 32 bits after every multiply. *)
+
+let offset_basis = 0x811c9dc5
+let prime = 0x01000193
+
+let fnv1a32 s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * prime land 0xFFFFFFFF)
+    s;
+  !h

@@ -1,0 +1,9 @@
+(** Toolchain-stable 32-bit FNV-1a string hash.
+
+    Used wherever a "deterministic" value is derived from a name and
+    must not depend on the OCaml version (unlike [Hashtbl.hash]).
+    Reference vectors: [fnv1a32 "" = 0x811c9dc5],
+    [fnv1a32 "a" = 0xe40c292c], [fnv1a32 "foobar" = 0xbf9cf968]. *)
+
+val fnv1a32 : string -> int
+(** Always in [0, 0xFFFFFFFF]. *)

@@ -1,0 +1,13 @@
+(** Checked numeric parsers for CLI flags.
+
+    Each returns [Error] with a one-line human-readable diagnostic
+    instead of raising, so front ends can print a usage error and exit
+    non-zero. Input is [String.trim]med first. *)
+
+val int_arg : string -> (int, string) result
+val positive : string -> (int, string) result
+(** Rejects 0 and negatives (e.g. [-j], [--checkpoint-every]). *)
+
+val non_negative : string -> (int, string) result
+val fraction : string -> (float, string) result
+(** A float in [0, 1] (e.g. [--tac]). *)

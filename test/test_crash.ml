@@ -34,6 +34,11 @@ module Report = Lockdoc_core.Report
 
 let check = Alcotest.check
 
+(* Metrics on for the whole suite: golden-vs-resumed byte comparisons
+   double as evidence that recording never leaks into analysis bytes,
+   durable checkpoints included. *)
+let () = Lockdoc_obs.Obs.set_enabled true
+
 let n_seeds =
   match Sys.getenv_opt "LOCKDOC_CRASH_SEEDS" with
   | Some s -> (try max 1 (int_of_string s) with Failure _ -> 3)

@@ -52,7 +52,29 @@ let mined s = Report.mined_to_json (Derivator.derive_all (Dataset.of_store s))
 
 let test_crc32 () =
   check Alcotest.int "IEEE check vector" 0xCBF43926 (Wal.crc32 "123456789");
-  check Alcotest.int "empty" 0 (Wal.crc32 "")
+  check Alcotest.int "empty" 0 (Wal.crc32 "");
+  (* crc32 "a" has bit 31 set: on 64-bit OCaml it exceeds Int32.max_int,
+     so the [Int32.of_int] in the frame header truncates it to a
+     negative int32. The reader must mask it back ([land 0xFFFFFFFF]);
+     these vectors pin both halves of that contract. *)
+  check Alcotest.int "top-bit vector" 0xE8B7BE43 (Wal.crc32 "a");
+  check Alcotest.int "top-bit clear vector" 0x352441C2 (Wal.crc32 "abc")
+
+let test_wal_crc32_edge_payloads () =
+  with_dir "lockdoc_wal" @@ fun dir ->
+  let w = Wal.create ~dir () in
+  (* Empty payload (len 0, crc 0) and a payload whose crc32 has the top
+     bit set, exercising the Int32 truncation path end to end. *)
+  let edge = [ ""; "a"; "abc"; String.make 3 '\x00' ] in
+  List.iter (Wal.append w) edge;
+  Wal.close w;
+  let records, torn = Wal.read ~dir ~from:0 in
+  check Alcotest.bool "no tear" true (torn = None);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "edge payloads round-trip"
+    (List.mapi (fun i p -> (i, p)) edge)
+    records
 
 let payloads = List.init 100 (fun i -> Printf.sprintf "record %d \t with tabs" i)
 
@@ -486,6 +508,8 @@ let () =
       ( "wal",
         [
           Alcotest.test_case "crc32" `Quick test_crc32;
+          Alcotest.test_case "crc32 edge payloads" `Quick
+            test_wal_crc32_edge_payloads;
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "rotation + compaction" `Quick test_wal_rotation;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;

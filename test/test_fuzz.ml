@@ -22,6 +22,10 @@ module Report = Lockdoc_core.Report
 
 let check = Alcotest.check
 
+(* Metrics on for the whole suite: the golden-output comparisons below
+   double as evidence that recording never leaks into analysis bytes. *)
+let () = Lockdoc_obs.Obs.set_enabled true
+
 let n_seeds =
   match Sys.getenv_opt "LOCKDOC_FUZZ_SEEDS" with
   | Some s -> (try max 1 (int_of_string s) with Failure _ -> 10)

@@ -27,6 +27,11 @@ module Pool = Lockdoc_util.Pool
 
 let check = Alcotest.check
 
+(* Metrics on for the whole differential suite: the -j N vs -j 1
+   byte-identity checks double as evidence that concurrent metric
+   recording never perturbs analysis output. *)
+let () = Lockdoc_obs.Obs.set_enabled true
+
 let n_seeds =
   match Sys.getenv_opt "LOCKDOC_PAR_SEEDS" with
   | Some s -> (try max 1 (int_of_string s) with Failure _ -> 20)

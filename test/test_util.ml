@@ -5,6 +5,8 @@ module Prng = Lockdoc_util.Prng
 module Stats = Lockdoc_util.Stats
 module Vec = Lockdoc_util.Vec
 module Tablefmt = Lockdoc_util.Tablefmt
+module Fnv = Lockdoc_util.Fnv
+module Numarg = Lockdoc_util.Numarg
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -221,6 +223,75 @@ let prop_pool_matches_sequential =
       let f (a, b) = List.init (a mod 5) (fun i -> i + b) in
       Pool.map ~jobs f items = List.map f items)
 
+(* {2 Fnv} *)
+
+(* Canonical FNV-1a 32-bit vectors, plus the filesystem names whose
+   hash feeds [s_magic] in the kernel simulator. Pinning the latter
+   pins the trace bytes across OCaml versions — the whole reason
+   Hashtbl.hash was evicted from vfs_super.ml. *)
+let test_fnv_vectors () =
+  check Alcotest.int "empty = offset basis" 0x811C9DC5 (Fnv.fnv1a32 "");
+  check Alcotest.int "a" 0xE40C292C (Fnv.fnv1a32 "a");
+  check Alcotest.int "foobar" 0xBF9CF968 (Fnv.fnv1a32 "foobar")
+
+let test_fnv_fs_magics () =
+  List.iter
+    (fun (name, magic) ->
+      check Alcotest.int ("s_magic " ^ name) magic
+        (Fnv.fnv1a32 name land 0xffff))
+    [
+      ("ext4", 0x5BC0); ("tmpfs", 0xC0D1); ("proc", 0x2FE1);
+      ("pipefs", 0x309A); ("bdev", 0xC85C); ("sysfs", 0x7E19);
+      ("devtmpfs", 0x4766); ("sockfs", 0x49CE); ("debugfs", 0x5C0B);
+      ("anon_inodefs", 0xF6DC);
+    ]
+
+let test_fnv_32bit_range () =
+  List.iter
+    (fun s ->
+      let h = Fnv.fnv1a32 s in
+      check Alcotest.bool ("in range: " ^ s) true (h >= 0 && h <= 0xFFFFFFFF))
+    [ ""; "a"; "\xff\xff\xff\xff"; String.make 100 'z' ]
+
+(* {2 Numarg} *)
+
+let test_numarg_int () =
+  check Alcotest.bool "plain" true (Numarg.int_arg "42" = Ok 42);
+  check Alcotest.bool "negative" true (Numarg.int_arg "-7" = Ok (-7));
+  check Alcotest.bool "trimmed" true (Numarg.int_arg " 8 " = Ok 8);
+  check Alcotest.bool "junk rejected" true
+    (Result.is_error (Numarg.int_arg "x"));
+  check Alcotest.bool "empty rejected" true
+    (Result.is_error (Numarg.int_arg ""));
+  check Alcotest.bool "trailing junk rejected" true
+    (Result.is_error (Numarg.int_arg "12abc"))
+
+let test_numarg_positive () =
+  check Alcotest.bool "accepts 1" true (Numarg.positive "1" = Ok 1);
+  (match Numarg.positive "0" with
+  | Error msg ->
+      check Alcotest.bool "one-line diagnostic" true
+        (not (String.contains msg '\n'))
+  | Ok _ -> Alcotest.fail "0 accepted");
+  check Alcotest.bool "rejects negatives" true
+    (Result.is_error (Numarg.positive "-3"))
+
+let test_numarg_non_negative () =
+  check Alcotest.bool "accepts 0" true (Numarg.non_negative "0" = Ok 0);
+  check Alcotest.bool "rejects -1" true
+    (Result.is_error (Numarg.non_negative "-1"))
+
+let test_numarg_fraction () =
+  check Alcotest.bool "0.9" true (Numarg.fraction "0.9" = Ok 0.9);
+  check Alcotest.bool "bounds" true
+    (Numarg.fraction "0" = Ok 0. && Numarg.fraction "1" = Ok 1.);
+  check Alcotest.bool "rejects 1.5" true
+    (Result.is_error (Numarg.fraction "1.5"));
+  check Alcotest.bool "rejects -0.1" true
+    (Result.is_error (Numarg.fraction "-0.1"));
+  check Alcotest.bool "rejects junk" true
+    (Result.is_error (Numarg.fraction "nan"))
+
 (* {2 Tablefmt} *)
 
 let test_table_render () =
@@ -289,6 +360,19 @@ let () =
             test_pool_variants;
           qtest prop_pool_order_preserved;
           qtest prop_pool_matches_sequential;
+        ] );
+      ( "fnv",
+        [
+          Alcotest.test_case "canonical vectors" `Quick test_fnv_vectors;
+          Alcotest.test_case "fs magic goldens" `Quick test_fnv_fs_magics;
+          Alcotest.test_case "32-bit range" `Quick test_fnv_32bit_range;
+        ] );
+      ( "numarg",
+        [
+          Alcotest.test_case "int" `Quick test_numarg_int;
+          Alcotest.test_case "positive" `Quick test_numarg_positive;
+          Alcotest.test_case "non-negative" `Quick test_numarg_non_negative;
+          Alcotest.test_case "fraction" `Quick test_numarg_fraction;
         ] );
       ( "tablefmt",
         [
