@@ -1,0 +1,103 @@
+(* Sanitizer benchmark (`dune build @perf`).
+
+   Three questions, one JSON file (BENCH_sanitize.json):
+
+   1. Throughput: how many trace events per second does the full
+      sanitizer analysis (import + lockset + irq walk) sustain?
+
+   2. Sharding: what does instance-sharding the lockset detector over
+      the machine's domains buy over the sequential walk?
+
+   3. Overhead: how much do the two detectors add on top of the plain
+      import every other analysis already pays? Asserted under 400% —
+      the detectors walk the same access rows the importer created, so
+      costing a handful of imports is expected, an order of magnitude
+      is a regression.
+
+   All times are min-of-repeats on the seeded fs_bench sanitize trace.
+   Environment knobs: LOCKDOC_PERF_SCALE (workload scale, default 8),
+   LOCKDOC_PERF_REPEATS (repeats, default 5). *)
+
+module Run = Lockdoc_ksim.Run
+module Import = Lockdoc_db.Import
+module Lockset = Lockdoc_sanitizer.Lockset
+module Irq = Lockdoc_sanitizer.Irq
+module Pool = Lockdoc_util.Pool
+module Obs = Lockdoc_obs.Obs
+module Json = Lockdoc_obs.Json
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match Lockdoc_util.Numarg.positive s with Ok n -> n | Error _ -> default)
+  | None -> default
+
+let scale = env_int "LOCKDOC_PERF_SCALE" 8
+let repeats = env_int "LOCKDOC_PERF_REPEATS" 5
+let max_detect_overhead_pct = 400.
+
+let best f =
+  let ms () =
+    let _, c = Obs.Clock.timed f in
+    c.Obs.Clock.wall *. 1000.
+  in
+  let best_ms = ref (ms ()) in
+  for _ = 2 to repeats do
+    let m = ms () in
+    if m < !best_ms then best_ms := m
+  done;
+  !best_ms
+
+let () =
+  let jobs = Pool.default_jobs () in
+  Printf.eprintf "perf_sanitize: fs_bench scale %d, %d jobs, %d repeats\n"
+    scale jobs repeats;
+  let trace, _truth = Run.sanitize_trace ~scale ~bugs:true "fs_bench" in
+  let events = Array.length trace.Lockdoc_trace.Trace.events in
+  let import_ms = best (fun () -> ignore (Import.run trace)) in
+  let store, _ = Import.run trace in
+  let lockset_seq_ms = best (fun () -> ignore (Lockset.analyse ~jobs:1 store)) in
+  let lockset_par_ms =
+    best (fun () -> ignore (Lockset.analyse ~jobs store))
+  in
+  let irq_ms = best (fun () -> ignore (Irq.analyse store)) in
+  let detect_ms = lockset_seq_ms +. irq_ms in
+  let total_ms = import_ms +. detect_ms in
+  let events_per_sec =
+    if total_ms > 0. then float_of_int events /. (total_ms /. 1000.) else 0.
+  in
+  let speedup =
+    if lockset_par_ms > 0. then lockset_seq_ms /. lockset_par_ms else 1.
+  in
+  let detect_overhead_pct =
+    if import_ms > 0. then detect_ms /. import_ms *. 100. else 0.
+  in
+  let ok = detect_overhead_pct < max_detect_overhead_pct in
+  Printf.eprintf
+    "perf_sanitize: %d events, import %.1fms, lockset %.1fms (seq) \
+     %.1fms (-j %d), irq %.1fms\n"
+    events import_ms lockset_seq_ms lockset_par_ms jobs irq_ms;
+  print_endline
+    (Json.to_string
+       (Json.O
+          [
+            ("scale", Json.I scale);
+            ("events", Json.I events);
+            ("events_per_sec", Json.F events_per_sec);
+            ("import_ms", Json.F import_ms);
+            ("lockset_seq_ms", Json.F lockset_seq_ms);
+            ("lockset_par_ms", Json.F lockset_par_ms);
+            ("lockset_jobs", Json.I jobs);
+            ("lockset_speedup", Json.F speedup);
+            ("irq_ms", Json.F irq_ms);
+            ("detect_overhead_pct", Json.F detect_overhead_pct);
+            ("detect_overhead_budget_pct", Json.F max_detect_overhead_pct);
+            ("repeats", Json.I repeats);
+            ("ok", Json.B ok);
+          ]));
+  if not ok then begin
+    Printf.eprintf
+      "perf_sanitize: FAIL detector overhead %.0f%% exceeds %.0f%% budget\n"
+      detect_overhead_pct max_detect_overhead_pct;
+    exit 1
+  end

@@ -440,19 +440,20 @@ let lockmeter_cmd =
     Arg.(value & opt positive_int 15 & info [ "top" ] ~docv:"N"
            ~doc:"Number of classes to show.")
   in
-  let run path top metrics =
+  let run path top json metrics =
     with_metrics metrics @@ fun () ->
     let trace = Trace.load path in
     let store, _ = Import.run trace in
-    print_string
-      (Lockdoc_core.Lockmeter.render ~top
-         (Lockdoc_core.Lockmeter.analyse trace store))
+    let stats = Lockdoc_core.Lockmeter.analyse trace store in
+    if json then
+      print_endline (Lockdoc_core.Report.lockmeter_to_json stats)
+    else print_string (Lockdoc_core.Lockmeter.render ~top stats)
   in
   Cmd.v
     (Cmd.info "lockmeter"
        ~doc:"Per-lock-class usage statistics over a trace (the Lockmeter \
              baseline of the paper's Sec. 3.2)")
-    Term.(const run $ trace_file_arg $ top_arg $ metrics_arg)
+    Term.(const run $ trace_file_arg $ top_arg $ json_arg $ metrics_arg)
 
 (* {2 export} *)
 
@@ -497,18 +498,67 @@ let relations_cmd =
 (* {2 lockdep} *)
 
 let lockdep_cmd =
-  let run path metrics =
+  let run path json metrics =
     with_metrics metrics @@ fun () ->
     let trace = Trace.load path in
     let store, _ = Import.run trace in
-    print_string (Lockdoc_core.Lockdep.render (Lockdoc_core.Lockdep.analyse store))
+    let report = Lockdoc_core.Lockdep.analyse store in
+    if json then print_endline (Lockdoc_core.Report.lockdep_to_json report)
+    else print_string (Lockdoc_core.Lockdep.render report)
   in
   Cmd.v
     (Cmd.info "lockdep"
        ~doc:
          "Run the lockdep-style lock-order analysis over a trace (the \
           in-situ baseline the paper contrasts LockDoc with)")
-    Term.(const run $ trace_file_arg $ metrics_arg)
+    Term.(const run $ trace_file_arg $ json_arg $ metrics_arg)
+
+(* {2 sanitize} *)
+
+let sanitize_cmd =
+  let module Sanitize = Lockdoc_sanitizer.Sanitize in
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Benchmark family to sanitize (fs_bench, fsstress, fs_inod, \
+                 pipe, symlink, device).")
+  in
+  let clean_arg =
+    Arg.(value & flag & info [ "clean" ]
+           ~doc:"Silence the seeded ground-truth bugs (the zero-finding \
+                 baseline). Default: seed them.")
+  in
+  let sanitize_seed_arg =
+    Arg.(value & opt checked_int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"PRNG seed; runs are deterministic per seed.")
+  in
+  let sanitize_scale_arg =
+    Arg.(value & opt positive_int 1 & info [ "scale" ] ~docv:"N"
+           ~doc:"Workload iteration multiplier (trace volume).")
+  in
+  let run workload clean seed scale json jobs metrics =
+    if not (List.mem workload Run.workload_names) then begin
+      Printf.eprintf "lockdoc: unknown workload %S (known: %s)\n" workload
+        (String.concat ", " Run.workload_names);
+      exit 1
+    end;
+    with_metrics metrics @@ fun () ->
+    let report =
+      Sanitize.run ~jobs:(resolve_jobs jobs) ~seed ~scale ~bugs:(not clean)
+        workload
+    in
+    if json then print_endline (Sanitize.to_json report)
+    else print_string (Sanitize.render report)
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Trace one benchmark family and run the sanitizer layer over it: \
+          Eraser-style lockset race detection plus lockdep-style \
+          irq-safety analysis, cross-validated against the seeded \
+          ground-truth bugs and the mined-rule violation scanner.")
+    Term.(
+      const run $ workload_arg $ clean_arg $ sanitize_seed_arg
+      $ sanitize_scale_arg $ json_arg $ jobs_arg $ metrics_arg)
 
 (* {2 profile} *)
 
@@ -636,8 +686,8 @@ let main =
     [
       trace_cmd; import_cmd; recover_cmd; fsck_cmd; derive_cmd; doc_cmd;
       check_cmd;
-      violations_cmd; lockdep_cmd; lockmeter_cmd; export_cmd; relations_cmd;
-      profile_cmd; repro_cmd;
+      violations_cmd; lockdep_cmd; lockmeter_cmd; sanitize_cmd; export_cmd;
+      relations_cmd; profile_cmd; repro_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -30,6 +30,39 @@ let class_of store (lock : Schema.lock) =
       let dt = Store.data_type store al.Schema.al_type in
       Member (dt.Schema.dt_name, member)
 
+(* {2 Cycle canonicalisation}
+
+   The DFS can reach one cyclic lock-order through several anchors and
+   walk orders, and a rotation (or, for the report's purposes, the
+   reversed traversal of the same class set) describes the same
+   deadlock scenario. Canonical form: rotate so the lexicographically
+   smallest class leads; the dedup key additionally takes the smaller
+   of the forward and reversed-rotated name sequences, so each
+   scenario is kept exactly once. *)
+
+let canonicalise cycle =
+  match cycle with
+  | [] | [ _ ] -> cycle
+  | _ ->
+      let arr = Array.of_list cycle in
+      let n = Array.length arr in
+      let key i = class_to_string arr.(i) in
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if key i < key !best then best := i
+      done;
+      List.init n (fun j -> arr.((!best + j) mod n))
+
+let cycle_key cycle =
+  let names c = List.map class_to_string (canonicalise c) in
+  min (names cycle) (names (List.rev cycle))
+
+module Cycle_key_set = Set.Make (struct
+  type t = string list
+
+  let compare = compare
+end)
+
 let analyse store =
   let edges : (lock_class * lock_class, int * Srcloc.t) Hashtbl.t =
     Hashtbl.create 128
@@ -87,12 +120,17 @@ let analyse store =
     |> List.sort (fun a b -> compare (class_to_string a) (class_to_string b))
   in
   let cycles = ref [] in
+  let seen = ref Cycle_key_set.empty in
   let rec dfs anchor path node =
     List.iter
       (fun next ->
         if next = anchor then begin
-          let cycle = List.rev (node :: path) in
-          if not (List.mem cycle !cycles) then cycles := cycle :: !cycles
+          let cycle = canonicalise (List.rev (node :: path)) in
+          let key = cycle_key cycle in
+          if not (Cycle_key_set.mem key !seen) then begin
+            seen := Cycle_key_set.add key !seen;
+            cycles := cycle :: !cycles
+          end
         end
         else if
           (not (List.mem next path))
@@ -104,10 +142,16 @@ let analyse store =
       (successors node)
   in
   List.iter (fun c -> dfs c [] c) all_classes;
+  let sorted_cycles =
+    List.sort
+      (fun a b ->
+        compare (List.map class_to_string a) (List.map class_to_string b))
+      !cycles
+  in
   {
     classes = all_classes;
     edges = order_edges;
-    cycles = List.rev !cycles;
+    cycles = sorted_cycles;
     self_nesting;
   }
 

@@ -35,6 +35,16 @@ type report = {
       (** same-class nesting (two instances of one class held together) *)
 }
 
+val class_of : Lockdoc_db.Store.t -> Lockdoc_db.Schema.lock -> lock_class
+(** Classing rule shared with the other in-situ analyses: static locks by
+    name, embedded locks by (data type, member). *)
+
+val canonicalise : lock_class list -> lock_class list
+(** Rotate a cycle so its lexicographically smallest class leads. The
+    report's cycles are canonical: each cyclic lock-order appears exactly
+    once (rotations and the reversed traversal of the same scenario are
+    deduplicated), sorted by class names. *)
+
 val analyse : Lockdoc_db.Store.t -> report
 (** Build the acquisition-order graph over every transaction of the store
     and search it for cycles. *)

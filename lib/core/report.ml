@@ -115,3 +115,42 @@ let checked_to_json checked =
                 ("verdict", S (Checker.verdict_to_string c.Checker.c_verdict));
               ])
           checked))
+
+let lockdep_to_json (r : Lockdep.report) =
+  let cls c = S (Lockdep.class_to_string c) in
+  let edge (e : Lockdep.edge) =
+    O
+      [
+        ("from", cls e.Lockdep.e_from);
+        ("to", cls e.Lockdep.e_to);
+        ("count", I e.Lockdep.e_count);
+        ("example", S (Lockdoc_trace.Srcloc.to_string e.Lockdep.e_example));
+      ]
+  in
+  to_string
+    (O
+       [
+         ("classes", L (List.map cls r.Lockdep.classes));
+         ("edges", L (List.map edge r.Lockdep.edges));
+         ( "cycles",
+           L (List.map (fun c -> L (List.map cls c)) r.Lockdep.cycles) );
+         ("self_nesting", L (List.map edge r.Lockdep.self_nesting));
+       ])
+
+let lockmeter_to_json stats =
+  to_string
+    (L
+       (List.map
+          (fun (s : Lockmeter.stat) ->
+            O
+              [
+                ("class", S (Lockdep.class_to_string s.Lockmeter.s_class));
+                ("acquisitions", I s.Lockmeter.s_acquisitions);
+                ("reader_acquisitions", I s.Lockmeter.s_reader_acquisitions);
+                ("instances", I s.Lockmeter.s_instances);
+                ("total_hold", I s.Lockmeter.s_total_hold);
+                ("max_hold", I s.Lockmeter.s_max_hold);
+                ("mean_hold", F (Lockmeter.mean_hold s));
+                ("accesses_under", I s.Lockmeter.s_accesses_under);
+              ])
+          stats))

@@ -28,3 +28,11 @@ val violations_to_json : Violation.violation list -> string
 
 val checked_to_json : Checker.checked list -> string
 (** JSON array of documentation-check results. *)
+
+val lockdep_to_json : Lockdep.report -> string
+(** JSON object with the classes, acquisition-order edges, canonical
+    cycles, and self-nesting edges of a lockdep report. *)
+
+val lockmeter_to_json : Lockmeter.stat list -> string
+(** JSON array; one object per lock class with the usage counters of
+    {!Lockmeter.stat}. *)

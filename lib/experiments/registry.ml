@@ -83,6 +83,12 @@ let all =
       needs_context = true;
       render = with_ctx Tab8.render;
     };
+    {
+      id = "sanitize";
+      title = "Sanitizer: seeded-bug recovery per workload family";
+      needs_context = false;
+      render = without_ctx Sanitize_exp.render;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -32,12 +32,27 @@ let bdi_unregister bdi =
   bdi_list := List.filter (fun b -> b != bdi) !bdi_list;
   Lock.spin_unlock Globals.bdi_lock
 
+(* [wb.work_lock] is also taken from the timer interrupt
+   ({!wakeup_flusher_irq}), so process-context users must mask
+   interrupts around it. The seeded bug (period 0 = off by default)
+   reverts to the plain, irq-unsafe acquisition — the ground-truth
+   target of the sanitizer's irq-safety analysis. *)
+let seed_irq_unsafe_wb = Fault.site ~period:0 "seed_irq_unsafe_wb"
+
 let wb_queue_work bdi =
   fn "fs/fs-writeback.c" 16 "wb_queue_work" @@ fun () ->
-  Lock.spin_lock bdi.wb_work_lock;
-  Memory.write bdi.bdi_inst "wb.work_list" 1;
-  Memory.write bdi.bdi_inst "wb.dwork" 1;
-  Lock.spin_unlock bdi.wb_work_lock
+  if Fault.fire seed_irq_unsafe_wb then begin
+    Lock.spin_lock bdi.wb_work_lock;
+    Memory.write bdi.bdi_inst "wb.work_list" 1;
+    Memory.write bdi.bdi_inst "wb.dwork" 1;
+    Lock.spin_unlock bdi.wb_work_lock
+  end
+  else begin
+    Lock.spin_lock_irq bdi.wb_work_lock;
+    Memory.write bdi.bdi_inst "wb.work_list" 1;
+    Memory.write bdi.bdi_inst "wb.dwork" 1;
+    Lock.spin_unlock_irq bdi.wb_work_lock
+  end
 
 let wb_update_bandwidth bdi =
   fn "mm/page-writeback.c" 34 "wb_update_bandwidth" @@ fun () ->
@@ -76,10 +91,10 @@ let balance_dirty_pages bdi =
    inodes back. *)
 let wb_do_writeback bdi =
   fn "fs/fs-writeback.c" 36 "wb_do_writeback" @@ fun () ->
-  Lock.spin_lock bdi.wb_work_lock;
+  Lock.spin_lock_irq bdi.wb_work_lock;
   ignore (Memory.read bdi.bdi_inst "wb.work_list");
   Memory.write bdi.bdi_inst "wb.work_list" 0;
-  Lock.spin_unlock bdi.wb_work_lock;
+  Lock.spin_unlock_irq bdi.wb_work_lock;
   Lock.spin_lock bdi.wb_list_lock;
   Memory.write bdi.bdi_inst "wb.last_old_flush" 1;
   Memory.modify bdi.bdi_inst "wb.state" (fun s -> s lor 0x1);
@@ -117,17 +132,17 @@ let wb_do_writeback bdi =
   Lock.spin_unlock bdi.wb_list_lock;
   wb_update_bandwidth bdi
 
-(* Timer-interrupt path: peeks the dirty list head lock-free to decide
-   whether to kick the flusher. *)
+(* Timer-interrupt path: inspects the writeback state and kicks the
+   flusher under [wb.work_lock]. Taken from hardirq context, this is
+   what makes the lock class irq-used — any process-context holder
+   with interrupts enabled (the seeded bug above) is then irq-unsafe. *)
 let wakeup_flusher_irq bdi =
   fn "mm/backing-dev.c" 10 "laptop_mode_timer_fn" @@ fun () ->
+  Lock.spin_lock bdi.wb_work_lock;
   ignore (Memory.read bdi.bdi_inst "wb.state");
   ignore (Memory.read bdi.bdi_inst "wb.last_old_flush");
-  if bdi.b_dirty <> [] then begin
-    Lock.spin_lock bdi.wb_work_lock;
-    Memory.write bdi.bdi_inst "wb.work_list" 1;
-    Lock.spin_unlock bdi.wb_work_lock
-  end
+  if bdi.b_dirty <> [] then Memory.write bdi.bdi_inst "wb.work_list" 1;
+  Lock.spin_unlock bdi.wb_work_lock
 
 (* Cold declarations (coverage denominators outside fs/). *)
 let () =

@@ -33,6 +33,10 @@ let bdev_read inode =
   ignore (Vfs_inode.i_size_read inode);
   Blockdev.blkdev_direct_io (bdev_of inode)
 
+(* Seeded ground-truth race (period 0 = off by default): a superblock
+   field update without s_umount, racing mount's initialisation. *)
+let seed_race_bdev = Fault.site ~period:0 "seed_race_bdev"
+
 let bdev_write inode n =
   fn "fs/block_dev.c" 20 "blkdev_write_iter_sim" @@ fun () ->
   let bdev = bdev_of inode in
@@ -41,6 +45,8 @@ let bdev_write inode n =
   Vfs_inode.i_size_write inode n;
   Memory.write bdev.bd_inst "bd_block_size" 4096;
   Lock.mutex_unlock bdev.bd_mutex;
+  if Fault.fire seed_race_bdev then
+    Memory.write inode.i_sb.sb_inst "s_blocksize_bits" 12;
   Vfs_inode.mark_inode_dirty inode
 
 let bdev_evict inode =

@@ -74,6 +74,10 @@ let simple_fstype ?(file = "fs/ramfs/inode.c") name =
       };
   }
 
+(* Seeded ground-truth race (period 0 = off by default): a superblock
+   field update without s_umount, racing [alloc_sb]'s initialisation. *)
+let seed_race_symlink = Fault.site ~period:0 "seed_race_symlink"
+
 (* Symlinks: the target pointer lives in the unrolled union member
    [i_link]; reading a symlink is lock-free (RCU walk). *)
 let set_link inode target =
@@ -81,7 +85,9 @@ let set_link inode target =
   Lock.down_write inode.i_rwsem;
   Memory.write inode.i_inst "i_link" target;
   Memory.write inode.i_inst "i_mode" 0o120777;
-  Lock.up_write inode.i_rwsem
+  Lock.up_write inode.i_rwsem;
+  if Fault.fire seed_race_symlink then
+    Memory.write inode.i_sb.sb_inst "s_time_gran" 1000000
 
 let get_link inode =
   fn "fs/namei.c" 8 "get_link" @@ fun () ->

@@ -19,6 +19,10 @@ let fn file span name body = Kernel.fn_scope ~file ~span name body
 let blocks_nolock_fault = Fault.site ~period:15 "ext4_update_i_blocks_nolock"
 let fsync_peek_fault = Fault.site ~period:12 "ext4_fsync_peek_committing"
 
+(* Seeded ground-truth race (period 0 = off by default): a superblock
+   field update without s_umount, racing mount's initialisation. *)
+let seed_race_ext4_write = Fault.site ~period:0 "seed_race_ext4_write"
+
 let journal_of sb =
   match sb.s_journal with
   | Some j -> j
@@ -83,6 +87,9 @@ let ext4_write inode n =
     (* ext4's raw i_blocks update path (no i_lock). *)
     Vfs_inode.set_blocks_nolock inode ((size + n) / 512)
   else Vfs_inode.inode_add_bytes inode n;
+  if Fault.fire seed_race_ext4_write then
+    (* Seeded race: growing the file-size limit without s_umount. *)
+    Memory.write inode.i_sb.sb_inst "s_maxbytes" max_int;
   ext4_mark_inode_dirty inode;
   Bdi.balance_dirty_pages inode.i_sb.s_bdi
 

@@ -9,13 +9,19 @@ open Obj
 
 let fn file span name body = Kernel.fn_scope ~file ~span name body
 
+(* Seeded ground-truth race (period 0 = off by default): a superblock
+   field update without s_umount, racing mount's initialisation. *)
+let seed_race_shmem = Fault.site ~period:0 "seed_race_shmem"
+
 let shmem_write inode n =
   fn "mm/shmem.c" 36 "shmem_file_write_iter" @@ fun () ->
   Fs_common.generic_write inode n;
   Lock.spin_lock inode.i_tree_lock;
   Memory.modify inode.i_inst "i_data.nrexceptional" (fun e -> max 0 e);
   Memory.modify inode.i_inst "i_data.flags" (fun f -> f lor 0x1);
-  Lock.spin_unlock inode.i_tree_lock
+  Lock.spin_unlock inode.i_tree_lock;
+  if Fault.fire seed_race_shmem then
+    Memory.write inode.i_sb.sb_inst "s_blocksize" 4096
 
 let shmem_read inode =
   fn "mm/shmem.c" 26 "shmem_file_read_iter" @@ fun () ->

@@ -130,10 +130,55 @@ let preempt_enable () =
 
 let preempt_disabled () = (run_exn ()).preempt_count > 0
 
-let local_irq_disable () = (run_exn ()).irq_off <- true
-let local_irq_enable () = (run_exn ()).irq_off <- false
-let local_bh_disable () = (run_exn ()).bh_off <- true
-let local_bh_enable () = (run_exn ()).bh_off <- false
+(* Masking interrupts is modelled as taking a pseudo-lock (like the
+   hardirq/softirq context locks of paper Sec. 7.1): the irq-safety
+   analysis needs to see, per member access and per lock acquisition,
+   whether interrupts were enabled at that point. Only transitions emit
+   events, so nested disable/enable pairs stay balanced. *)
+let irqoff_lock_ptr = 0x30
+let bhoff_lock_ptr = 0x40
+
+let emit_mask_acquire lock_ptr lock_name =
+  emit
+    (Event.Lock_acquire
+       {
+         lock_ptr;
+         kind = Event.Pseudo;
+         side = Event.Exclusive;
+         name = lock_name;
+         loc = here ();
+       })
+
+let emit_mask_release lock_ptr =
+  emit (Event.Lock_release { lock_ptr; loc = here () })
+
+let local_irq_disable () =
+  let r = run_exn () in
+  if not r.irq_off then begin
+    r.irq_off <- true;
+    emit_mask_acquire irqoff_lock_ptr "irqoff"
+  end
+
+let local_irq_enable () =
+  let r = run_exn () in
+  if r.irq_off then begin
+    emit_mask_release irqoff_lock_ptr;
+    r.irq_off <- false
+  end
+
+let local_bh_disable () =
+  let r = run_exn () in
+  if not r.bh_off then begin
+    r.bh_off <- true;
+    emit_mask_acquire bhoff_lock_ptr "bhoff"
+  end
+
+let local_bh_enable () =
+  let r = run_exn () in
+  if r.bh_off then begin
+    emit_mask_release bhoff_lock_ptr;
+    r.bh_off <- false
+  end
 
 let preempt_point () =
   let r = run_exn () in
@@ -216,6 +261,34 @@ let maybe_inject_irqs r =
   if (not r.irq_off) && (not r.bh_off) && r.softirqs <> []
      && Prng.bernoulli r.rng r.cfg.softirq_rate
   then run_irq r Event.Softirq (Prng.pick_list r.rng r.softirqs)
+
+(* Synchronous interrupt raising, used by deterministic workloads (the
+   sanitizer traces tick a timer at fixed points instead of relying on
+   the probabilistic injector). Runs every registered handler of the
+   requested kind once, honouring the masking state, then restores
+   event attribution to the interrupted task. *)
+let raise_irq kind =
+  let r = run_exn () in
+  let masked =
+    match kind with
+    | Event.Hardirq -> r.irq_off
+    | _ -> r.irq_off || r.bh_off
+  in
+  if (not r.in_irq) && not masked then begin
+    let handlers =
+      match kind with Event.Hardirq -> r.hardirqs | _ -> r.softirqs
+    in
+    List.iter (fun h -> run_irq r kind h) handlers;
+    (* [run_irq] leaves [last_emitted_pid] at the irq pseudo-pid; the
+       probabilistic injector relies on the subsequent [resume] to
+       switch back, but a mid-task raise must restore it itself. *)
+    match r.cur with
+    | Some t -> switch_to r t.pid Event.Task
+    | None -> ()
+  end
+
+let raise_hardirq () = raise_irq Event.Hardirq
+let raise_softirq () = raise_irq Event.Softirq
 
 let resume r task =
   r.cur <- Some task;

@@ -81,8 +81,29 @@ val wait_until : string -> (unit -> bool) -> unit
 
 val preempt_disable : unit -> unit
 val preempt_enable : unit -> unit
+
 val local_irq_disable : unit -> unit
+(** Mask interrupts. Modelled as acquiring the "irqoff" pseudo-lock
+    (ptr {!irqoff_lock_ptr}) so irq-safety analyses can see, at every
+    access and acquisition, whether interrupts were enabled. Only the
+    off/on transitions emit events. *)
+
 val local_irq_enable : unit -> unit
 val local_bh_disable : unit -> unit
 val local_bh_enable : unit -> unit
 val preempt_disabled : unit -> bool
+
+val irqoff_lock_ptr : int
+(** Pseudo-lock address held while interrupts are masked. *)
+
+val bhoff_lock_ptr : int
+(** Pseudo-lock address held while bottom halves are masked. *)
+
+val raise_hardirq : unit -> unit
+(** Run every registered hardirq handler once, synchronously, as if the
+    interrupt fired here. No-op when already in irq context or
+    interrupts are masked. Deterministic counterpart to the
+    probabilistic injector. *)
+
+val raise_softirq : unit -> unit
+(** Like {!raise_hardirq} for softirq handlers (honours bh masking). *)

@@ -86,17 +86,28 @@ let spin_release t =
 let spin_lock = spin_acquire
 let spin_unlock = spin_release
 
-let spin_lock_irq t =
-  Kernel.local_irq_disable ();
-  spin_acquire t
+(* The _irq/_bh variants wait with interrupts still enabled and mask
+   only once the lock is observably free; masking first would block the
+   flow while holding the irqoff/bhoff pseudo-lock (and, on real
+   hardware, spin with interrupts dead). The take itself has no
+   preemption point, so mask+acquire is atomic under cooperative
+   scheduling. *)
+let spin_acquire_masked mask t =
+  check_not_owner t "spin_lock";
+  Kernel.preempt_point ();
+  if not (free t) then Kernel.wait_until ("spinlock " ^ t.l_name) (fun () -> free t);
+  mask ();
+  t.owner <- Some (self ());
+  Kernel.preempt_disable ();
+  emit_acquire t Event.Exclusive
+
+let spin_lock_irq t = spin_acquire_masked Kernel.local_irq_disable t
 
 let spin_unlock_irq t =
   spin_release t;
   Kernel.local_irq_enable ()
 
-let spin_lock_bh t =
-  Kernel.local_bh_disable ();
-  spin_acquire t
+let spin_lock_bh t = spin_acquire_masked Kernel.local_bh_disable t
 
 let spin_unlock_bh t =
   spin_release t;

@@ -35,6 +35,11 @@ let pipe_release pipe ~reader =
   else Memory.modify pipe.p_inst "writers" (fun w -> max 0 (w - 1));
   pipe_unlock pipe
 
+(* Seeded ground-truth race (period 0 = off by default): a writer
+   bumping [w_counter] after dropping the pipe mutex, racing the locked
+   updates in [pipe_open]/[pipe_release]. *)
+let seed_race_pipe = Fault.site ~period:0 "seed_race_pipe"
+
 let pipe_write pipe n =
   fn "fs/pipe.c" 40 "pipe_write" @@ fun () ->
   pipe_lock pipe;
@@ -47,7 +52,9 @@ let pipe_write pipe n =
     Memory.write pipe.p_inst "tmp_page" 1
   end
   else Memory.modify pipe.p_inst "waiting_writers" (fun w -> w + 1);
-  pipe_unlock pipe
+  pipe_unlock pipe;
+  if Fault.fire seed_race_pipe then
+    Memory.modify pipe.p_inst "w_counter" (fun w -> w + 1)
 
 let pipe_read pipe n =
   fn "fs/pipe.c" 36 "pipe_read" @@ fun () ->
@@ -62,12 +69,26 @@ let pipe_read pipe n =
   else ignore (Memory.read pipe.p_inst "writers");
   pipe_unlock pipe
 
-(* Poll peeks the ring state without the pipe mutex. *)
+(* Poll peeks the ring state without the pipe mutex (as fs/pipe.c really
+   does) — that lock-free flavour is the default (period 1 = every
+   visit) so existing traces are unchanged; the sanitizer's clean runs
+   quiesce the site to get a poll that honours the mutex, keeping the
+   baseline free of intentional violations. *)
+let pipe_poll_nolock = Fault.site ~period:1 "pipe_poll_nolock"
+
 let pipe_poll pipe =
   fn "fs/pipe.c" 18 "pipe_poll" @@ fun () ->
-  ignore (Memory.read pipe.p_inst "nrbufs");
-  ignore (Memory.read pipe.p_inst "readers");
-  ignore (Memory.read pipe.p_inst "writers")
+  let peek () =
+    ignore (Memory.read pipe.p_inst "nrbufs");
+    ignore (Memory.read pipe.p_inst "readers");
+    ignore (Memory.read pipe.p_inst "writers")
+  in
+  if Fault.fire pipe_poll_nolock then peek ()
+  else begin
+    pipe_lock pipe;
+    peek ();
+    pipe_unlock pipe
+  end
 
 let pipe_fasync pipe =
   fn "fs/pipe.c" 16 "pipe_fasync" @@ fun () ->

@@ -97,6 +97,99 @@ let workload_trace ?(seed = 7) ?(scale = 1) name =
   in
   trace
 
+(* The sanitizer's traces: one benchmark family plus the pieces the two
+   detectors need — a process-context work-queueing thread and a
+   deterministic timer interrupt, both on the family's primary backing
+   device, so the irq-safety analysis always sees [wb.work_lock] from
+   both contexts. Fault sites are forced to exactly the seeded
+   ground-truth set ([bugs = true]) or silenced entirely
+   ([bugs = false]); the clean baseline therefore contains none of the
+   deliberate Tab. 5/7/8 deviations either. *)
+let sanitize_trace ?(seed = 7) ?(scale = 1) ~bugs name =
+  if bugs then Seeded.activate () else Seeded.quiesce ();
+  let config =
+    { Kernel.default_config with seed; hardirq_rate = 0.; softirq_rate = 0. }
+  in
+  let trace, _cov =
+    Kernel.run ~config ~layouts:Structs.all (fun () ->
+        Kernel.spawn "init" (fun () ->
+            let env = Workloads.setup_env () in
+            (* Baseline init-context accesses to the seeded superblock
+               members, mirroring mount's unlocked field set-up (which
+               the importer's init filter drops from the real mount
+               path): gives each lockset state machine a first writer
+               in another flow to race against. *)
+            List.iter
+              (fun sb ->
+                Memory.write sb.Obj.sb_inst "s_dirt" 0;
+                Memory.write sb.Obj.sb_inst "s_maxbytes" max_int;
+                Memory.write sb.Obj.sb_inst "s_blocksize" 4096;
+                Memory.write sb.Obj.sb_inst "s_blocksize_bits" 12;
+                Memory.write sb.Obj.sb_inst "s_time_gran" 1)
+              (Workloads.all_sbs env);
+            let sb =
+              match name with
+              | "fs_bench" | "symlink" -> env.Workloads.ext4
+              | "fsstress" -> env.Workloads.tmpfs
+              | "fs_inod" -> env.Workloads.rootfs
+              | "pipe" -> env.Workloads.pipefs
+              | "device" -> env.Workloads.bdevfs
+              | other -> invalid_arg ("Run.sanitize_trace: unknown " ^ other)
+            in
+            let bdi = sb.Obj.s_bdi in
+            let rng = Kernel.prng () in
+            let remaining = ref 0 in
+            let worker wname body =
+              incr remaining;
+              let task_rng = Prng.split rng in
+              Kernel.spawn wname (fun () ->
+                  body task_rng;
+                  decr remaining)
+            in
+            Kernel.register_hardirq "timer" (fun () ->
+                if not env.Workloads.shutting_down then
+                  Bdi.wakeup_flusher_irq bdi);
+            (match name with
+            | "fs_bench" ->
+                worker "fs-bench" (fun r -> Workloads.fs_bench env r (20 * scale))
+            | "fsstress" ->
+                worker "fsstress" (fun r -> Workloads.fsstress env r (30 * scale))
+            | "fs_inod" ->
+                worker "fs_inod" (fun r -> Workloads.fs_inod env r (25 * scale))
+            | "pipe" ->
+                let pipe_inode = Vfs_inode.iget env.Workloads.pipefs 6500 in
+                worker "pipe-writer" (fun r ->
+                    Workloads.pipe_writer pipe_inode r (15 * scale));
+                worker "pipe-reader" (fun r ->
+                    Workloads.pipe_reader pipe_inode r (15 * scale));
+                incr remaining;
+                Kernel.spawn "pipe-put" (fun () ->
+                    Kernel.wait_until "pipe drained" (fun () -> !remaining = 1);
+                    Vfs_inode.iput pipe_inode;
+                    decr remaining)
+            | "symlink" ->
+                worker "symlink" (fun r ->
+                    Workloads.symlink_bench env r (10 * scale))
+            | "device" ->
+                worker "devices" (fun r ->
+                    Workloads.device_bench env r (8 * scale))
+            | _ -> assert false);
+            worker "wb-queue" (fun _ ->
+                for _ = 1 to 6 * scale do
+                  Bdi.wb_queue_work bdi
+                done);
+            worker "irq-ticker" (fun _ ->
+                for _ = 1 to 12 * scale do
+                  Kernel.raise_hardirq ();
+                  Kernel.preempt_point ()
+                done);
+            Kernel.wait_until "workload completion" (fun () -> !remaining = 0);
+            Workloads.teardown_env env))
+  in
+  let truth = Seeded.ground_truth () in
+  Fault.reset ();
+  (trace, truth)
+
 let quick ?(seed = 7) () =
   let config =
     {

@@ -31,3 +31,17 @@ val workload_trace :
     fixed (name, seed, scale). The corruption fuzzer uses these as
     ground-truth clean traces. Raises [Invalid_arg] for names outside
     {!workload_names}. *)
+
+val sanitize_trace :
+  ?seed:int ->
+  ?scale:int ->
+  bugs:bool ->
+  string ->
+  Lockdoc_trace.Trace.t * Seeded.truth
+(** [sanitize_trace ~bugs name] runs one benchmark family augmented with
+    a work-queueing thread and a deterministic timer interrupt on the
+    family's backing device, with fault sites forced to exactly the
+    seeded ground-truth bugs ([bugs = true]) or all silenced
+    ([bugs = false]). Returns the trace and the ground truth that
+    actually manifested; restores the declared fault periods before
+    returning. Deterministic for a fixed (name, seed, scale, bugs). *)

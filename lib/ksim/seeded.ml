@@ -1,0 +1,63 @@
+(* The registry of seeded ground-truth bugs for the sanitizer layer.
+
+   Subsystems declare deliberately buggy paths behind Fault sites with a
+   declared period of 0 (never fire). The sanitizer's trace generator
+   either activates exactly those sites (period 1: every visit takes the
+   buggy path) or quiesces every site, so a "clean" trace contains no
+   intentional locking deviations at all — including the paper's
+   baked-in Tab. 5/7/8 violations, which would otherwise count as
+   false positives against the seeded ground truth. *)
+
+type truth = {
+  t_races : (string * string) list;
+  t_irq_unsafe : string list;
+}
+
+(* site name -> (type key, member) of the racy access it introduces. *)
+let race_sites =
+  [
+    ("seed_race_iput", ("super_block", "s_dirt"));
+    ("seed_race_ext4_write", ("super_block", "s_maxbytes"));
+    ("seed_race_shmem", ("super_block", "s_blocksize"));
+    ("seed_race_symlink", ("super_block", "s_time_gran"));
+    ("seed_race_bdev", ("super_block", "s_blocksize_bits"));
+    ("seed_race_pipe", ("pipe_inode_info", "w_counter"));
+  ]
+
+(* site name -> lock class acquired without masking interrupts. *)
+let irq_sites = [ ("seed_irq_unsafe_wb", "backing_dev_info.wb.work_lock") ]
+
+let seeded_names =
+  List.map fst race_sites @ List.map fst irq_sites
+
+(* The sites live in the subsystem modules; declaring them here too (no
+   period: an existing declaration is left untouched) makes
+   set_period total even if a subsystem never ran. *)
+let () = List.iter (fun n -> ignore (Fault.site n)) seeded_names
+
+let quiesce () =
+  List.iter (fun (name, _) -> Fault.set_period name 0) (Fault.sites ());
+  Fault.set_enabled true
+
+let activate () =
+  quiesce ();
+  List.iter (fun n -> Fault.set_period n 1) seeded_names
+
+let ground_truth () =
+  let fired = Fault.fired_counts () in
+  let fired_pos name =
+    match List.assoc_opt name fired with Some n -> n > 0 | None -> false
+  in
+  let t_races =
+    List.filter_map
+      (fun (site, target) -> if fired_pos site then Some target else None)
+      race_sites
+    |> List.sort_uniq compare
+  in
+  let t_irq_unsafe =
+    List.filter_map
+      (fun (site, cls) -> if fired_pos site then Some cls else None)
+      irq_sites
+    |> List.sort_uniq compare
+  in
+  { t_races; t_irq_unsafe }

@@ -1,0 +1,36 @@
+(** Registry of the seeded ground-truth locking bugs used to score the
+    sanitizer layer (lockset race detector + irq-safety analysis).
+
+    Each seeded bug is a {!Fault} site declared with period 0 (off) in
+    its subsystem; {!activate} turns exactly the seeded set on (period
+    1) while silencing every other deliberate deviation, {!quiesce}
+    silences everything for a clean baseline, and {!ground_truth} reads
+    back which bugs actually manifested in the last run. *)
+
+type truth = {
+  t_races : (string * string) list;
+      (** (type key, member) pairs with a seeded lock-free access,
+          sorted, deduplicated *)
+  t_irq_unsafe : string list;
+      (** lock classes with a seeded irq-unsafe acquisition path *)
+}
+
+val race_sites : (string * (string * string)) list
+(** Fault-site name -> racy (type key, member) it introduces. *)
+
+val irq_sites : (string * string) list
+(** Fault-site name -> lock class acquired without masking irqs. *)
+
+val activate : unit -> unit
+(** Period 0 for every declared site, then period 1 for the seeded
+    ones: the only deviations in the resulting trace are the seeded
+    bugs. Also re-enables injection globally. *)
+
+val quiesce : unit -> unit
+(** Period 0 for every declared site: a clean trace with no deliberate
+    locking deviations (the zero-false-positive baseline). *)
+
+val ground_truth : unit -> truth
+(** The seeded bugs whose sites fired at least once, read from
+    {!Fault.fired_counts} — call right after the run, before any
+    {!Fault.reset}. *)

@@ -367,11 +367,19 @@ let evict inode =
   inode.i_sb.fs.fs_ops.op_evict inode;
   destroy_inode inode
 
+(* Seeded ground-truth race (period 0 = off by default): iput flagging
+   the superblock dirty without s_umount, racing mount's initialisation.
+   Reaches every workload family — each of them drops inode
+   references. *)
+let seed_race_iput = Fault.site ~period:0 "seed_race_iput"
+
 (* The last-reference decision runs entirely under i_lock, mirroring the
    kernel's atomic_dec_and_lock in iput: without it a concurrent iget/iput
    pair can evict the inode out from under us. *)
 let iput inode =
   fn "fs/inode.c" 22 "iput" @@ fun () ->
+  if Fault.fire seed_race_iput then
+    Memory.write inode.i_sb.sb_inst "s_dirt" 1;
   ignore (Memory.read inode.i_inst "i_state");
   Lock.spin_lock inode.i_lock;
   let last = Memory.atomic_dec_and_test inode.i_inst "i_count" in

@@ -63,10 +63,15 @@ let setup_env () =
 
 let teardown_env env =
   env.shutting_down <- true;
+  (* The final commit+checkpoint is journal teardown proper: run it
+     under its kernel entry point so the importer's init/teardown
+     filter drops the (single-threaded, partly lock-free) accesses. *)
   (match env.ext4.s_journal with
   | Some j ->
-      Jbd2.commit_transaction j;
-      Jbd2.checkpoint j
+      Kernel.fn_scope ~file:"fs/jbd2/journal.c" ~span:22 "jbd2_journal_destroy"
+        (fun () ->
+          Jbd2.commit_transaction j;
+          Jbd2.checkpoint j)
   | None -> ());
   List.iter Vfs_super.sync_filesystem (all_sbs env);
   Vfs_inode.prune_icache ();

@@ -1,0 +1,105 @@
+(* Cross-validation of the sanitizer against the seeded ground truth
+   and against LockDoc's own mined-rule violation scanner.
+
+   The seeded bugs (Seeded in the simulator) are the known-answer set:
+   precision and recall are exact, not estimated. Separately, each
+   lockset race is checked for corroboration by the mined-rule
+   violations — the paper's phase-❸ detector working from derived
+   rules rather than from lockset intersection. Agreement between two
+   detectors with different theories of "protected" is the actual
+   cross-validation signal. *)
+
+module Violation = Lockdoc_core.Violation
+
+type score = {
+  cv_tp : int;
+  cv_fp : int;
+  cv_fn : int;
+  cv_precision : float;
+  cv_recall : float;
+  cv_spurious : string list;  (** found but not seeded (fp) *)
+  cv_missed : string list;  (** seeded but not found (fn) *)
+}
+
+type t = {
+  races : score;
+  irq : score;
+  corroborated : (string * bool) list;
+      (** per lockset race "type.member": also flagged by the
+          mined-rule violation scanner? *)
+}
+
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let score ~found ~truth =
+  let found = List.sort_uniq compare found in
+  let truth = List.sort_uniq compare truth in
+  let tp = List.filter (fun f -> List.mem f truth) found in
+  let cv_spurious = List.filter (fun f -> not (List.mem f truth)) found in
+  let cv_missed = List.filter (fun t -> not (List.mem t found)) truth in
+  let cv_tp = List.length tp in
+  let cv_fp = List.length cv_spurious in
+  let cv_fn = List.length cv_missed in
+  {
+    cv_tp;
+    cv_fp;
+    cv_fn;
+    cv_precision = ratio cv_tp (cv_tp + cv_fp);
+    cv_recall = ratio cv_tp (cv_tp + cv_fn);
+    cv_spurious;
+    cv_missed;
+  }
+
+let race_id (ty, member) = ty ^ "." ^ member
+
+let evaluate ~(races : Lockset.race list) ~(irq : Irq.report)
+    ~(truth : Lockdoc_ksim.Seeded.truth) ~(violations : Violation.violation list)
+    =
+  let found_races =
+    List.map (fun (r : Lockset.race) -> race_id (r.Lockset.r_type, r.Lockset.r_member)) races
+  in
+  let found_irq =
+    List.map (fun (iu : Irq.unsafe) -> iu.Irq.iu_class) irq.Irq.i_unsafe
+  in
+  let corroborated =
+    List.map
+      (fun (r : Lockset.race) ->
+        let hit =
+          List.exists
+            (fun (v : Violation.violation) ->
+              v.Violation.v_type = r.Lockset.r_type
+              && v.Violation.v_member = r.Lockset.r_member)
+            violations
+        in
+        (race_id (r.Lockset.r_type, r.Lockset.r_member), hit))
+      races
+  in
+  {
+    races =
+      score ~found:found_races
+        ~truth:(List.map race_id truth.Lockdoc_ksim.Seeded.t_races);
+    irq = score ~found:found_irq ~truth:truth.Lockdoc_ksim.Seeded.t_irq_unsafe;
+    corroborated;
+  }
+
+let render_score name s =
+  Printf.sprintf
+    "  %-6s tp %d  fp %d  fn %d  precision %.2f  recall %.2f%s%s\n" name
+    s.cv_tp s.cv_fp s.cv_fn s.cv_precision s.cv_recall
+    (if s.cv_spurious = [] then ""
+     else "  spurious: " ^ String.concat ", " s.cv_spurious)
+    (if s.cv_missed = [] then ""
+     else "  missed: " ^ String.concat ", " s.cv_missed)
+
+let render t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "cross-validation vs seeded ground truth:\n";
+  Buffer.add_string buf (render_score "races" t.races);
+  Buffer.add_string buf (render_score "irq" t.irq);
+  List.iter
+    (fun (id, hit) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s by the mined-rule violation scanner\n" id
+           (if hit then "corroborated" else "not corroborated")))
+    t.corroborated;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Cross-validation of sanitizer findings.
+
+    Scores the lockset races and irq-unsafe classes against the seeded
+    ground truth (exact precision/recall — the bugs were planted), and
+    marks which lockset races the mined-rule violation scanner (the
+    paper's phase-❸ detector) independently corroborates. *)
+
+type score = {
+  cv_tp : int;
+  cv_fp : int;
+  cv_fn : int;
+  cv_precision : float;  (** tp/(tp+fp); 1.0 when nothing was found *)
+  cv_recall : float;  (** tp/(tp+fn); 1.0 when nothing was seeded *)
+  cv_spurious : string list;  (** found but not seeded *)
+  cv_missed : string list;  (** seeded but not found *)
+}
+
+type t = {
+  races : score;  (** lockset findings vs seeded races ("type.member") *)
+  irq : score;  (** irq-unsafe classes vs seeded irq bugs *)
+  corroborated : (string * bool) list;
+      (** per lockset race: also flagged by {!Lockdoc_core.Violation}? *)
+}
+
+val score : found:string list -> truth:string list -> score
+(** Set comparison after sort+dedup of both sides. *)
+
+val evaluate :
+  races:Lockset.race list ->
+  irq:Irq.report ->
+  truth:Lockdoc_ksim.Seeded.truth ->
+  violations:Lockdoc_core.Violation.violation list ->
+  t
+
+val render : t -> string

@@ -1,0 +1,43 @@
+(** Lockdep-style irq-safety analysis (the sanitizer's second half).
+
+    Classifies every real (non-pseudo) lock class by the contexts it is
+    acquired in — process, softirq, hardirq — and by whether it is ever
+    acquired with interrupts enabled, read off the synthetic
+    hardirq/softirq/irqoff pseudo-locks in each transaction's ordered
+    held-lock list. A class acquired in hardirq context {e and} with
+    interrupts enabled elsewhere is irq-unsafe; acquisition-order edges
+    from a hardirq-acquired class into an irq-unsafe one are in-irq
+    ordering inversions. *)
+
+type usage = {
+  u_class : string;
+  u_process : int;  (** held-lock sightings in process context *)
+  u_softirq : int;
+  u_hardirq : int;
+  u_irqs_on : int;  (** sightings with interrupts enabled *)
+}
+
+type unsafe = {
+  iu_class : string;
+  iu_irq_loc : Lockdoc_trace.Srcloc.t;  (** a hardirq-context acquisition *)
+  iu_on_loc : Lockdoc_trace.Srcloc.t;  (** an irqs-enabled acquisition *)
+}
+
+type inversion = {
+  inv_irq : string;  (** hardirq-acquired class *)
+  inv_unsafe : string;  (** irq-unsafe class acquired after it *)
+  inv_loc : Lockdoc_trace.Srcloc.t;
+}
+
+type report = {
+  i_usage : usage list;  (** per non-pseudo class, sorted by name *)
+  i_unsafe : unsafe list;
+  i_inversions : inversion list;
+}
+
+val analyse : Lockdoc_db.Store.t -> report
+(** One walk over every transaction; deterministic, read-only. *)
+
+val render : report -> string
+(** Human-readable summary: context mix of the irq-used classes, then
+    the unsafe classes and inversions. *)
