@@ -1,0 +1,246 @@
+(* Serve-daemon benchmark (`dune build @perf`).
+
+   Three questions, one JSON file (BENCH_serve.json):
+
+   1. What does multi-client ingest cost? Eight concurrent clients (one
+      per workload family, wrapping round) stream their traces frame by
+      frame into one sans-IO [Server], interleaved round-robin with
+      supervision ticks — the same call pattern the Unix front end
+      produces, minus the kernel. Reported: sustained events/sec from
+      first frame to last seal.
+
+   2. How long does one rows frame hold the engine? Every
+      [Server.on_bytes] call for a rows frame is timed (wall clock);
+      the distribution's p50/p99 land in the JSON. This is the stall an
+      ill-behaved client could inflict on the select loop, which is why
+      admission is O(frame) and analysis is deferred to [step].
+
+   3. What does `--metrics` cost on the serve path? The whole cycle
+      runs with recording off and on, min-of-repeats; the overhead must
+      stay under budget. Note: the serve path records per-frame
+      counters *and* per-batch ingest-latency histograms, so its budget
+      (10%) is looser than the pure-analysis 3% in BENCH_obs.json — on
+      this workload the absolute cost is microseconds per frame.
+
+   Environment knobs: LOCKDOC_PERF_CLIENTS (default 8),
+   LOCKDOC_PERF_SERVE_SCALE (workload scale, default 1),
+   LOCKDOC_PERF_REPEATS (starting repeats, default 3). *)
+
+module Frame = Lockdoc_serve.Frame
+module Proto = Lockdoc_serve.Proto
+module Server = Lockdoc_serve.Server
+module Trace = Lockdoc_trace.Trace
+module Run = Lockdoc_ksim.Run
+module Obs = Lockdoc_obs.Obs
+module Json = Lockdoc_obs.Json
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match Lockdoc_util.Numarg.positive s with Ok n -> n | Error _ -> default)
+  | None -> default
+
+let n_clients = max 8 (env_int "LOCKDOC_PERF_CLIENTS" 8)
+let scale = env_int "LOCKDOC_PERF_SERVE_SCALE" 1
+let repeats0 = env_int "LOCKDOC_PERF_REPEATS" 3
+let max_overhead_pct = 10.
+let batch_rows = 256
+
+let enc m = Frame.encode (Proto.client_to_payload m)
+
+let rec batches n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | rest -> (List.rev acc, rest)
+      in
+      let b, rest = take n [] l in
+      b :: batches n rest
+
+type client = {
+  name : string;
+  lines : string list array;  (* row batches *)
+  rows : int;  (* total row count *)
+  events : int;  (* expected events at seal *)
+}
+
+let clients =
+  lazy
+    (let names = Array.of_list Run.workload_names in
+     Array.init n_clients (fun i ->
+         let name = names.(i mod Array.length names) in
+         let trace = Run.workload_trace ~scale name in
+         let lines = Trace.to_lines trace in
+         {
+           name;
+           lines = Array.of_list (batches batch_rows lines);
+           rows = List.length lines;
+           events = Array.length trace.Trace.events;
+         }))
+
+(* One full serve cycle: connect every client, stream all frames
+   round-robin with a supervision tick per round, seal everyone.
+   Returns (wall seconds, frame count, per-frame ms latencies or [||]). *)
+let run_cycle ~record_latencies () =
+  let cs = Lazy.force clients in
+  let cfg =
+    {
+      Server.default_config with
+      max_clients = n_clients + 1;
+      queue_bytes = 4 * 1024 * 1024;
+      total_queue_bytes = 64 * 1024 * 1024;
+    }
+  in
+  let srv = Server.create ~config:cfg () in
+  let now () = Obs.Clock.wall () in
+  let t0 = now () in
+  let conns =
+    Array.mapi
+      (fun i c ->
+        let cid, _ = Server.accept srv ~now:(now ()) in
+        (match
+           Server.on_bytes srv ~now:(now ()) cid
+             (enc
+                (Proto.Hello
+                   {
+                     version = Proto.version;
+                     session = Printf.sprintf "bench-%d-%s" i c.name;
+                   }))
+         with
+        | [ Server.Send (_, Proto.Welcome _) ] -> ()
+        | _ -> failwith "bench: hello refused");
+        cid)
+      cs
+  in
+  let cursors = Array.make n_clients 0 in
+  let next_batch = Array.make n_clients 0 in
+  let lat = ref [] in
+  let frames = ref 0 in
+  let remaining = ref n_clients in
+  while !remaining > 0 do
+    Array.iteri
+      (fun i c ->
+        if next_batch.(i) < Array.length c.lines then begin
+          let b = c.lines.(next_batch.(i)) in
+          let frame = enc (Proto.Rows { start = cursors.(i); lines = b }) in
+          let rec push () =
+            let s = now () in
+            let outs = Server.on_bytes srv ~now:s conns.(i) frame in
+            let d = (now () -. s) *. 1000. in
+            if record_latencies then lat := d :: !lat;
+            incr frames;
+            match outs with
+            | [] -> ()
+            | [ Server.Send (_, Proto.Retry_after _) ] ->
+                ignore (Server.step srv ~now:(now ()));
+                push ()
+            | _ -> failwith "bench: unexpected reply to rows"
+          in
+          push ();
+          cursors.(i) <- cursors.(i) + List.length b;
+          next_batch.(i) <- next_batch.(i) + 1;
+          if next_batch.(i) = Array.length c.lines then decr remaining
+        end)
+      cs;
+    ignore (Server.step srv ~now:(now ()))
+  done;
+  Array.iteri
+    (fun i c ->
+      match
+        Server.on_bytes srv ~now:(now ()) conns.(i)
+          (enc (Proto.Seal { rows = c.rows }))
+      with
+      | [ Server.Send (_, Proto.Sealed { events; _ }) ] when events = c.events
+        ->
+          ()
+      | _ -> failwith (Printf.sprintf "bench: client %d did not seal" i))
+    cs;
+  (now () -. t0, !frames, Array.of_list !lat)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let () =
+  Printf.eprintf "perf_serve: %d clients, scale %d\n%!" n_clients scale;
+  let cs = Lazy.force clients in
+  let total_events = Array.fold_left (fun a c -> a + c.events) 0 cs in
+  (* Measured run: metrics on (the realistic deployment), latencies
+     recorded client-side. *)
+  Obs.set_enabled true;
+  let wall_s, frames, lat = run_cycle ~record_latencies:true () in
+  Array.sort compare lat;
+  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  let events_per_sec =
+    if wall_s > 0. then float_of_int total_events /. wall_s else 0.
+  in
+  Printf.eprintf
+    "perf_serve: %d events / %d frames in %.3fs (%.0f events/s, frame p50 \
+     %.3fms p99 %.3fms)\n%!"
+    total_events frames wall_s events_per_sec p50 p99;
+  (* Overhead: the whole cycle, recording off vs on, min-of-repeats.
+     Retry with a tripled repeat count (up to twice) before failing. *)
+  let best ~repeats f =
+    let ms () =
+      let _, c = Obs.Clock.timed f in
+      c.Obs.Clock.wall *. 1000.
+    in
+    let best_ms = ref (ms ()) in
+    for _ = 2 to repeats do
+      let m = ms () in
+      if m < !best_ms then best_ms := m
+    done;
+    !best_ms
+  in
+  let cycle () = ignore (run_cycle ~record_latencies:false ()) in
+  let rec measure attempt repeats =
+    Obs.set_enabled false;
+    let off_ms = best ~repeats cycle in
+    Obs.set_enabled true;
+    let on_ms = best ~repeats cycle in
+    let overhead_pct =
+      if off_ms > 0. then (on_ms -. off_ms) /. off_ms *. 100. else 0.
+    in
+    Printf.eprintf
+      "perf_serve: cycle off %.1fms on %.1fms overhead %.2f%% (repeats %d)\n%!"
+      off_ms on_ms overhead_pct repeats;
+    if overhead_pct < max_overhead_pct || attempt >= 3 then
+      (off_ms, on_ms, overhead_pct, repeats)
+    else measure (attempt + 1) (repeats * 3)
+  in
+  let off_ms, on_ms, overhead_pct, repeats = measure 1 repeats0 in
+  let ok = overhead_pct < max_overhead_pct in
+  print_endline
+    (Json.to_string
+       (Json.O
+          [
+            ("clients", Json.I n_clients);
+            ("scale", Json.I scale);
+            ("total_events", Json.I total_events);
+            ("frames", Json.I frames);
+            ("batch_rows", Json.I batch_rows);
+            ("wall_s", Json.F wall_s);
+            ("events_per_sec", Json.F events_per_sec);
+            ("frame_p50_ms", Json.F p50);
+            ("frame_p99_ms", Json.F p99);
+            ("serve_metrics_off_ms", Json.F off_ms);
+            ("serve_metrics_on_ms", Json.F on_ms);
+            ("overhead_pct", Json.F overhead_pct);
+            ("overhead_budget_pct", Json.F max_overhead_pct);
+            ("repeats", Json.I repeats);
+            ( "note",
+              Json.S
+                "frame latency is the engine's on_bytes stall (admission + \
+                 journal, analysis deferred to step); overhead compares the \
+                 full cycle with metrics recording off vs on, min-of-repeats, \
+                 and is noise-dominated at this frame cost" );
+            ("ok", Json.B ok);
+          ]));
+  if not ok then begin
+    Printf.eprintf
+      "perf_serve: FAIL metrics overhead %.2f%% exceeds %.1f%% budget\n"
+      overhead_pct max_overhead_pct;
+    exit 1
+  end

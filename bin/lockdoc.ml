@@ -39,6 +39,9 @@ let non_negative_int =
 let fraction_float =
   conv_checked ~docv:"T" Format.pp_print_float Numarg.fraction
 
+let positive_float =
+  conv_checked ~docv:"SECONDS" Format.pp_print_float Numarg.positive_float
+
 (* {2 Common options} *)
 
 let scale_arg =
@@ -70,12 +73,17 @@ let metrics_arg =
                the run and write a JSON snapshot to $(docv) on exit. Never \
                changes analysis output bytes.")
 
+(* Commands exit through [Stdlib.exit] on both success and failure
+   paths, which would skip a [Fun.protect] finaliser — so the snapshot
+   write is registered as an [at_exit] handler instead and runs on
+   every termination path. *)
 let with_metrics path f =
   match path with
   | None -> f ()
   | Some path ->
       Obs.set_enabled true;
-      Fun.protect ~finally:(fun () -> Obs.write path) f
+      Obs.write_on_exit path;
+      f ()
 
 let trace_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
@@ -341,7 +349,12 @@ let check_cmd =
 let fsck_cmd =
   let module Diag = Lockdoc_trace.Diag in
   let module Check = Lockdoc_trace.Check in
-  let print_group title diags =
+  let limit_arg =
+    Arg.(value & opt non_negative_int 10 & info [ "limit" ] ~docv:"N"
+           ~doc:"Maximum diagnostics to print per anomaly group (0 prints \
+                 only the per-kind summary).")
+  in
+  let print_group ~limit title diags =
     if diags <> [] then begin
       Printf.printf "%s (%d):\n" title (List.length diags);
       List.iter
@@ -350,39 +363,65 @@ let fsck_cmd =
       let shown = ref 0 in
       List.iter
         (fun d ->
-          if !shown < 10 then begin
+          if !shown < limit then begin
             incr shown;
             Printf.printf "    %s\n" (Diag.to_string d)
           end)
         diags;
-      if List.length diags > 10 then
-        Printf.printf "    ... %d more\n" (List.length diags - 10)
+      if List.length diags > limit then
+        Printf.printf "    ... %d more\n" (List.length diags - limit)
     end
   in
-  let run path metrics =
+  let group_json diags =
+    let open Lockdoc_core.Report in
+    O
+      [
+        ("total", I (List.length diags));
+        ( "fatal",
+          I (List.length (List.filter Diag.is_fatal diags)) );
+        ( "kinds",
+          O (List.map (fun (kind, n) -> (kind, I n)) (Diag.summarize diags))
+        );
+      ]
+  in
+  let run path limit json metrics =
     with_metrics metrics @@ fun () ->
     (* Always lenient: the whole point is to survey the damage. *)
     let trace, reader_diags = Trace.read ~mode:Trace.Lenient path in
     let stream_diags = Check.run trace in
     let _store, stats = Import.run ~mode:Import.Lenient trace in
+    let an = Import.anomaly_total stats in
+    let all = reader_diags @ stream_diags in
+    let fatal = List.exists Diag.is_fatal all || an > 0 in
+    let exit_code = if fatal then 1 else 0 in
+    if json then begin
+      let open Lockdoc_core.Report in
+      print_endline
+        (to_string
+           (O
+              [
+                ("file", S path);
+                ("layouts", I (List.length trace.Trace.layouts));
+                ("events", I (Array.length trace.Trace.events));
+                ("reader_anomalies", group_json reader_diags);
+                ("stream_anomalies", group_json stream_diags);
+                ("import_anomalies", I an);
+                ("fatal", S (string_of_bool fatal));
+                ("exit_code", I exit_code);
+              ]));
+      exit exit_code
+    end;
     Printf.printf "%s: %d layout(s), %d event(s)\n" path
       (List.length trace.Trace.layouts)
       (Array.length trace.Trace.events);
-    print_group "reader anomalies" reader_diags;
-    print_group "stream anomalies" stream_diags;
-    let an = Import.anomaly_total stats in
+    print_group ~limit "reader anomalies" reader_diags;
+    print_group ~limit "stream anomalies" stream_diags;
     if an > 0 then begin
       Printf.printf "import anomalies (%d):\n" an;
       Format.printf "  @[<v>%a@]@." Import.pp_stats stats
     end;
-    let all = reader_diags @ stream_diags in
-    let fatal = List.exists Diag.is_fatal all || an > 0 in
-    if all = [] && an = 0 then begin
-      Printf.printf "clean: no anomalies\n";
-      exit 0
-    end
-    else if fatal then exit 1
-    else exit 0
+    if all = [] && an = 0 then Printf.printf "clean: no anomalies\n";
+    exit exit_code
   in
   Cmd.v
     (Cmd.info "fsck"
@@ -390,7 +429,7 @@ let fsck_cmd =
          "Validate a trace file: parse leniently, check stream invariants, \
           replay the importer, and report every anomaly. Exits non-zero if \
           any fatal anomaly was found.")
-    Term.(const run $ trace_file_arg $ metrics_arg)
+    Term.(const run $ trace_file_arg $ limit_arg $ json_arg $ metrics_arg)
 
 (* {2 violations} *)
 
@@ -679,6 +718,139 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Regenerate the paper's evaluation tables/figures")
     Term.(const run $ scale_arg $ seed_arg $ ids_arg $ metrics_arg)
 
+(* {2 serve / feed} *)
+
+let socket_arg =
+  Arg.(value & opt string "lockdoc.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let module Server = Lockdoc_serve.Server in
+  let max_clients_arg =
+    Arg.(value & opt positive_int Server.default_config.Server.max_clients
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Concurrent client connections; extras are rejected with a \
+                   structured retry-after.")
+  in
+  let queue_bytes_arg =
+    Arg.(value & opt positive_int Server.default_config.Server.queue_bytes
+         & info [ "queue-bytes" ] ~docv:"N"
+             ~doc:"Per-session pending-ingest budget in bytes (the \
+                   daemon-wide budget is 8x this). Frames that would \
+                   overflow it are rejected whole with retry-after.")
+  in
+  let session_timeout_arg =
+    Arg.(value
+         & opt positive_float Server.default_config.Server.session_timeout
+         & info [ "session-timeout" ] ~docv:"SECONDS"
+             ~doc:"Idle seconds before a silent connection is closed and a \
+                   detached session is garbage collected.")
+  in
+  let durable_arg =
+    Arg.(value & opt (some string) None & info [ "durable" ] ~docv:"DIR"
+           ~doc:"Journal each session's accepted rows under $(docv); a \
+                 reconnecting client resumes from the journal even after a \
+                 session crash.")
+  in
+  let run socket max_clients queue_bytes session_timeout durable tac jobs
+      metrics =
+    with_metrics metrics @@ fun () ->
+    let config =
+      {
+        Server.default_config with
+        Server.max_clients;
+        queue_bytes;
+        total_queue_bytes = 8 * queue_bytes;
+        session_timeout;
+        durable_root = durable;
+        tac;
+        jobs = resolve_jobs jobs;
+      }
+    in
+    Printf.printf "lockdoc serve: listening on %s\n%!" socket;
+    Lockdoc_serve.Sockserv.serve ~config ~socket ();
+    Printf.printf "lockdoc serve: shut down\n"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the supervised analysis daemon: clients stream trace rows \
+          over a Unix socket into isolated per-session imports and seal \
+          them into mined rules. Session crashes are restarted with capped \
+          backoff; with $(b,--durable), sessions survive them with their \
+          accepted rows intact.")
+    Term.(
+      const run $ socket_arg $ max_clients_arg $ queue_bytes_arg
+      $ session_timeout_arg $ durable_arg $ tac_arg $ jobs_arg $ metrics_arg)
+
+let feed_cmd =
+  let module Proto = Lockdoc_serve.Proto in
+  let module Sockserv = Lockdoc_serve.Sockserv in
+  let session_arg =
+    Arg.(value & opt string "default" & info [ "session" ] ~docv:"NAME"
+           ~doc:"Session to stream into (resumes if it already exists).")
+  in
+  let trace_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TRACE"
+           ~doc:"Trace file to stream (omit for --query/--shutdown).")
+  in
+  let query_arg =
+    let q = Arg.enum [ ("status", Proto.Status); ("metrics", Proto.Metrics) ] in
+    Arg.(value & opt (some q) None & info [ "query" ] ~docv:"WHAT"
+           ~doc:"Ask the daemon for $(docv) (status or metrics) as JSON \
+                 instead of streaming a trace.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the daemon to shut down instead of streaming a trace.")
+  in
+  let run socket session trace query shutdown json metrics =
+    with_metrics metrics @@ fun () ->
+    if shutdown then begin
+      match Sockserv.request ~socket Proto.Shutdown with
+      | Proto.Closing { reason } -> Printf.printf "daemon closing: %s\n" reason
+      | m -> Printf.printf "%s\n" (Proto.server_to_payload m)
+    end
+    else
+      match query with
+      | Some q -> (
+          match Sockserv.request ~socket (Proto.Query q) with
+          | Proto.Info { json } -> print_endline json
+          | m ->
+              Printf.eprintf "lockdoc: unexpected reply: %s\n"
+                (Proto.server_to_payload m);
+              exit 1)
+      | None -> (
+          match trace with
+          | None ->
+              Printf.eprintf
+                "lockdoc: feed needs a TRACE file (or --query/--shutdown)\n";
+              exit 1
+          | Some path ->
+              let lines = Trace.to_lines (Trace.load path) in
+              let sealed = Sockserv.feed ~socket ~session lines in
+              if json then
+                (* Session ids are [A-Za-z0-9._-] (server-enforced before
+                   anything can seal), so splicing is JSON-safe. *)
+                Printf.printf
+                  "{\"session\":\"%s\",\"events\":%d,\"rules\":%s,\"violations\":%s}\n"
+                  session sealed.Sockserv.events sealed.Sockserv.rules
+                  sealed.Sockserv.violations
+              else
+                Printf.printf "sealed session %s: %d event(s) analysed\n"
+                  session sealed.Sockserv.events)
+  in
+  Cmd.v
+    (Cmd.info "feed"
+       ~doc:
+         "Stream a trace into a running $(b,lockdoc serve) daemon and seal \
+          the session; or query the daemon ($(b,--query)), or stop it \
+          ($(b,--shutdown)). The streaming client survives connection loss \
+          and session restarts by resuming from the server's watermark.")
+    Term.(
+      const run $ socket_arg $ session_arg $ trace_opt_arg $ query_arg
+      $ shutdown_arg $ json_arg $ metrics_arg)
+
 let main =
   Cmd.group
     (Cmd.info "lockdoc" ~version:"1.0.0"
@@ -687,7 +859,7 @@ let main =
       trace_cmd; import_cmd; recover_cmd; fsck_cmd; derive_cmd; doc_cmd;
       check_cmd;
       violations_cmd; lockdep_cmd; lockmeter_cmd; sanitize_cmd; export_cmd;
-      relations_cmd; profile_cmd; repro_cmd;
+      relations_cmd; profile_cmd; repro_cmd; serve_cmd; feed_cmd;
     ]
 
 let () = exit (Cmd.eval main)

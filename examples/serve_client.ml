@@ -1,0 +1,48 @@
+(* Serving: run an analysis daemon and stream a trace into it.
+
+   This example does in one process what `lockdoc serve` and `lockdoc
+   feed` do in two: it forks a daemon on a private Unix socket, streams
+   a generated workload trace into a named session through the
+   fault-tolerant client (which survives connection loss and session
+   restarts by resuming from the server's watermark), prints the mined
+   rules from the sealed reply, and shuts the daemon down.
+
+   Run with: dune exec examples/serve_client.exe *)
+
+module Trace = Lockdoc_trace.Trace
+module Run = Lockdoc_ksim.Run
+module Proto = Lockdoc_serve.Proto
+module Sockserv = Lockdoc_serve.Sockserv
+
+let () =
+  let dir = Filename.temp_file "serve_example" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let socket = Filename.concat dir "lockdoc.sock" in
+  match Unix.fork () with
+  | 0 -> (
+      (* Daemon child: serve until asked to shut down. *)
+      try
+        Sockserv.serve ~socket ();
+        Unix._exit 0
+      with _ -> Unix._exit 1)
+  | daemon ->
+      Printf.printf "daemon forked (pid %d), socket %s\n%!" daemon socket;
+      let trace = Run.workload_trace "pipe" in
+      let lines = Trace.to_lines trace in
+      Printf.printf "streaming %d rows into session 'example'...\n%!"
+        (List.length lines);
+      let sealed = Sockserv.feed ~socket ~session:"example" lines in
+      Printf.printf "sealed: %d events analysed\n" sealed.Sockserv.events;
+      Printf.printf "mined rules: %s\n" sealed.Sockserv.rules;
+      (match Sockserv.request ~socket (Proto.Query Proto.Status) with
+      | Proto.Info { json } -> Printf.printf "daemon status: %s\n" json
+      | _ -> prerr_endline "unexpected status reply");
+      (match Sockserv.request ~socket Proto.Shutdown with
+      | Proto.Closing { reason } -> Printf.printf "daemon closing: %s\n" reason
+      | _ -> prerr_endline "unexpected shutdown reply");
+      (match Unix.waitpid [] daemon with
+      | _, Unix.WEXITED 0 -> print_endline "daemon exited cleanly"
+      | _ -> prerr_endline "daemon exited abnormally");
+      (try Sys.remove socket with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ()

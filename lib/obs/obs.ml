@@ -287,5 +287,13 @@ let write path =
       Out_channel.output_char oc '\n');
   Sys.rename tmp path
 
+let write_on_exit path =
+  let written = ref false in
+  at_exit (fun () ->
+      if not !written then begin
+        written := true;
+        try write path with Sys_error _ -> ()
+      end)
+
 let find_counter s name = List.assoc_opt name s.sn_counters
 let find_span s name = List.assoc_opt name s.sn_spans

@@ -148,5 +148,12 @@ val write : string -> unit
 (** Write [to_json_string () ^ "\n"] to a file (atomically: temp file +
     rename). *)
 
+val write_on_exit : string -> unit
+(** Arrange for {!write}[ path] to run when the process terminates —
+    including through [Stdlib.exit], which skips [Fun.protect]
+    finalisers but runs [at_exit] handlers. Writes at most once per
+    registration; write errors at exit time are swallowed (the metrics
+    snapshot must never change the command's exit code). *)
+
 val find_counter : snapshot -> string -> int option
 val find_span : snapshot -> string -> span_stat option

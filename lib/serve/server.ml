@@ -1,0 +1,885 @@
+(* The supervised multi-client analysis daemon, as a sans-IO engine.
+
+   All protocol, session, supervision and backpressure logic lives here
+   behind four entry points — [accept], [on_bytes], [on_close], [step]
+   — that take the current time as an argument and return a list of
+   transport actions. No sockets, no clocks, no threads: the Unix
+   front end ({!Sockserv}) and the connection-chaos harness ({!Chaos})
+   drive the very same state machine, one with real file descriptors
+   and [gettimeofday], the other with scripted faults and virtual
+   time. That is what makes every failure mode injectable and every
+   outcome assertable.
+
+   Isolation invariants:
+   - a connection owns its frame decoder; a framing violation kills
+     the connection (structured [err garbled]), never the session;
+   - a session owns its import engine, pending queue and WAL journal;
+     a worker exception (protocol abuse, importer anomaly, injected
+     crash) kills the session state, never the daemon — the supervisor
+     tombstones it with capped exponential backoff and lets the client
+     rebuild from the durable journal;
+   - ingest is bounded: a rows frame that would overflow the
+     per-session or global queue budget is rejected whole with a
+     structured [retry-after] — never buffered, never silently
+     dropped. *)
+
+module Trace = Lockdoc_trace.Trace
+module Event = Lockdoc_trace.Event
+module Layout = Lockdoc_trace.Layout
+module Import = Lockdoc_db.Import
+module Wal = Lockdoc_db.Wal
+module Crashpoint = Lockdoc_db.Crashpoint
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Violation = Lockdoc_core.Violation
+module Report = Lockdoc_core.Report
+module Obs = Lockdoc_obs.Obs
+
+let c_accepts = Obs.counter "serve.accepts"
+let c_conn_rejects = Obs.counter "serve.conn_rejects"
+let c_hellos = Obs.counter "serve.hellos"
+let c_frames = Obs.counter "serve.frames"
+let c_rows = Obs.counter "serve.rows"
+let c_events = Obs.counter "serve.events"
+let c_nacks = Obs.counter "serve.nacks"
+let c_retry_after = Obs.counter "serve.retry_after"
+let c_garbled = Obs.counter "serve.garbled"
+let c_proto_errors = Obs.counter "serve.proto_errors"
+let c_session_failures = Obs.counter "serve.session_failures"
+let c_restarts = Obs.counter "serve.restarts"
+let c_idle_closes = Obs.counter "serve.idle_closes"
+let c_seals = Obs.counter "serve.seals"
+let c_rebuilds = Obs.counter "serve.rebuilds"
+let c_supersedes = Obs.counter "serve.supersedes"
+let c_queries = Obs.counter "serve.queries"
+let g_sessions = Obs.gauge "serve.sessions"
+let g_conns = Obs.gauge "serve.conns"
+let g_queue_bytes = Obs.gauge "serve.queue_bytes"
+let h_frame_latency = Obs.histogram "serve.frame_latency_ms"
+let h_seal = Obs.histogram "serve.seal_ms"
+let h_rebuild = Obs.histogram "serve.rebuild_ms"
+
+(* ---- Configuration ------------------------------------------------ *)
+
+type config = {
+  max_clients : int;
+  queue_bytes : int;
+  total_queue_bytes : int;
+  max_frame : int;
+  session_timeout : float;
+  events_per_step : int;
+  durable_root : string option;
+  wal_sync_every : int;
+  retry_after_ms : int;
+  restart_backoff : float;
+  max_backoff : float;
+  max_restarts : int;
+  tac : float;
+  jobs : int;
+}
+
+let default_config =
+  {
+    max_clients = 64;
+    queue_bytes = 1 lsl 20;
+    total_queue_bytes = 8 lsl 20;
+    max_frame = 1 lsl 20;
+    session_timeout = 30.;
+    events_per_step = 4096;
+    durable_root = None;
+    wal_sync_every = 1;
+    retry_after_ms = 50;
+    restart_backoff = 0.1;
+    max_backoff = 5.;
+    max_restarts = 5;
+    tac = 0.9;
+    jobs = 1;
+  }
+
+(* ---- State -------------------------------------------------------- *)
+
+type sealed = { sd_events : int; sd_rules : string; sd_violations : string }
+
+type session_state = Stream | Sealed_s of sealed | Failed of string
+
+type session = {
+  s_id : string;
+  mutable s_conn : int option;
+  mutable s_state : session_state;
+  mutable s_layouts_rev : Layout.t list;
+  mutable s_engine : Import.engine option;
+  mutable s_seen_event : bool;  (* an event row was accepted *)
+  mutable s_accepted : int;  (* rows journaled + enqueued (layouts incl.) *)
+  mutable s_applied : int;  (* rows applied to the engine (layouts incl.) *)
+  s_pending : (Event.t * int) Queue.t;  (* event, queue bytes *)
+  mutable s_pending_bytes : int;
+  s_markers : (int * float) Queue.t;  (* frame-end row index, t-enqueue *)
+  mutable s_wal : Wal.writer option;
+  mutable s_restarts : int;
+  mutable s_not_before : float;
+  mutable s_last_activity : float;
+}
+
+type conn = {
+  c_id : int;
+  c_decoder : Frame.decoder;
+  mutable c_session : string option;
+  mutable c_last_activity : float;
+}
+
+type t = {
+  cfg : config;
+  conns : (int, conn) Hashtbl.t;
+  sessions : (string, session) Hashtbl.t;
+  mutable next_conn : int;
+  mutable pending_total : int;
+  mutable shutdown : bool;
+}
+
+type output = Send of int * Proto.server_msg | Close of int * string
+
+let create ?(config = default_config) () =
+  (match config.durable_root with
+  | Some root -> if not (Sys.file_exists root) then Sys.mkdir root 0o755
+  | None -> ());
+  {
+    cfg = config;
+    conns = Hashtbl.create 16;
+    sessions = Hashtbl.create 16;
+    next_conn = 0;
+    pending_total = 0;
+    shutdown = false;
+  }
+
+let config t = t.cfg
+let shutting_down t = t.shutdown
+let n_conns t = Hashtbl.length t.conns
+let n_sessions t = Hashtbl.length t.sessions
+let pending_total t = t.pending_total
+
+let sorted_keys tbl compare =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* ---- Introspection ------------------------------------------------ *)
+
+type session_view = {
+  v_id : string;
+  v_state : string;
+  v_accepted : int;
+  v_applied : int;
+  v_pending_bytes : int;
+  v_restarts : int;
+  v_attached : bool;
+}
+
+let state_string = function
+  | Stream -> "streaming"
+  | Sealed_s _ -> "sealed"
+  | Failed reason -> "failed: " ^ reason
+
+let sessions t =
+  List.map
+    (fun id ->
+      let s = Hashtbl.find t.sessions id in
+      {
+        v_id = s.s_id;
+        v_state = state_string s.s_state;
+        v_accepted = s.s_accepted;
+        v_applied = s.s_applied;
+        v_pending_bytes = s.s_pending_bytes;
+        v_restarts = s.s_restarts;
+        v_attached = s.s_conn <> None;
+      })
+    (sorted_keys t.sessions String.compare)
+
+let status_json t =
+  let open Report in
+  to_string
+    (O
+       [
+         ("clients", I (Hashtbl.length t.conns));
+         ("sessions", I (Hashtbl.length t.sessions));
+         ("queue_bytes", I t.pending_total);
+         ("queue_bytes_limit", I t.cfg.total_queue_bytes);
+         ("shutting_down", S (string_of_bool t.shutdown));
+         ( "session",
+           L
+             (List.map
+                (fun v ->
+                  O
+                    [
+                      ("id", S v.v_id);
+                      ("state", S v.v_state);
+                      ("accepted_rows", I v.v_accepted);
+                      ("applied_rows", I v.v_applied);
+                      ("pending_bytes", I v.v_pending_bytes);
+                      ("restarts", I v.v_restarts);
+                      ("attached", S (string_of_bool v.v_attached));
+                    ])
+                (sessions t)) );
+       ])
+
+(* ---- Session helpers ---------------------------------------------- *)
+
+let valid_session_id id =
+  id <> ""
+  && String.length id <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       id
+
+let session_dir t id =
+  Option.map (fun root -> Filename.concat root ("session-" ^ id))
+    t.cfg.durable_root
+
+let fresh_session _t id ~now =
+  {
+    s_id = id;
+    s_conn = None;
+    s_state = Stream;
+    s_layouts_rev = [];
+    s_engine = None;
+    s_seen_event = false;
+    s_accepted = 0;
+    s_applied = 0;
+    s_pending = Queue.create ();
+    s_pending_bytes = 0;
+    s_markers = Queue.create ();
+    s_wal = None;
+    s_restarts = 0;
+    s_not_before = now;
+    s_last_activity = now;
+  }
+
+let open_wal t s ~start_lsn =
+  match session_dir t s.s_id with
+  | None -> ()
+  | Some dir ->
+      s.s_wal <-
+        Some
+          (Wal.create ~dir ~sync_every:t.cfg.wal_sync_every ~start_lsn ())
+
+let engine_of s =
+  match s.s_engine with
+  | Some g -> g
+  | None ->
+      let g = Import.engine (List.rev s.s_layouts_rev) in
+      s.s_engine <- Some g;
+      g
+
+let drop_pending t s =
+  t.pending_total <- t.pending_total - s.s_pending_bytes;
+  s.s_pending_bytes <- 0;
+  Queue.clear s.s_pending;
+  Queue.clear s.s_markers
+
+(* Feed one queued event to the engine. The crash point makes the
+   worker hot path seedable: an armed [Crashpoint] kills exactly this
+   session, and the chaos/supervision tests assert the daemon and the
+   other sessions never notice. *)
+let feed_one t s ~now =
+  let ev, bytes = Queue.pop s.s_pending in
+  Crashpoint.hit "serve.feed";
+  Import.feed (engine_of s) ev;
+  s.s_applied <- s.s_applied + 1;
+  s.s_pending_bytes <- s.s_pending_bytes - bytes;
+  t.pending_total <- t.pending_total - bytes;
+  while
+    (not (Queue.is_empty s.s_markers))
+    && fst (Queue.peek s.s_markers) <= s.s_applied
+  do
+    let _, t0 = Queue.pop s.s_markers in
+    if Obs.enabled () then
+      Obs.observe h_frame_latency (1000. *. (now -. t0))
+  done
+
+(* Rebuild a session's import state by replaying its durable journal
+   (the valid WAL prefix). Rows were validated before they were
+   journaled, so replay re-feeds them directly; a record that no longer
+   parses (bit rot that survived framing) truncates the journal there —
+   same discipline as {!Lockdoc_db.Durable.recover} — and the client
+   re-sends the tail. *)
+let rebuild_session t id ~now =
+  let s = fresh_session t id ~now in
+  (match session_dir t id with
+  | None -> open_wal t s ~start_lsn:0
+  | Some dir ->
+      let t0 = if Obs.enabled () then Obs.Clock.wall () else 0. in
+      let records, _torn = Wal.read ~dir ~from:0 in
+      let stop = ref false in
+      List.iter
+        (fun (_lsn, line) ->
+          if not !stop then
+            match
+              if String.length line >= 2 && String.sub line 0 2 = "T\t" then (
+                let l =
+                  Layout.of_string (String.sub line 2 (String.length line - 2))
+                in
+                if s.s_seen_event then failwith "layout after events";
+                s.s_layouts_rev <- l :: s.s_layouts_rev)
+              else begin
+                s.s_seen_event <- true;
+                Import.feed (engine_of s) (Event.of_line line)
+              end
+            with
+            | () ->
+                s.s_accepted <- s.s_accepted + 1;
+                s.s_applied <- s.s_applied + 1
+            | exception _ -> stop := true)
+        records;
+      Wal.truncate_after ~dir ~lsn:s.s_accepted;
+      open_wal t s ~start_lsn:s.s_accepted;
+      if s.s_accepted > 0 then begin
+        Obs.incr c_rebuilds;
+        if Obs.enabled () then
+          Obs.observe h_rebuild (1000. *. (Obs.Clock.wall () -. t0))
+      end);
+  Hashtbl.replace t.sessions id s;
+  s
+
+let close_wal s =
+  (match s.s_wal with
+  | Some w -> ( try Wal.close w with _ -> ())
+  | None -> ());
+  s.s_wal <- None
+
+(* Supervisor: a worker exception tears down the session's in-memory
+   state and tombstones it behind a capped exponential backoff. The
+   durable journal survives, so a reconnecting client resumes from its
+   checkpoint; without durability it simply restarts from row zero. *)
+let session_fail t s ~now exn =
+  let reason = Printexc.to_string exn in
+  Obs.incr c_session_failures;
+  close_wal s;
+  drop_pending t s;
+  s.s_engine <- None;
+  s.s_layouts_rev <- [];
+  s.s_accepted <- 0;
+  s.s_applied <- 0;
+  s.s_restarts <- s.s_restarts + 1;
+  let backoff =
+    min t.cfg.max_backoff
+      (t.cfg.restart_backoff *. (2. ** float_of_int (s.s_restarts - 1)))
+  in
+  s.s_not_before <- now +. backoff;
+  s.s_state <- Failed reason;
+  let outs =
+    match s.s_conn with
+    | Some cid ->
+        [
+          Send (cid, Proto.Err { code = "session-failed"; reason });
+          Close (cid, "session-failed");
+        ]
+    | None -> []
+  in
+  s.s_conn <- None;
+  outs
+
+let detach t cid =
+  match Hashtbl.find_opt t.conns cid with
+  | None -> ()
+  | Some c ->
+      (match c.c_session with
+      | Some sid -> (
+          match Hashtbl.find_opt t.sessions sid with
+          | Some s when s.s_conn = Some cid -> s.s_conn <- None
+          | _ -> ())
+      | None -> ());
+      Hashtbl.remove t.conns cid
+
+(* ---- Connection lifecycle ----------------------------------------- *)
+
+let accept t ~now =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  if t.shutdown then begin
+    Obs.incr c_conn_rejects;
+    (id, [ Send (id, Proto.Err { code = "shutting-down"; reason = "daemon \
+                                                                   is shutting down" });
+           Close (id, "shutting-down") ])
+  end
+  else if Hashtbl.length t.conns >= t.cfg.max_clients then begin
+    Obs.incr c_conn_rejects;
+    ( id,
+      [
+        Send
+          ( id,
+            Proto.Retry_after
+              {
+                ms = t.cfg.retry_after_ms;
+                expected = None;
+                reason =
+                  Printf.sprintf "at max-clients (%d)" t.cfg.max_clients;
+              } );
+        Close (id, "too-many-clients");
+      ] )
+  end
+  else begin
+    Obs.incr c_accepts;
+    Hashtbl.replace t.conns id
+      {
+        c_id = id;
+        c_decoder = Frame.decoder ~max_frame:t.cfg.max_frame ();
+        c_session = None;
+        c_last_activity = now;
+      };
+    (id, [])
+  end
+
+let on_close t ~now:_ cid = detach t cid
+
+(* ---- Message handling --------------------------------------------- *)
+
+let proto_error t c reason =
+  Obs.incr c_proto_errors;
+  detach t c.c_id;
+  [
+    Send (c.c_id, Proto.Err { code = "proto"; reason });
+    Close (c.c_id, "protocol-error");
+  ]
+
+let handle_hello t c ~now version session_id =
+  Obs.incr c_hellos;
+  if version <> Proto.version then begin
+    Obs.incr c_proto_errors;
+    detach t c.c_id;
+    [
+      Send
+        ( c.c_id,
+          Proto.Err
+            {
+              code = "version";
+              reason =
+                Printf.sprintf "protocol version %d, server speaks %d" version
+                  Proto.version;
+            } );
+      Close (c.c_id, "version-mismatch");
+    ]
+  end
+  else if not (valid_session_id session_id) then
+    proto_error t c (Printf.sprintf "invalid session id %S" session_id)
+  else if c.c_session <> None then
+    proto_error t c "second hello on one connection"
+  else begin
+    let session =
+      match Hashtbl.find_opt t.sessions session_id with
+      | Some s -> `Existing s
+      | None -> `Absent
+    in
+    match session with
+    | `Existing s when s.s_restarts > t.cfg.max_restarts ->
+        detach t c.c_id;
+        [
+          Send
+            ( c.c_id,
+              Proto.Err
+                {
+                  code = "permanent-failure";
+                  reason =
+                    Printf.sprintf "session failed %d times; giving up"
+                      s.s_restarts;
+                } );
+          Close (c.c_id, "permanent-failure");
+        ]
+    | `Existing s when now < s.s_not_before ->
+        Obs.incr c_retry_after;
+        detach t c.c_id;
+        [
+          Send
+            ( c.c_id,
+              Proto.Retry_after
+                {
+                  ms =
+                    int_of_float (ceil ((s.s_not_before -. now) *. 1000.));
+                  expected = None;
+                  reason = "session restarting (backoff)";
+                } );
+          Close (c.c_id, "backoff");
+        ]
+    | (`Existing _ | `Absent) as found -> (
+        try
+          let s =
+            match found with
+            | `Existing ({ s_state = Failed _; _ } as old) ->
+                (* Restart: rebuild from the journal (durable) or from
+                   scratch, keeping the supervisor's restart ledger. *)
+                Obs.incr c_restarts;
+                let s = rebuild_session t session_id ~now in
+                s.s_restarts <- old.s_restarts;
+                s.s_not_before <- old.s_not_before;
+                s
+            | `Existing s -> s
+            | `Absent -> rebuild_session t session_id ~now
+          in
+          (* One live connection per session: a reconnect (the client
+             died and came back before we noticed) supersedes the old
+             connection rather than fighting it. *)
+          let superseded =
+            match s.s_conn with
+            | Some old when old <> c.c_id && Hashtbl.mem t.conns old ->
+                Obs.incr c_supersedes;
+                (match Hashtbl.find_opt t.conns old with
+                | Some oc -> oc.c_session <- None
+                | None -> ());
+                Hashtbl.remove t.conns old;
+                [
+                  Send (old, Proto.Closing { reason = "superseded" });
+                  Close (old, "superseded");
+                ]
+            | _ -> []
+          in
+          s.s_conn <- Some c.c_id;
+          s.s_last_activity <- now;
+          c.c_session <- Some session_id;
+          superseded @ [ Send (c.c_id, Proto.Welcome { resume = s.s_accepted }) ]
+        with exn -> (
+          (* A rebuild that dies (e.g. crash-injected WAL append during
+             journal truncation) is a session failure like any other. *)
+          match Hashtbl.find_opt t.sessions session_id with
+          | Some s ->
+              let outs = session_fail t s ~now exn in
+              detach t c.c_id;
+              outs
+              @ [
+                  Send
+                    ( c.c_id,
+                      Proto.Err
+                        {
+                          code = "session-failed";
+                          reason = Printexc.to_string exn;
+                        } );
+                  Close (c.c_id, "session-failed");
+                ]
+          | None -> proto_error t c (Printexc.to_string exn)))
+  end
+
+type parsed_row = P_layout of Layout.t | P_event of Event.t
+
+let handle_rows t c s ~now start lines =
+  match s.s_state with
+  | Failed reason ->
+      (* Unreachable through the normal flow (a failed session has no
+         attached connection), kept for defence in depth. *)
+      proto_error t c ("session failed: " ^ reason)
+  | Sealed_s _ -> proto_error t c "rows after seal"
+  | Stream -> (
+      Obs.incr c_rows;
+      if start > s.s_accepted then begin
+        (* Sequence gap: a frame was lost in transit. *)
+        Obs.incr c_nacks;
+        [ Send (c.c_id, Proto.Nack { expected = s.s_accepted }) ]
+      end
+      else
+        let skip = s.s_accepted - start in
+        let fresh =
+          if skip = 0 then lines
+          else List.filteri (fun i _ -> i >= skip) lines
+        in
+        if fresh = [] then []  (* pure retransmission; nothing new *)
+        else
+          let bytes =
+            List.fold_left (fun a l -> a + String.length l + 1) 0 fresh
+          in
+          if
+            s.s_pending_bytes + bytes > t.cfg.queue_bytes
+            || t.pending_total + bytes > t.cfg.total_queue_bytes
+          then begin
+            Obs.incr c_retry_after;
+            [
+              Send
+                ( c.c_id,
+                  Proto.Retry_after
+                    {
+                      ms = t.cfg.retry_after_ms;
+                      expected = Some s.s_accepted;
+                      reason =
+                        (if s.s_pending_bytes + bytes > t.cfg.queue_bytes
+                         then "session ingest queue full"
+                         else "server ingest queues full");
+                    } );
+            ]
+          end
+          else (
+            (* Validate the whole frame before accepting any of it: a
+               row that does not parse rejects the frame atomically, so
+               the journal only ever holds well-formed rows. *)
+            match
+              List.map
+                (fun line ->
+                  if String.length line >= 2 && String.sub line 0 2 = "T\t"
+                  then
+                    P_layout
+                      (Layout.of_string
+                         (String.sub line 2 (String.length line - 2)))
+                  else P_event (Event.of_line line))
+                lines
+            with
+            | exception Failure reason ->
+                proto_error t c ("unparseable row: " ^ reason)
+            | parsed -> (
+                let parsed_fresh =
+                  if skip = 0 then parsed
+                  else List.filteri (fun i _ -> i >= skip) parsed
+                in
+                let layout_after_event = ref s.s_seen_event in
+                let misordered =
+                  List.exists
+                    (function
+                      | P_layout _ -> !layout_after_event
+                      | P_event _ ->
+                          layout_after_event := true;
+                          false)
+                    parsed_fresh
+                in
+                if misordered then
+                  proto_error t c "layout row after event rows"
+                else
+                  try
+                    Crashpoint.hit "serve.rows";
+                    let had_events = ref false in
+                    List.iter2
+                      (fun line p ->
+                        (match s.s_wal with
+                        | Some w -> Wal.append w line
+                        | None -> ());
+                        match p with
+                        | P_layout l ->
+                            s.s_layouts_rev <- l :: s.s_layouts_rev;
+                            s.s_accepted <- s.s_accepted + 1;
+                            s.s_applied <- s.s_applied + 1
+                        | P_event ev ->
+                            had_events := true;
+                            s.s_seen_event <- true;
+                            let b = String.length line + 1 in
+                            Queue.push (ev, b) s.s_pending;
+                            s.s_pending_bytes <- s.s_pending_bytes + b;
+                            t.pending_total <- t.pending_total + b;
+                            s.s_accepted <- s.s_accepted + 1;
+                            Obs.incr c_events)
+                      fresh parsed_fresh;
+                    (match s.s_wal with Some w -> Wal.flush w | None -> ());
+                    if !had_events then
+                      Queue.push (s.s_accepted, now) s.s_markers;
+                    s.s_last_activity <- now;
+                    []
+                  with exn ->
+                    let outs = session_fail t s ~now exn in
+                    detach t c.c_id;
+                    outs)))
+
+let seal_session t s ~now =
+  match s.s_state with
+  | Sealed_s sd -> sd
+  | Failed _ | Stream ->
+      let t0 = if Obs.enabled () then Obs.Clock.wall () else 0. in
+      Crashpoint.hit "serve.seal";
+      (* Drain everything still queued — seal is the flush point. *)
+      while not (Queue.is_empty s.s_pending) do
+        feed_one t s ~now
+      done;
+      let engine = engine_of s in
+      let _stats = Import.finalize engine in
+      let store = Import.engine_store engine in
+      let dataset = Dataset.of_store store in
+      let mined = Derivator.derive_all ~tac:t.cfg.tac ~jobs:t.cfg.jobs dataset in
+      let rules = Report.mined_to_json mined in
+      let violations =
+        Report.violations_to_json
+          (Violation.find ~jobs:t.cfg.jobs dataset mined)
+      in
+      let sd =
+        {
+          sd_events = Import.position engine;
+          sd_rules = rules;
+          sd_violations = violations;
+        }
+      in
+      close_wal s;
+      s.s_state <- Sealed_s sd;
+      Obs.incr c_seals;
+      if Obs.enabled () then
+        Obs.observe h_seal (1000. *. (Obs.Clock.wall () -. t0));
+      sd
+
+let handle_seal t c s ~now rows =
+  match s.s_state with
+  | Stream when rows <> s.s_accepted ->
+      (* The client streamed [rows] rows but some never arrived (or it
+         rewound short): answer the watermark instead of sealing a
+         truncated stream. *)
+      Obs.incr c_nacks;
+      [ Send (c.c_id, Proto.Nack { expected = s.s_accepted }) ]
+  | _ -> (
+  try
+    let sd = seal_session t s ~now in
+    s.s_last_activity <- now;
+    [
+      Send
+        ( c.c_id,
+          Proto.Sealed
+            {
+              events = sd.sd_events;
+              rules = sd.sd_rules;
+              violations = sd.sd_violations;
+            } );
+    ]
+  with exn ->
+    let outs = session_fail t s ~now exn in
+    detach t c.c_id;
+    outs)
+
+let handle_query t c q =
+  Obs.incr c_queries;
+  let json =
+    match q with
+    | Proto.Status -> status_json t
+    | Proto.Metrics -> Obs.to_json_string ()
+  in
+  [ Send (c.c_id, Proto.Info { json }) ]
+
+let handle_shutdown t c =
+  t.shutdown <- true;
+  let others =
+    List.filter_map
+      (fun cid ->
+        if cid = c.c_id then None
+        else Some [ Send (cid, Proto.Closing { reason = "shutdown" });
+                    Close (cid, "shutdown") ])
+      (sorted_keys t.conns compare)
+  in
+  let outs =
+    [ Send (c.c_id, Proto.Closing { reason = "shutdown" });
+      Close (c.c_id, "shutdown") ]
+    :: others
+  in
+  Hashtbl.reset t.conns;
+  Hashtbl.iter (fun _ s -> s.s_conn <- None) t.sessions;
+  List.concat outs
+
+let with_session t c ~f =
+  match c.c_session with
+  | None -> proto_error t c "message before hello"
+  | Some sid -> (
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> proto_error t c "session vanished"
+      | Some s -> f s)
+
+let handle_msg t c ~now msg =
+  match msg with
+  | Proto.Hello { version; session } -> handle_hello t c ~now version session
+  | Proto.Rows { start; lines } ->
+      with_session t c ~f:(fun s -> handle_rows t c s ~now start lines)
+  | Proto.Seal { rows } ->
+      with_session t c ~f:(fun s -> handle_seal t c s ~now rows)
+  | Proto.Query q -> handle_query t c q
+  | Proto.Ping -> [ Send (c.c_id, Proto.Pong) ]
+  | Proto.Bye ->
+      (match c.c_session with
+      | Some sid -> (
+          match Hashtbl.find_opt t.sessions sid with
+          | Some s -> s.s_last_activity <- now
+          | None -> ())
+      | None -> ());
+      detach t c.c_id;
+      [ Send (c.c_id, Proto.Closing { reason = "bye" }); Close (c.c_id, "bye") ]
+  | Proto.Shutdown -> handle_shutdown t c
+
+let on_bytes t ~now cid bytes =
+  match Hashtbl.find_opt t.conns cid with
+  | None -> []  (* late bytes for a connection we already closed *)
+  | Some c ->
+      c.c_last_activity <- now;
+      Frame.feed c.c_decoder bytes;
+      let outs = ref [] in
+      let stop = ref false in
+      while not !stop do
+        (* The connection may have been closed by its own message
+           (protocol error, bye, shutdown): stop draining then. *)
+        if not (Hashtbl.mem t.conns cid) then stop := true
+        else
+          match Frame.next c.c_decoder with
+          | Frame.Awaiting -> stop := true
+          | Frame.Frame payload -> (
+              Obs.incr c_frames;
+              match Proto.client_of_payload payload with
+              | Ok msg -> outs := !outs @ handle_msg t c ~now msg
+              | Error reason -> outs := !outs @ proto_error t c reason)
+          | Frame.Corrupt reason ->
+              Obs.incr c_garbled;
+              detach t cid;
+              outs :=
+                !outs
+                @ [
+                    Send (cid, Proto.Err { code = "garbled"; reason });
+                    Close (cid, "garbled");
+                  ];
+              stop := true
+      done;
+      !outs
+
+(* ---- The periodic step -------------------------------------------- *)
+
+let step t ~now =
+  let outs = ref [] in
+  (* Idle connections: a peer that has gone silent past the timeout is
+     closed; its session stays resumable. *)
+  List.iter
+    (fun cid ->
+      match Hashtbl.find_opt t.conns cid with
+      | Some c when now -. c.c_last_activity > t.cfg.session_timeout ->
+          Obs.incr c_idle_closes;
+          detach t cid;
+          outs :=
+            !outs
+            @ [
+                Send (cid, Proto.Closing { reason = "idle-timeout" });
+                Close (cid, "idle-timeout");
+              ]
+      | _ -> ())
+    (sorted_keys t.conns compare);
+  (* Bounded ingest processing, round-robin over sessions in id order
+     so progress is deterministic and no session can starve others. *)
+  List.iter
+    (fun sid ->
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> ()
+      | Some s -> (
+          try
+            let budget = ref t.cfg.events_per_step in
+            while !budget > 0 && not (Queue.is_empty s.s_pending) do
+              feed_one t s ~now;
+              decr budget
+            done
+          with exn -> outs := !outs @ session_fail t s ~now exn))
+    (sorted_keys t.sessions String.compare);
+  (* Detached healthy sessions idle past the timeout are garbage
+     collected; durable ones remain resumable from their on-disk
+     journal. Failed sessions keep their tombstone (and with it the
+     supervisor's restart ledger and backoff clock). *)
+  List.iter
+    (fun sid ->
+      match Hashtbl.find_opt t.sessions sid with
+      | Some ({ s_state = Stream | Sealed_s _; s_conn = None; _ } as s)
+        when now -. s.s_last_activity > t.cfg.session_timeout ->
+          close_wal s;
+          drop_pending t s;
+          Hashtbl.remove t.sessions sid
+      | _ -> ())
+    (sorted_keys t.sessions String.compare);
+  if Obs.enabled () then begin
+    Obs.set_gauge g_sessions (float_of_int (Hashtbl.length t.sessions));
+    Obs.set_gauge g_conns (float_of_int (Hashtbl.length t.conns));
+    Obs.set_gauge g_queue_bytes (float_of_int t.pending_total)
+  end;
+  !outs
+
+(* ---- Helpers for front ends --------------------------------------- *)
+
+let encode_output = function
+  | Send (cid, msg) ->
+      (cid, `Send (Frame.encode (Proto.server_to_payload msg)))
+  | Close (cid, reason) -> (cid, `Close reason)

@@ -1,0 +1,36 @@
+(** Unix-domain-socket front end for the serve engine.
+
+    {!serve} drives the sans-IO {!Server} with real file descriptors in
+    a single-threaded select loop: per-connection outboxes, bounded
+    reads, [gettimeofday] as the clock. It returns once a client sends
+    [Shutdown] and every reply has been flushed.
+
+    {!feed} is the matching robust client: it streams rows, honours
+    [Nack] rewinds and [retry-after] pauses, and transparently
+    reconnects (resuming from the server's watermark) when the
+    connection drops or the session is restarted by the supervisor. *)
+
+type sealed = { events : int; rules : string; violations : string }
+
+exception Error of string
+(** A fatal protocol or transport failure ([feed]/[request] only —
+    {!serve} never raises for a client's sins). *)
+
+val serve : ?config:Server.config -> socket:string -> unit -> unit
+(** Listen on [socket] (an existing file there is replaced) and run
+    until shutdown. Removes the socket file on the way out. *)
+
+val feed :
+  ?rows_per_frame:int ->
+  ?max_attempts:int ->
+  socket:string ->
+  session:string ->
+  string list ->
+  sealed
+(** Stream the given trace rows as [session] and seal. [max_attempts]
+    bounds reconnections (default 200). Raises {!Error} on permanent
+    failure. *)
+
+val request : socket:string -> Proto.client_msg -> Proto.server_msg
+(** One-shot exchange: connect, send, return the first reply. Used for
+    [Query] and [Shutdown]. *)

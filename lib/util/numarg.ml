@@ -31,3 +31,10 @@ let fraction s =
   | Some f when not (Float.is_finite f) || f < 0. || f > 1. ->
       Error (Printf.sprintf "expected a fraction in [0, 1], got %s" s)
   | Some f -> Ok f
+
+let positive_float s =
+  match float_of_string_opt (String.trim s) with
+  | None -> Error (Printf.sprintf "expected a number, got %S" s)
+  | Some f when (not (Float.is_finite f)) || f <= 0. ->
+      Error (Printf.sprintf "expected a positive number, got %s" s)
+  | Some f -> Ok f

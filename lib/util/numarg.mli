@@ -11,3 +11,6 @@ val positive : string -> (int, string) result
 val non_negative : string -> (int, string) result
 val fraction : string -> (float, string) result
 (** A float in [0, 1] (e.g. [--tac]). *)
+
+val positive_float : string -> (float, string) result
+(** A finite float strictly above 0 (e.g. [--session-timeout]). *)

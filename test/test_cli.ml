@@ -1,0 +1,160 @@
+(* Black-box tests of the installed `lockdoc` binary.
+
+   These drive the real executable (dune puts it next to the test
+   runner's parent directory) so they cover what unit tests cannot: the
+   process exit code, the metrics-on-exit contract, and cmdliner's
+   checked-flag rejections.
+
+   The anchor regression: `--metrics` snapshots used to be written by a
+   [Fun.protect] finaliser, which [Stdlib.exit] skips — so exactly the
+   runs whose diagnostics you most want (fsck finding fatal anomalies,
+   exit 1) lost their metrics. The snapshot now rides an [at_exit]
+   handler; the test below fails if anyone moves it back. *)
+
+module Trace = Lockdoc_trace.Trace
+module Run = Lockdoc_ksim.Run
+
+let check = Alcotest.check
+let exe = Filename.concat Filename.parent_dir_name "bin/lockdoc.exe"
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Run the binary; returns (exit code, stdout, stderr). *)
+let run args =
+  let out = Filename.temp_file "cli_out" ".txt" in
+  let err = Filename.temp_file "cli_err" ".txt" in
+  let code = Sys.command (Filename.quote_command exe ~stdout:out ~stderr:err args) in
+  let o = read_file out and e = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, o, e)
+
+(* A clean workload trace, and a copy with two fatal reader anomalies
+   (unknown record tags) appended. *)
+let with_fixtures f =
+  let dir = temp_dir "cli_fix" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let clean = Filename.concat dir "clean.trace" in
+      Trace.save clean (Run.workload_trace "pipe");
+      let bad = Filename.concat dir "bad.trace" in
+      let oc = open_out_bin bad in
+      output_string oc (read_file clean);
+      output_string oc "Z\tbogus record one\nZ\tbogus record two\n";
+      close_out oc;
+      f ~dir ~clean ~bad)
+
+let test_fsck_clean () =
+  with_fixtures (fun ~dir:_ ~clean ~bad:_ ->
+      let code, out, _ = run [ "fsck"; clean ] in
+      check Alcotest.int "exit 0" 0 code;
+      check Alcotest.bool "reports clean" true
+        (contains out "clean: no anomalies"))
+
+let test_metrics_written_on_failing_exit () =
+  with_fixtures (fun ~dir ~clean:_ ~bad ->
+      let m = Filename.concat dir "m.json" in
+      let code, _, _ = run [ "fsck"; "--metrics"; m; bad ] in
+      check Alcotest.int "fatal anomalies exit 1" 1 code;
+      check Alcotest.bool "metrics snapshot exists despite exit 1" true
+        (Sys.file_exists m);
+      let snap = read_file m in
+      check Alcotest.bool "snapshot is a metrics document" true
+        (contains snap "\"counters\""))
+
+let test_fsck_json () =
+  with_fixtures (fun ~dir:_ ~clean ~bad ->
+      let code, out, _ = run [ "fsck"; "--json"; bad ] in
+      check Alcotest.int "exit 1" 1 code;
+      check Alcotest.bool "fatal flagged" true
+        (contains out "\"fatal\":\"true\"");
+      check Alcotest.bool "exit code surfaced" true
+        (contains out "\"exit_code\":1");
+      check Alcotest.bool "kinds summarised" true
+        (contains out "\"unknown-tag\":2");
+      let code, out, _ = run [ "fsck"; "--json"; clean ] in
+      check Alcotest.int "clean exit 0" 0 code;
+      check Alcotest.bool "clean not fatal" true
+        (contains out "\"fatal\":\"false\"");
+      check Alcotest.bool "clean exit code surfaced" true
+        (contains out "\"exit_code\":0"))
+
+let test_fsck_limit () =
+  with_fixtures (fun ~dir:_ ~clean:_ ~bad ->
+      let _, full, _ = run [ "fsck"; bad ] in
+      check Alcotest.bool "default limit shows both" true
+        (not (contains full "more"));
+      let _, limited, _ = run [ "fsck"; "--limit"; "1"; bad ] in
+      check Alcotest.bool "limit 1 elides the second" true
+        (contains limited "... 1 more");
+      let _, summary, _ = run [ "fsck"; "--limit"; "0"; bad ] in
+      check Alcotest.bool "limit 0 keeps the summary" true
+        (contains summary "unknown-tag");
+      check Alcotest.bool "limit 0 is shorter" true
+        (String.length summary < String.length limited))
+
+let test_checked_flags_reject () =
+  List.iter
+    (fun args ->
+      let code, _, err = run args in
+      check Alcotest.bool
+        (Printf.sprintf "%s rejected" (String.concat " " args))
+        true
+        (code <> 0 && String.length err > 0))
+    [
+      [ "fsck"; "--limit"; "-1"; "nonexistent.trace" ];
+      [ "fsck"; "--limit"; "abc"; "nonexistent.trace" ];
+      [ "serve"; "--session-timeout"; "0" ];
+      [ "serve"; "--session-timeout"; "nan" ];
+      [ "serve"; "--max-clients"; "-3" ];
+      [ "serve"; "--queue-bytes"; "0" ];
+    ]
+
+let test_feed_needs_input () =
+  let code, _, err = run [ "feed" ] in
+  check Alcotest.int "exit 1" 1 code;
+  check Alcotest.bool "explains itself" true
+    (contains err "feed needs a TRACE")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "fsck",
+        [
+          Alcotest.test_case "clean trace" `Quick test_fsck_clean;
+          Alcotest.test_case "metrics written on failing exit" `Quick
+            test_metrics_written_on_failing_exit;
+          Alcotest.test_case "json report" `Quick test_fsck_json;
+          Alcotest.test_case "limit flag" `Quick test_fsck_limit;
+        ] );
+      ( "flags",
+        [
+          Alcotest.test_case "checked flags reject" `Quick
+            test_checked_flags_reject;
+          Alcotest.test_case "feed needs input" `Quick test_feed_needs_input;
+        ] );
+    ]

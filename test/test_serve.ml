@@ -1,0 +1,864 @@
+(* The serve daemon: framing, protocol, sans-IO engine, chaos matrix.
+
+   Layers under test, bottom up:
+
+   - [Frame]: incremental codec units plus the satellite differential
+     against the WAL segment reader — the wire protocol *is* the WAL
+     record discipline, so the same byte stream must parse identically
+     through both, including under byte-dribbling and torn tails.
+   - [Proto]: message round-trips and malformed-payload rejection.
+   - [Server]: the sans-IO engine driven directly with virtual time —
+     sequencing (nack / idempotent retransmit / seal-count guard),
+     backpressure and per-session isolation, fault isolation (garbled
+     connection vs crashed worker), the supervisor (backoff, durable
+     rebuild, permanent failure), timeouts, supersede, shutdown.
+     Every completed session checks the byte-identity oracle: mined
+     rules and violations equal to the batch pipeline's.
+   - [Chaos]: one run per fault family (seeded; the @chaos alias and
+     LOCKDOC_CHAOS_SEEDS widen the matrix), asserting the fault
+     actually bit via the evidence counters.
+   - [Sockserv]: a forked daemon on a real Unix socket, two sessions
+     fed through the reconnect-capable client, status query, shutdown. *)
+
+module Frame = Lockdoc_serve.Frame
+module Proto = Lockdoc_serve.Proto
+module Server = Lockdoc_serve.Server
+module Chaos = Lockdoc_serve.Chaos
+module Sockserv = Lockdoc_serve.Sockserv
+module Wal = Lockdoc_db.Wal
+module Import = Lockdoc_db.Import
+module Crashpoint = Lockdoc_db.Crashpoint
+module Trace = Lockdoc_trace.Trace
+module Run = Lockdoc_ksim.Run
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Violation = Lockdoc_core.Violation
+module Report = Lockdoc_core.Report
+
+let check = Alcotest.check
+
+let n_seeds =
+  match Sys.getenv_opt "LOCKDOC_CHAOS_SEEDS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 1)
+  | None -> 1
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* ---- Shared fixtures ---------------------------------------------- *)
+
+let pipe_trace = lazy (Run.workload_trace "pipe")
+let device_trace = lazy (Run.workload_trace "device")
+
+(* Must mirror [Server.seal_session] (and [Chaos.batch_reference]):
+   same engine path, same thresholds, same report serialisation. *)
+let batch_ref ?(tac = 0.9) ?(jobs = 1) (trace : Trace.t) =
+  let g = Import.engine trace.layouts in
+  Array.iter (Import.feed g) trace.events;
+  ignore (Import.finalize g);
+  let dataset = Dataset.of_store (Import.engine_store g) in
+  let mined = Derivator.derive_all ~tac ~jobs dataset in
+  let rules = Report.mined_to_json mined in
+  let violations =
+    Report.violations_to_json (Violation.find ~jobs dataset mined)
+  in
+  (Array.length trace.events, rules, violations)
+
+(* ---- Frame codec -------------------------------------------------- *)
+
+let drain d =
+  let rec go acc =
+    match Frame.next d with
+    | Frame.Frame p -> go (p :: acc)
+    | Frame.Awaiting -> List.rev acc
+    | Frame.Corrupt reason -> Alcotest.failf "unexpected corrupt: %s" reason
+  in
+  go []
+
+let sample_payloads =
+  [ ""; "a"; "hello\tworld\nsecond line"; String.make 1200 'x'; "rows\t0\t0" ]
+
+let test_frame_roundtrip () =
+  let d = Frame.decoder () in
+  List.iter (fun p -> Frame.feed d (Frame.encode p)) sample_payloads;
+  check (Alcotest.list Alcotest.string) "payloads" sample_payloads (drain d);
+  check Alcotest.int "fully consumed" 0 (Frame.buffered d)
+
+let test_frame_chunked () =
+  let stream = String.concat "" (List.map Frame.encode sample_payloads) in
+  List.iter
+    (fun chunk ->
+      let d = Frame.decoder () in
+      let got = ref [] in
+      let off = ref 0 in
+      while !off < String.length stream do
+        let len = min chunk (String.length stream - !off) in
+        Frame.feed d ~off:!off ~len stream;
+        got := !got @ drain d;
+        off := !off + len
+      done;
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "chunk=%d" chunk)
+        sample_payloads !got)
+    [ 1; 2; 3; 7; String.length stream ]
+
+let test_frame_corrupt_latches () =
+  let f = Frame.encode "some payload" in
+  let bad = Bytes.of_string f in
+  (* Flip a payload bit: the CRC check must catch it. *)
+  Bytes.set bad (Frame.header_bytes + 3)
+    (Char.chr (Char.code (Bytes.get bad (Frame.header_bytes + 3)) lxor 0x40));
+  let d = Frame.decoder () in
+  Frame.feed d (Bytes.to_string bad);
+  (match Frame.next d with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt after bit flip");
+  (* Latched: further valid bytes cannot resynchronise a live stream. *)
+  Frame.feed d (Frame.encode "valid");
+  (match Frame.next d with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "Corrupt must be permanent");
+  check Alcotest.bool "is_corrupt" true (Frame.is_corrupt d)
+
+let test_frame_length_ceiling () =
+  (* A decoder with a lowered ceiling rejects a frame the default
+     encoder happily produces — before buffering the payload. *)
+  let d = Frame.decoder ~max_frame:64 () in
+  Frame.feed d (Frame.encode (String.make 100 'y'));
+  match Frame.next d with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt for over-limit length"
+
+(* ---- Satellite: frame decoder vs WAL segment reader --------------- *)
+
+let wal_payloads parsed = List.map snd parsed.Wal.ps_records
+
+let test_frame_wal_differential () =
+  let stream = String.concat "" (List.map Frame.encode sample_payloads) in
+  (* Complete stream: both parsers yield the same payload sequence and
+     the WAL reader sees no torn tail. *)
+  let parsed = Wal.parse_segment ~start:0 stream in
+  check
+    (Alcotest.list Alcotest.string)
+    "wal sees the frame payloads" sample_payloads (wal_payloads parsed);
+  check Alcotest.bool "no torn tail" true (parsed.Wal.ps_torn = None);
+  (* Byte-dribbled decode equals the WAL parse for every chunk size. *)
+  List.iter
+    (fun chunk ->
+      let d = Frame.decoder () in
+      let got = ref [] in
+      let off = ref 0 in
+      while !off < String.length stream do
+        let len = min chunk (String.length stream - !off) in
+        Frame.feed d ~off:!off ~len stream;
+        got := !got @ drain d;
+        off := !off + len
+      done;
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "dribble chunk=%d equals wal" chunk)
+        (wal_payloads parsed) !got)
+    [ 1; 2; 3; 7 ]
+
+let test_frame_wal_torn_tail () =
+  (* Every truncation point: the live decoder treats the torn tail as
+     Awaiting (more bytes may come), the WAL reader as a torn record —
+     and both deliver exactly the same complete prefix. *)
+  let stream = String.concat "" (List.map Frame.encode sample_payloads) in
+  for cut = 0 to String.length stream - 1 do
+    let prefix = String.sub stream 0 cut in
+    let parsed = Wal.parse_segment ~start:0 prefix in
+    let d = Frame.decoder () in
+    Frame.feed d prefix;
+    let frames = drain d in
+    check
+      (Alcotest.list Alcotest.string)
+      (Printf.sprintf "cut=%d same records" cut)
+      (wal_payloads parsed) frames;
+    check Alcotest.bool
+      (Printf.sprintf "cut=%d truncation is not corruption" cut)
+      false (Frame.is_corrupt d)
+  done
+
+let test_frame_wal_bitflip () =
+  (* Damage inside the middle record: both parsers must deliver the
+     records before it, then flag the damage (decoder latches Corrupt;
+     WAL reader reports a torn/damaged tail and stops). *)
+  let stream = String.concat "" (List.map Frame.encode sample_payloads) in
+  let first_two =
+    String.length (Frame.encode (List.nth sample_payloads 0))
+    + String.length (Frame.encode (List.nth sample_payloads 1))
+  in
+  let flip_at = first_two + Frame.header_bytes + 2 in
+  let bad = Bytes.of_string stream in
+  Bytes.set bad flip_at (Char.chr (Char.code (Bytes.get bad flip_at) lxor 1));
+  let bad = Bytes.to_string bad in
+  let expected = [ List.nth sample_payloads 0; List.nth sample_payloads 1 ] in
+  let parsed = Wal.parse_segment ~start:0 bad in
+  check
+    (Alcotest.list Alcotest.string)
+    "wal keeps the clean prefix" expected (wal_payloads parsed);
+  check Alcotest.bool "wal flags the damage" true (parsed.Wal.ps_torn <> None);
+  let d = Frame.decoder () in
+  Frame.feed d bad;
+  let rec collect acc =
+    match Frame.next d with
+    | Frame.Frame p -> collect (p :: acc)
+    | Frame.Awaiting -> Alcotest.fail "decoder must notice the bit flip"
+    | Frame.Corrupt _ -> List.rev acc
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "decoder keeps the clean prefix" expected (collect [])
+
+(* ---- Proto -------------------------------------------------------- *)
+
+let client_msgs : Proto.client_msg list =
+  [
+    Hello { version = Proto.version; session = "abc-1.2_X" };
+    Rows { start = 0; lines = [] };
+    Rows { start = 17; lines = [ "E\topen\tfs/open.c:12"; "T\tfoo;8;f,0,4,d" ] };
+    Seal { rows = 0 };
+    Seal { rows = 123456 };
+    Query Status;
+    Query Metrics;
+    Ping;
+    Bye;
+    Shutdown;
+  ]
+
+let server_msgs : Proto.server_msg list =
+  [
+    Welcome { resume = 42 };
+    Nack { expected = 7 };
+    Retry_after { ms = 50; expected = Some 3; reason = "queue\tfull" };
+    Retry_after { ms = 10; expected = None; reason = "backoff" };
+    Err { code = "garbled"; reason = "crc mismatch\nat byte 9" };
+    Pong;
+    Sealed { events = 9; rules = "{\"rules\":[]}"; violations = "{}" };
+    Info { json = "{\"sessions\":[]}" };
+    Closing { reason = "idle-timeout" };
+  ]
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun m ->
+      match Proto.client_of_payload (Proto.client_to_payload m) with
+      | Ok m' ->
+          check Alcotest.bool "client msg round-trips" true (m = m')
+      | Error e -> Alcotest.failf "client decode failed: %s" e)
+    client_msgs;
+  List.iter
+    (fun m ->
+      match Proto.server_of_payload (Proto.server_to_payload m) with
+      | Ok m' ->
+          check Alcotest.bool "server msg round-trips" true (m = m')
+      | Error e -> Alcotest.failf "server decode failed: %s" e)
+    server_msgs
+
+let test_proto_rejects_malformed () =
+  let bad =
+    [
+      "";
+      "frobnicate";
+      "hello\tnot-a-number\tsess";
+      "rows\t-1\t0";
+      "rows\t0\t2\nonly one row";
+      "seal";
+      "seal\t-5";
+      "query\tbogus";
+    ]
+  in
+  List.iter
+    (fun payload ->
+      match Proto.client_of_payload payload with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed payload %S" payload)
+    bad
+
+(* ---- Server engine (sans-IO, virtual time) ------------------------ *)
+
+let enc m = Frame.encode (Proto.client_to_payload m)
+let send srv ~now cid m = Server.on_bytes srv ~now cid (enc m)
+
+let expect_silent label = function
+  | [] -> ()
+  | outs -> Alcotest.failf "%s: expected no outputs, got %d" label
+              (List.length outs)
+
+let only_send label = function
+  | [ Server.Send (cid, m) ] -> (cid, m)
+  | outs ->
+      Alcotest.failf "%s: expected exactly one Send, got %d outputs" label
+        (List.length outs)
+
+let expect_welcome label outs =
+  match only_send label outs with
+  | _, Proto.Welcome { resume } -> resume
+  | _ -> Alcotest.failf "%s: expected Welcome" label
+
+let expect_err_close label code = function
+  | [ Server.Send (_, Proto.Err { code = c; _ }); Server.Close _ ] ->
+      check Alcotest.string label code c
+  | _ -> Alcotest.failf "%s: expected Err %s + Close" label code
+
+let session_view srv id =
+  match List.find_opt (fun v -> v.Server.v_id = id) (Server.sessions srv) with
+  | Some v -> v
+  | None -> Alcotest.failf "session %s not found" id
+
+let connect srv ~now session =
+  let cid, outs = Server.accept srv ~now in
+  expect_silent "accept" outs;
+  let resume =
+    expect_welcome "hello"
+      (send srv ~now cid
+         (Proto.Hello { version = Proto.version; session }))
+  in
+  (cid, resume)
+
+(* Client-side flow control: send a frame; absorb Retry_after by
+   stepping the server (draining its queues) and retrying. *)
+let rec send_flow srv ~now cid ~start lines =
+  match send srv ~now cid (Proto.Rows { start; lines }) with
+  | [] -> ()
+  | [ Server.Send (_, Proto.Retry_after _) ] ->
+      ignore (Server.step srv ~now);
+      send_flow srv ~now cid ~start lines
+  | outs -> ignore (only_send "rows" outs)
+
+let rec batches n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | rest -> (List.rev acc, rest)
+      in
+      let b, rest = take n [] l in
+      b :: batches n rest
+
+let stream_all srv ~now cid ?(batch = 200) ~start lines =
+  let cursor = ref start in
+  List.iter
+    (fun b ->
+      send_flow srv ~now cid ~start:!cursor b;
+      cursor := !cursor + List.length b)
+    (batches batch lines)
+
+let expect_sealed label outs =
+  match only_send label outs with
+  | _, Proto.Sealed { events; rules; violations } -> (events, rules, violations)
+  | _ -> Alcotest.failf "%s: expected Sealed" label
+
+let check_oracle label trace (events, rules, violations) =
+  let e, r, v = batch_ref trace in
+  check Alcotest.int (label ^ ": events") e events;
+  check Alcotest.string (label ^ ": rules byte-identical") r rules;
+  check Alcotest.string (label ^ ": violations byte-identical") v violations
+
+let test_server_seal_oracle () =
+  let trace = Lazy.force pipe_trace in
+  let lines = Trace.to_lines trace in
+  let total = List.length lines in
+  let srv = Server.create () in
+  let now = 0.0 in
+  let cid, resume = connect srv ~now "s1" in
+  check Alcotest.int "fresh session resumes at 0" 0 resume;
+  stream_all srv ~now cid ~start:0 lines;
+  let sealed =
+    expect_sealed "seal" (send srv ~now cid (Proto.Seal { rows = total }))
+  in
+  check_oracle "pipe via serve" trace sealed;
+  (* Sealing is idempotent: the cached result comes back byte-identical. *)
+  let again =
+    expect_sealed "re-seal" (send srv ~now cid (Proto.Seal { rows = total }))
+  in
+  check Alcotest.bool "re-seal returns the cached result" true (sealed = again);
+  check Alcotest.string "state" "sealed" (session_view srv "s1").Server.v_state
+
+let test_server_nack_and_idempotency () =
+  let lines = Trace.to_lines (Lazy.force pipe_trace) in
+  let b = batches 50 lines in
+  let b0 = List.nth b 0 and b1 = List.nth b 1 in
+  let srv = Server.create () in
+  let now = 0.0 in
+  let cid, _ = connect srv ~now "s" in
+  expect_silent "first frame" (send srv ~now cid (Proto.Rows { start = 0; lines = b0 }));
+  (* A gap answers Nack with the accepted watermark... *)
+  (match only_send "gap" (send srv ~now cid (Proto.Rows { start = 120; lines = b1 })) with
+  | _, Proto.Nack { expected } -> check Alcotest.int "nack watermark" 50 expected
+  | _ -> Alcotest.fail "expected Nack on sequence gap");
+  (* ... a pure retransmission is absorbed silently ... *)
+  expect_silent "retransmit" (send srv ~now cid (Proto.Rows { start = 0; lines = b0 }));
+  check Alcotest.int "accepted unchanged" 50 (session_view srv "s").Server.v_accepted;
+  (* ... and an overlapping frame contributes only its fresh suffix. *)
+  let overlap =
+    List.filteri (fun i _ -> i >= 40) b0 @ b1
+  in
+  expect_silent "overlap" (send srv ~now cid (Proto.Rows { start = 40; lines = overlap }));
+  check Alcotest.int "accepted after overlap" 100
+    (session_view srv "s").Server.v_accepted
+
+let test_server_seal_count_guard () =
+  let lines = Trace.to_lines (Lazy.force pipe_trace) in
+  let b0 = List.hd (batches 50 lines) in
+  let srv = Server.create () in
+  let now = 0.0 in
+  let cid, _ = connect srv ~now "s" in
+  expect_silent "rows" (send srv ~now cid (Proto.Rows { start = 0; lines = b0 }));
+  (* The client thinks it streamed more rows than the server accepted:
+     frames were lost in the tail. Seal must refuse and rewind. *)
+  match only_send "seal mismatch" (send srv ~now cid (Proto.Seal { rows = 80 })) with
+  | _, Proto.Nack { expected } -> check Alcotest.int "rewind to" 50 expected
+  | _ -> Alcotest.fail "expected Nack on seal row-count mismatch"
+
+let frame_bytes lines =
+  List.fold_left (fun a l -> a + String.length l + 1) 0 lines
+
+let take_bytes budget lines =
+  let rec go acc b = function
+    | l :: tl when b + String.length l + 1 <= budget ->
+        go (l :: acc) (b + String.length l + 1) tl
+    | rest -> (List.rev acc, rest)
+  in
+  go [] 0 lines
+
+let test_server_backpressure_isolation () =
+  let lines = Trace.to_lines (Lazy.force pipe_trace) in
+  (* Frame 1 (layouts + some events) sized to be admitted exactly;
+     frame 2 sized to overflow the per-session cap while it is still
+     queued, yet fit once drained. *)
+  let f1, rest = take_bytes 9000 lines in
+  let q = frame_bytes f1 + 8 in
+  let f2, rest = take_bytes (q - 100) rest in
+  assert (frame_bytes f2 > q - frame_bytes f1 + 4096);
+  let cfg = { Server.default_config with queue_bytes = q } in
+  let srv = Server.create ~config:cfg () in
+  let now = 0.0 in
+  let a, _ = connect srv ~now "a" in
+  expect_silent "f1 admitted" (send srv ~now a (Proto.Rows { start = 0; lines = f1 }));
+  let accepted1 = (session_view srv "a").Server.v_accepted in
+  check Alcotest.int "f1 rows accepted" (List.length f1) accepted1;
+  (* Queue still holds f1's events: f2 is shed whole, with the resume
+     watermark, and nothing about the session changes. *)
+  (match
+     only_send "f2 shed"
+       (send srv ~now a (Proto.Rows { start = accepted1; lines = f2 }))
+   with
+  | _, Proto.Retry_after { expected; reason; ms } ->
+      check (Alcotest.option Alcotest.int) "watermark" (Some accepted1) expected;
+      check Alcotest.bool "session-level shed" true
+        (String.length reason > 0 && ms > 0)
+  | _ -> Alcotest.fail "expected Retry_after when the session queue is full");
+  check Alcotest.int "shed frame not accepted" accepted1
+    (session_view srv "a").Server.v_accepted;
+  check Alcotest.bool "global budget holds" true
+    (Server.pending_total srv <= cfg.Server.total_queue_bytes);
+  (* A second session is untouched by a's pressure: hard isolation. *)
+  let bq, _ = connect srv ~now "b" in
+  let fb, _ = take_bytes 2000 (Trace.to_lines (Lazy.force device_trace)) in
+  expect_silent "b admitted" (send srv ~now bq (Proto.Rows { start = 0; lines = fb }));
+  check Alcotest.int "b accepted" (List.length fb)
+    (session_view srv "b").Server.v_accepted;
+  (* Draining makes room; the very same frame is then admitted, and the
+     stream runs to a seal that matches the batch pipeline. *)
+  ignore (Server.step srv ~now);
+  check Alcotest.int "drained" 0 (Server.pending_total srv);
+  expect_silent "f2 after drain"
+    (send srv ~now a (Proto.Rows { start = accepted1; lines = f2 }));
+  let cursor = ref (accepted1 + List.length f2) in
+  List.iter
+    (fun bch ->
+      send_flow srv ~now a ~start:!cursor bch;
+      cursor := !cursor + List.length bch)
+    (batches 100 rest);
+  let sealed =
+    expect_sealed "seal" (send srv ~now a (Proto.Seal { rows = !cursor }))
+  in
+  check_oracle "backpressured stream" (Lazy.force pipe_trace) sealed
+
+let test_server_garbled_connection_session_survives () =
+  let trace = Lazy.force pipe_trace in
+  let lines = Trace.to_lines trace in
+  let total = List.length lines in
+  let half = batches (total / 2) lines in
+  let first = List.hd half in
+  let srv = Server.create () in
+  let now = 0.0 in
+  let c1, _ = connect srv ~now "s" in
+  stream_all srv ~now c1 ~start:0 first;
+  let accepted = (session_view srv "s").Server.v_accepted in
+  (* Garbage on the wire kills the connection — and only it. *)
+  expect_err_close "garbled" "garbled"
+    (Server.on_bytes srv ~now c1 "\x04\x00\x00\x00\xde\xad\xbe\xefXXXX");
+  let v = session_view srv "s" in
+  check Alcotest.bool "session detached" false v.Server.v_attached;
+  check Alcotest.int "accepted rows intact" accepted v.Server.v_accepted;
+  check Alcotest.int "no connection left" 0 (Server.n_conns srv);
+  (* Reconnect resumes exactly at the watermark and completes. *)
+  let c2, resume = connect srv ~now "s" in
+  check Alcotest.int "resume at watermark" accepted resume;
+  let remaining = List.filteri (fun i _ -> i >= accepted) lines in
+  stream_all srv ~now c2 ~start:accepted remaining;
+  let sealed =
+    expect_sealed "seal" (send srv ~now c2 (Proto.Seal { rows = total }))
+  in
+  check_oracle "post-garble resume" trace sealed
+
+let test_server_idle_timeout_and_gc () =
+  let cfg = { Server.default_config with session_timeout = 1.0 } in
+  (* A mute connection is idle-closed; its session — idle exactly as
+     long — is collected in the same tick. *)
+  let srv = Server.create ~config:cfg () in
+  let _c, _ = connect srv ~now:0.0 "idle" in
+  expect_silent "quiet step" (Server.step srv ~now:0.5);
+  (match Server.step srv ~now:2.5 with
+  | [ Server.Send (_, Proto.Closing { reason }); Server.Close _ ] ->
+      check Alcotest.string "reason" "idle-timeout" reason
+  | _ -> Alcotest.fail "expected idle close");
+  check Alcotest.int "conn gone" 0 (Server.n_conns srv);
+  check Alcotest.int "session collected" 0 (Server.n_sessions srv);
+  (* A polite Bye detaches immediately; the session stays resumable
+     for a full timeout after its last activity, then is GC'd. *)
+  let srv = Server.create ~config:cfg () in
+  let c, _ = connect srv ~now:0.0 "bye" in
+  (match send srv ~now:0.9 c Proto.Bye with
+  | [ Server.Send (_, Proto.Closing _); Server.Close _ ] -> ()
+  | _ -> Alcotest.fail "expected Closing bye");
+  expect_silent "within grace" (Server.step srv ~now:1.5);
+  check Alcotest.int "session lingers (resumable)" 1 (Server.n_sessions srv);
+  expect_silent "past grace" (Server.step srv ~now:2.5);
+  check Alcotest.int "session gc'd" 0 (Server.n_sessions srv)
+
+let test_server_supersede () =
+  let srv = Server.create () in
+  let now = 0.0 in
+  let c1, _ = connect srv ~now "s" in
+  let c2, outs = Server.accept srv ~now in
+  expect_silent "accept" outs;
+  (match
+     send srv ~now c2 (Proto.Hello { version = Proto.version; session = "s" })
+   with
+  | [
+      Server.Send (o1, Proto.Closing { reason = "superseded" });
+      Server.Close (o2, _);
+      Server.Send (n, Proto.Welcome _);
+    ] ->
+      check Alcotest.int "old conn told" c1 o1;
+      check Alcotest.int "old conn closed" c1 o2;
+      check Alcotest.int "new conn welcomed" c2 n
+  | _ -> Alcotest.fail "expected supersede then welcome");
+  check Alcotest.int "one live conn" 1 (Server.n_conns srv)
+
+let test_server_crash_backoff_durable_recovery () =
+  let root = temp_dir "serve_recover" in
+  Fun.protect
+    ~finally:(fun () ->
+      Crashpoint.reset ();
+      rm_rf root)
+    (fun () ->
+      let trace = Lazy.force pipe_trace in
+      let lines = Trace.to_lines trace in
+      let total = List.length lines in
+      let cfg =
+        {
+          Server.default_config with
+          durable_root = Some root;
+          restart_backoff = 0.5;
+          max_backoff = 5.0;
+        }
+      in
+      let srv = Server.create ~config:cfg () in
+      let c1, _ = connect srv ~now:0.0 "s" in
+      let first, rest =
+        let b = batches (total / 2) lines in
+        (List.hd b, List.concat (List.tl b))
+      in
+      stream_all srv ~now:0.0 c1 ~start:0 first;
+      let accepted = (session_view srv "s").Server.v_accepted in
+      (* The next rows frame hits an armed crash point inside the
+         worker: the supervisor tombstones the session. *)
+      Crashpoint.arm ~after:1;
+      let crash_frame, _ = take_bytes 2000 rest in
+      expect_err_close "worker crash" "session-failed"
+        (send srv ~now:0.0 c1
+           (Proto.Rows { start = accepted; lines = crash_frame }));
+      Crashpoint.reset ();
+      let v = session_view srv "s" in
+      check Alcotest.int "one restart on the ledger" 1 v.Server.v_restarts;
+      check Alcotest.bool "tombstoned" true
+        (String.length v.Server.v_state >= 6
+        && String.sub v.Server.v_state 0 6 = "failed");
+      (* Reconnecting inside the backoff window is shed with retry-after. *)
+      let c2, outs = Server.accept srv ~now:0.1 in
+      expect_silent "accept" outs;
+      (match
+         send srv ~now:0.1 c2
+           (Proto.Hello { version = Proto.version; session = "s" })
+       with
+      | [ Server.Send (_, Proto.Retry_after { ms; _ }); Server.Close _ ] ->
+          check Alcotest.bool "positive backoff hint" true (ms > 0)
+      | _ -> Alcotest.fail "expected Retry_after during backoff");
+      (* Past the backoff the session rebuilds from its journal and
+         resumes at the pre-crash watermark — the crashing frame was
+         never acknowledged, so the client resends it. *)
+      let c3, resume = connect srv ~now:2.0 "s" in
+      check Alcotest.int "journal rebuild resumes at watermark" accepted resume;
+      stream_all srv ~now:2.0 c3 ~start:accepted
+        (List.filteri (fun i _ -> i >= accepted) lines);
+      let sealed =
+        expect_sealed "seal" (send srv ~now:2.0 c3 (Proto.Seal { rows = total }))
+      in
+      check_oracle "crash-recovered stream" trace sealed)
+
+let test_server_permanent_failure () =
+  Fun.protect ~finally:Crashpoint.reset (fun () ->
+      let cfg = { Server.default_config with max_restarts = 0 } in
+      let srv = Server.create ~config:cfg () in
+      let lines = Trace.to_lines (Lazy.force pipe_trace) in
+      let f1, _ = take_bytes 2000 lines in
+      let c1, _ = connect srv ~now:0.0 "s" in
+      Crashpoint.arm ~after:1;
+      expect_err_close "crash" "session-failed"
+        (send srv ~now:0.0 c1 (Proto.Rows { start = 0; lines = f1 }));
+      Crashpoint.reset ();
+      (* max_restarts exhausted: the supervisor gives up for good. *)
+      let c2, outs = Server.accept srv ~now:10.0 in
+      expect_silent "accept" outs;
+      expect_err_close "permanent" "permanent-failure"
+        (send srv ~now:10.0 c2
+           (Proto.Hello { version = Proto.version; session = "s" })))
+
+let test_server_rejections () =
+  let srv = Server.create () in
+  let now = 0.0 in
+  (* Version skew. *)
+  let c, outs = Server.accept srv ~now in
+  expect_silent "accept" outs;
+  expect_err_close "version skew" "version"
+    (send srv ~now c
+       (Proto.Hello { version = Proto.version + 1; session = "s" }));
+  (* Hostile session id (a path, not a name). *)
+  let c, _ = Server.accept srv ~now in
+  expect_err_close "bad session id" "proto"
+    (send srv ~now c
+       (Proto.Hello { version = Proto.version; session = "../escape" }));
+  (* Rows before hello. *)
+  let c, _ = Server.accept srv ~now in
+  expect_err_close "rows before hello" "proto"
+    (send srv ~now c (Proto.Rows { start = 0; lines = [] }));
+  (* Connection cap: shed gracefully with a retry hint, then close. *)
+  let cfg = { Server.default_config with max_clients = 1 } in
+  let srv = Server.create ~config:cfg () in
+  let _c1, outs = Server.accept srv ~now in
+  expect_silent "first accept" outs;
+  (match Server.accept srv ~now with
+  | _, [ Server.Send (_, Proto.Retry_after _); Server.Close (_, reason) ] ->
+      check Alcotest.string "over capacity" "too-many-clients" reason
+  | _ -> Alcotest.fail "expected Retry_after + Close over capacity")
+
+let test_server_ping_query_bye_shutdown () =
+  let srv = Server.create () in
+  let now = 0.0 in
+  let c1, _ = connect srv ~now "s" in
+  (match only_send "ping" (send srv ~now c1 Proto.Ping) with
+  | _, Proto.Pong -> ()
+  | _ -> Alcotest.fail "expected Pong");
+  (match only_send "status" (send srv ~now c1 (Proto.Query Proto.Status)) with
+  | _, Proto.Info { json } ->
+      check Alcotest.bool "status lists sessions" true
+        (contains json "\"sessions\"")
+  | _ -> Alcotest.fail "expected Info for status query");
+  (match only_send "metrics" (send srv ~now c1 (Proto.Query Proto.Metrics)) with
+  | _, Proto.Info _ -> ()
+  | _ -> Alcotest.fail "expected Info for metrics query");
+  (* Bye detaches politely; the session stays. *)
+  (match send srv ~now c1 Proto.Bye with
+  | [ Server.Send (_, Proto.Closing { reason = "bye" }); Server.Close _ ] -> ()
+  | _ -> Alcotest.fail "expected Closing bye");
+  check Alcotest.int "session survives bye" 1 (Server.n_sessions srv);
+  (* Shutdown closes every connection and refuses new ones. *)
+  let c2, _ = connect srv ~now "s" in
+  let _c3, outs = Server.accept srv ~now in
+  expect_silent "accept" outs;
+  let outs = send srv ~now c2 Proto.Shutdown in
+  let closings =
+    List.length
+      (List.filter
+         (function Server.Send (_, Proto.Closing _) -> true | _ -> false)
+         outs)
+  in
+  check Alcotest.bool "everyone told" true (closings >= 2);
+  check Alcotest.bool "shutting down" true (Server.shutting_down srv);
+  check Alcotest.int "no conns left" 0 (Server.n_conns srv);
+  let _c, outs = Server.accept srv ~now in
+  expect_err_close "accept during shutdown" "shutting-down" outs
+
+(* ---- Chaos matrix ------------------------------------------------- *)
+
+let chaos_pairs = [| ("pipe", "device"); ("device", "pipe"); ("fs_inod", "pipe") |]
+
+let run_chaos fault seed =
+  let workloads = chaos_pairs.((seed - 1) mod Array.length chaos_pairs) in
+  if fault = Chaos.Kill then begin
+    let root = temp_dir "serve_chaos" in
+    Fun.protect
+      ~finally:(fun () -> rm_rf root)
+      (fun () -> Chaos.run ~seed ~workloads ~durable_root:root fault)
+  end
+  else Chaos.run ~seed ~workloads fault
+
+let assert_evidence fault (o : Chaos.outcome) =
+  let nonzero label n =
+    check Alcotest.bool
+      (Printf.sprintf "%s: %s > 0" (Chaos.fault_name fault) label)
+      true (n > 0)
+  in
+  nonzero "frames" o.o_frames_sent;
+  match fault with
+  | Chaos.Drop ->
+      nonzero "faults" o.o_faults_injected;
+      nonzero "nacks or resends" (o.o_nacks + o.o_rows_resent)
+  | Chaos.Delay -> nonzero "faults" o.o_faults_injected
+  | Chaos.Garble ->
+      nonzero "garbled closes" o.o_garbled;
+      nonzero "reconnects" o.o_reconnects
+  | Chaos.Kill ->
+      nonzero "session failures" o.o_session_failures;
+      nonzero "reconnects" o.o_reconnects;
+      nonzero "backoff retry-afters" o.o_retry_afters
+  | Chaos.Reconnect_storm -> nonzero "supersedes" o.o_supersedes
+  | Chaos.Slowloris -> nonzero "idle closes" o.o_idle_closes
+
+let test_chaos fault () =
+  for seed = 1 to n_seeds do
+    let o = run_chaos fault seed in
+    assert_evidence fault o
+  done
+
+let test_chaos_kill_requires_journal () =
+  match Chaos.run Chaos.Kill with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Kill without a durable root must be rejected"
+
+(* ---- Real Unix socket, forked daemon ------------------------------ *)
+
+let test_socket_integration () =
+  let dir = temp_dir "serve_sock" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "lockdoc.sock" in
+      match Unix.fork () with
+      | 0 ->
+          (* Child: the daemon. _exit so alcotest's state in the forked
+             image never runs its reporting. *)
+          (try
+             Sockserv.serve ~socket ();
+             Unix._exit 0
+           with _ -> Unix._exit 1)
+      | pid ->
+          let pipe = Lazy.force pipe_trace in
+          let device = Lazy.force device_trace in
+          let sealed_a =
+            Sockserv.feed ~socket ~session:"a" (Trace.to_lines pipe)
+          in
+          let e, r, v = batch_ref pipe in
+          check Alcotest.int "a: events" e sealed_a.Sockserv.events;
+          check Alcotest.string "a: rules" r sealed_a.Sockserv.rules;
+          check Alcotest.string "a: violations" v sealed_a.Sockserv.violations;
+          let sealed_b =
+            Sockserv.feed ~socket ~session:"b" (Trace.to_lines device)
+          in
+          let e, r, v = batch_ref device in
+          check Alcotest.int "b: events" e sealed_b.Sockserv.events;
+          check Alcotest.string "b: rules" r sealed_b.Sockserv.rules;
+          check Alcotest.string "b: violations" v sealed_b.Sockserv.violations;
+          (match Sockserv.request ~socket (Proto.Query Proto.Status) with
+          | Proto.Info { json } ->
+              check Alcotest.bool "status mentions both sessions" true
+                (contains json "\"a\"" && contains json "\"b\"")
+          | _ -> Alcotest.fail "expected Info from status query");
+          (match Sockserv.request ~socket Proto.Shutdown with
+          | Proto.Closing _ -> ()
+          | _ -> Alcotest.fail "expected Closing from shutdown");
+          (match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ -> Alcotest.fail "daemon did not exit cleanly");
+          check Alcotest.bool "socket unlinked" false (Sys.file_exists socket))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "round trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "chunked feeds" `Quick test_frame_chunked;
+          Alcotest.test_case "corrupt latches" `Quick test_frame_corrupt_latches;
+          Alcotest.test_case "length ceiling" `Quick test_frame_length_ceiling;
+        ] );
+      ( "frame-vs-wal",
+        [
+          Alcotest.test_case "same records" `Quick test_frame_wal_differential;
+          Alcotest.test_case "every torn tail" `Quick test_frame_wal_torn_tail;
+          Alcotest.test_case "bit flip" `Quick test_frame_wal_bitflip;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "round trips" `Quick test_proto_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_proto_rejects_malformed;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "seal matches batch" `Quick test_server_seal_oracle;
+          Alcotest.test_case "nack and idempotency" `Quick
+            test_server_nack_and_idempotency;
+          Alcotest.test_case "seal count guard" `Quick
+            test_server_seal_count_guard;
+          Alcotest.test_case "backpressure isolation" `Quick
+            test_server_backpressure_isolation;
+          Alcotest.test_case "garble kills only the connection" `Quick
+            test_server_garbled_connection_session_survives;
+          Alcotest.test_case "idle timeout and gc" `Quick
+            test_server_idle_timeout_and_gc;
+          Alcotest.test_case "supersede" `Quick test_server_supersede;
+          Alcotest.test_case "crash, backoff, durable recovery" `Quick
+            test_server_crash_backoff_durable_recovery;
+          Alcotest.test_case "permanent failure" `Quick
+            test_server_permanent_failure;
+          Alcotest.test_case "rejections" `Quick test_server_rejections;
+          Alcotest.test_case "ping, query, bye, shutdown" `Quick
+            test_server_ping_query_bye_shutdown;
+        ] );
+      ( "chaos",
+        Alcotest.test_case "kill requires journal" `Quick
+          test_chaos_kill_requires_journal
+        :: List.map
+             (fun f ->
+               Alcotest.test_case
+                 (Printf.sprintf "%s (%d seed%s)" (Chaos.fault_name f) n_seeds
+                    (if n_seeds = 1 then "" else "s"))
+                 `Slow (test_chaos f))
+             Chaos.all_faults );
+      ( "socket",
+        [ Alcotest.test_case "forked daemon end to end" `Slow
+            test_socket_integration ] );
+    ]
