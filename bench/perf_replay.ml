@@ -1,0 +1,123 @@
+(* Counterexample-replay benchmark (`dune build @perf`).
+
+   Three questions, one JSON file (BENCH_replay.json):
+
+   1. Throughput: how many directed schedules per second does the
+      replay engine explore, end to end (trace + findings + search)?
+
+   2. Convergence: how many directed schedules does it take, on
+      average, to confirm a seeded site? The search arms breakpoints in
+      occurrence order, so this should stay in low single digits — a
+      blow-up means the window/stride heuristics regressed.
+
+   3. Triage value: aggregate precision of the finding set before and
+      after replay triage, over every workload family. The whole point
+      of the engine is the post column reading 1.0.
+
+   Environment knobs: LOCKDOC_PERF_REPEATS (repeats, default 3). *)
+
+module Run = Lockdoc_ksim.Run
+module Replay = Lockdoc_sanitizer.Replay
+module Crossval = Lockdoc_sanitizer.Crossval
+module Obs = Lockdoc_obs.Obs
+module Json = Lockdoc_obs.Json
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match Lockdoc_util.Numarg.positive s with Ok n -> n | Error _ -> default)
+  | None -> default
+
+let repeats = env_int "LOCKDOC_PERF_REPEATS" 3
+
+let () =
+  Printf.eprintf "perf_replay: %d famil(ies), %d repeats\n"
+    (List.length Run.workload_names)
+    repeats;
+  let run_all () = List.map (fun w -> Replay.run ~bugs:true w) Run.workload_names in
+  (* min-of-repeats wall time for the full sweep; the reports are
+     deterministic, so keep the last batch for the metrics *)
+  let best_ms = ref infinity and reports = ref [] in
+  for _ = 1 to repeats do
+    let rs, c = Obs.Clock.timed run_all in
+    let ms = c.Obs.Clock.wall *. 1000. in
+    if ms < !best_ms then best_ms := ms;
+    reports := rs
+  done;
+  let reports = !reports in
+  let schedules =
+    List.fold_left (fun acc r -> acc + r.Replay.r_schedules) 0 reports
+  in
+  let schedules_per_sec =
+    if !best_ms > 0. then float_of_int schedules /. (!best_ms /. 1000.) else 0.
+  in
+  let confirmed_schedules =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun (o : Replay.outcome) ->
+            match o.Replay.o_verdict with
+            | Replay.Confirmed _ -> Some o.Replay.o_schedules
+            | Replay.Refuted _ -> None)
+          r.Replay.r_outcomes)
+      reports
+  in
+  let mean_to_confirm =
+    match confirmed_schedules with
+    | [] -> 0.
+    | l ->
+        float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let precision tp fp =
+    if tp + fp = 0 then 1. else float_of_int tp /. float_of_int (tp + fp)
+  in
+  let pre_tp =
+    sum (fun r ->
+        r.Replay.r_races_pre.Crossval.cv_tp + r.Replay.r_irq_pre.Crossval.cv_tp)
+  in
+  let pre_fp =
+    sum (fun r ->
+        r.Replay.r_races_pre.Crossval.cv_fp + r.Replay.r_irq_pre.Crossval.cv_fp)
+  in
+  let post_tp =
+    sum (fun r ->
+        r.Replay.r_races_post.Crossval.cv_tp
+        + r.Replay.r_irq_post.Crossval.cv_tp)
+  in
+  let post_fp =
+    sum (fun r ->
+        r.Replay.r_races_post.Crossval.cv_fp
+        + r.Replay.r_irq_post.Crossval.cv_fp)
+  in
+  let pre_precision = precision pre_tp pre_fp in
+  let post_precision = precision post_tp post_fp in
+  (* the engine's reason to exist: triage must not lose a true positive
+     and must end at precision 1.0 *)
+  let ok = post_precision = 1.0 && post_tp = pre_tp in
+  Printf.eprintf
+    "perf_replay: %d schedule(s) in %.1fms (%.0f/s), mean %.1f to confirm, \
+     precision %.2f -> %.2f\n"
+    schedules !best_ms schedules_per_sec mean_to_confirm pre_precision
+    post_precision;
+  print_endline
+    (Json.to_string
+       (Json.O
+          [
+            ("families", Json.I (List.length Run.workload_names));
+            ("schedules", Json.I schedules);
+            ("sweep_ms", Json.F !best_ms);
+            ("schedules_per_sec", Json.F schedules_per_sec);
+            ("confirmed", Json.I (List.length confirmed_schedules));
+            ("mean_schedules_to_confirmation", Json.F mean_to_confirm);
+            ("triage_precision_pre", Json.F pre_precision);
+            ("triage_precision_post", Json.F post_precision);
+            ("repeats", Json.I repeats);
+            ("ok", Json.B ok);
+          ]));
+  if not ok then begin
+    Printf.eprintf
+      "perf_replay: FAIL post-triage precision %.2f (tp %d -> %d)\n"
+      post_precision pre_tp post_tp;
+    exit 1
+  end

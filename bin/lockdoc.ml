@@ -599,6 +599,59 @@ let sanitize_cmd =
       const run $ workload_arg $ clean_arg $ sanitize_seed_arg
       $ sanitize_scale_arg $ json_arg $ jobs_arg $ metrics_arg)
 
+(* {2 replay} *)
+
+let replay_cmd =
+  let module Replay = Lockdoc_sanitizer.Replay in
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Benchmark family to replay (fs_bench, fsstress, fs_inod, \
+                 pipe, symlink, device).")
+  in
+  let clean_arg =
+    Arg.(value & flag & info [ "clean" ]
+           ~doc:"Silence the seeded ground-truth bugs (every finding must \
+                 come back refuted). Default: seed them.")
+  in
+  let replay_seed_arg =
+    Arg.(value & opt checked_int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"PRNG seed; directed schedules are deterministic per seed.")
+  in
+  let replay_scale_arg =
+    Arg.(value & opt positive_int 1 & info [ "scale" ] ~docv:"N"
+           ~doc:"Workload iteration multiplier (trace volume).")
+  in
+  let budget_arg =
+    Arg.(value & opt positive_int 8 & info [ "budget" ] ~docv:"N"
+           ~doc:"Directed schedules per finding per search round (a \
+                 positive integer).")
+  in
+  let run workload clean seed scale budget json jobs metrics =
+    if not (List.mem workload Run.workload_names) then begin
+      Printf.eprintf "lockdoc: unknown workload %S (known: %s)\n" workload
+        (String.concat ", " Run.workload_names);
+      exit 1
+    end;
+    with_metrics metrics @@ fun () ->
+    let report =
+      Replay.run ~jobs:(resolve_jobs jobs) ~seed ~scale ~budget
+        ~bugs:(not clean) workload
+    in
+    if json then print_endline (Replay.to_json report)
+    else print_string (Replay.render report)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute one benchmark family's sanitizer findings under \
+          directed schedules: confirm each lockset race, rule violation \
+          and irq-unsafe class with a serialized interleaving witness, or \
+          refute it with a machine-checked reason (caller-held lock, RCU \
+          read section, init/teardown quiescence, budget exhausted).")
+    Term.(
+      const run $ workload_arg $ clean_arg $ replay_seed_arg
+      $ replay_scale_arg $ budget_arg $ json_arg $ jobs_arg $ metrics_arg)
+
 (* {2 profile} *)
 
 let profile_cmd =
@@ -858,7 +911,8 @@ let main =
     [
       trace_cmd; import_cmd; recover_cmd; fsck_cmd; derive_cmd; doc_cmd;
       check_cmd;
-      violations_cmd; lockdep_cmd; lockmeter_cmd; sanitize_cmd; export_cmd;
+      violations_cmd; lockdep_cmd; lockmeter_cmd; sanitize_cmd; replay_cmd;
+      export_cmd;
       relations_cmd; profile_cmd; repro_cmd; serve_cmd; feed_cmd;
     ]
 

@@ -3,13 +3,17 @@
     For every family, two sanitizer runs — seeded ground-truth bugs on,
     then the clean baseline — scored against {!Lockdoc_ksim.Seeded}:
     races and irq-unsafe paths found/missed, false positives on both
-    traces. The acceptance bar is total recall at zero false
-    positives. *)
+    traces. A third, directed-replay pass triages every finding
+    (lockset, violation scanner, irq analysis) into confirmed — with an
+    interleaving witness — or refuted with a machine-checked reason.
+    The acceptance bar is total recall at zero false positives, and
+    post-triage precision 1.0. *)
 
 module Tablefmt = Lockdoc_util.Tablefmt
 module Run = Lockdoc_ksim.Run
 module Sanitize = Lockdoc_sanitizer.Sanitize
 module Crossval = Lockdoc_sanitizer.Crossval
+module Replay = Lockdoc_sanitizer.Replay
 
 let render () =
   let table =
@@ -17,31 +21,49 @@ let render () =
       ~header:
         [
           "Family"; "Seeded races"; "Found"; "Missed"; "FP";
-          "Seeded irq"; "Found"; "Clean FP";
+          "Seeded irq"; "Found"; "Clean FP"; "Confirmed"; "Refuted";
         ]
   in
   Tablefmt.set_align table
     [
       Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
       Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+      Tablefmt.Right; Tablefmt.Right;
     ];
   let t_races = ref 0 and t_found = ref 0 and t_missed = ref 0 in
   let t_fp = ref 0 and t_clean_fp = ref 0 in
+  let t_confirmed = ref 0 and t_refuted = ref 0 in
+  let post_precision_ok = ref true in
   List.iter
     (fun family ->
       let seeded = Sanitize.run ~bugs:true family in
       let clean = Sanitize.run ~bugs:false family in
+      let replay = Replay.run ~bugs:true family in
       let r = seeded.Sanitize.s_crossval.Crossval.races in
       let irq = seeded.Sanitize.s_crossval.Crossval.irq in
       let clean_fp =
         List.length clean.Sanitize.s_races
         + List.length clean.Sanitize.s_irq.Lockdoc_sanitizer.Irq.i_unsafe
       in
+      let confirmed, refuted =
+        List.fold_left
+          (fun (c, f) (o : Replay.outcome) ->
+            match o.Replay.o_verdict with
+            | Replay.Confirmed _ -> (c + 1, f)
+            | Replay.Refuted _ -> (c, f + 1))
+          (0, 0) replay.Replay.r_outcomes
+      in
+      if
+        replay.Replay.r_races_post.Crossval.cv_precision < 1.0
+        || replay.Replay.r_irq_post.Crossval.cv_precision < 1.0
+      then post_precision_ok := false;
       t_races := !t_races + r.Crossval.cv_tp + r.Crossval.cv_fn;
       t_found := !t_found + r.Crossval.cv_tp;
       t_missed := !t_missed + r.Crossval.cv_fn;
       t_fp := !t_fp + r.Crossval.cv_fp + irq.Crossval.cv_fp;
       t_clean_fp := !t_clean_fp + clean_fp;
+      t_confirmed := !t_confirmed + confirmed;
+      t_refuted := !t_refuted + refuted;
       Tablefmt.add_row table
         [
           family;
@@ -52,11 +74,18 @@ let render () =
           string_of_int (irq.Crossval.cv_tp + irq.Crossval.cv_fn);
           string_of_int irq.Crossval.cv_tp;
           string_of_int clean_fp;
+          string_of_int confirmed;
+          string_of_int refuted;
         ])
     Run.workload_names;
   Printf.sprintf
     "Sanitizer — seeded-bug recovery per workload family\n%s\n\
      %d/%d seeded races found (%d missed), %d false positives seeded, \
      %d on clean traces\n\
-     (acceptance: total recall, zero false positives on every family)"
+     replay triage: %d finding(s) confirmed with witnesses, %d refuted; \
+     post-triage precision %s\n\
+     (acceptance: total recall, zero false positives on every family, \
+     post-triage precision 1.0)"
     (Tablefmt.render table) !t_found !t_races !t_missed !t_fp !t_clean_fp
+    !t_confirmed !t_refuted
+    (if !post_precision_ok then "1.00 on every family" else "BELOW 1.0")

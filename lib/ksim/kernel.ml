@@ -3,9 +3,50 @@ module Srcloc = Lockdoc_trace.Srcloc
 module Trace = Lockdoc_trace.Trace
 module Prng = Lockdoc_util.Prng
 
-exception Deadlock of string
-exception Stuck of string
+(* {2 Structured scheduler halts}
+
+   A run that cannot finish halts with a machine-readable snapshot of
+   every control flow instead of a pre-rendered string: deadlock (no
+   flow runnable, at least one blocked) and budget exhaustion (the
+   livelock guard) are distinct conditions, and budget diagnostics must
+   say which flows were still runnable when the axe fell. *)
+
+type flow_state = Fl_runnable | Fl_blocked of string | Fl_finished
+
+type flow = { fl_pid : int; fl_name : string; fl_state : flow_state }
+
+type halt = {
+  h_deadlock : bool;  (** [true]: every live flow blocked; [false]: budget *)
+  h_steps : int;  (** scheduler iterations consumed *)
+  h_budget : int;  (** the configured [max_steps] *)
+  h_flows : flow list;  (** every spawned flow, in pid order *)
+}
+
+exception Deadlock of halt
+exception Stuck of halt
 exception Sleep_in_atomic of string
+
+let describe_flow f =
+  Printf.sprintf "%s(%d): %s" f.fl_name f.fl_pid
+    (match f.fl_state with
+    | Fl_runnable -> "runnable"
+    | Fl_blocked reason -> "blocked on " ^ reason
+    | Fl_finished -> "finished")
+
+let describe_halt h =
+  let live = List.filter (fun f -> f.fl_state <> Fl_finished) h.h_flows in
+  Printf.sprintf "%s after %d step(s) (budget %d): %s"
+    (if h.h_deadlock then "deadlock — no flow runnable"
+     else "scheduler step budget exhausted")
+    h.h_steps h.h_budget
+    (if live = [] then "no live flows"
+     else String.concat "; " (List.map describe_flow live))
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock h -> Some ("Kernel.Deadlock: " ^ describe_halt h)
+    | Stuck h -> Some ("Kernel.Stuck: " ^ describe_halt h)
+    | _ -> None)
 
 type config = {
   seed : int;
@@ -35,8 +76,49 @@ type task = {
   mutable frames : frames;
 }
 
+(* {2 Schedule control}
+
+   The replay engine drives a run through three hooks: [ctl_on_access]
+   fires before every data-member access (with the access resolved to
+   (type, member) and the would-be source location), [ctl_on_event]
+   taps the instrumentation bus, and [ctl_pick] overrides the
+   scheduler's seeded choice. The hooks run synchronously inside the
+   simulation, so they may call {!preempt_now} (directed switch) or
+   {!raise_hardirq} (directed interrupt) at the exact point of
+   interest. *)
+
+type access_view = {
+  av_type : string;
+  av_subclass : string option;
+  av_member : string;
+  av_ptr : int;  (** absolute member address *)
+  av_kind : Event.access_kind;
+  av_loc : Srcloc.t;  (** the location the access is about to emit *)
+  av_pid : int;
+  av_in_irq : bool;
+  av_preempt_off : bool;
+  av_irq_off : bool;
+  av_stack : string list;  (** function scopes, innermost first *)
+}
+
+type control = {
+  ctl_on_access : access_view -> unit;
+  ctl_on_event : Event.t -> unit;
+  ctl_pick : flow list -> int option;
+      (** [None] defers to the seeded scheduler; a pid that is not
+          runnable also falls back to the seeded choice. *)
+}
+
+let null_control =
+  {
+    ctl_on_access = (fun _ -> ());
+    ctl_on_event = (fun _ -> ());
+    ctl_pick = (fun _ -> None);
+  }
+
 type run = {
   cfg : config;
+  ctl : control;
   sink : Trace.sink;
   rng : Prng.t;
   cov : Source.coverage;
@@ -67,7 +149,10 @@ let run_exn () =
 
 (* {2 Instrumentation bus} *)
 
-let emit ev = Trace.emit (run_exn ()).sink ev
+let emit ev =
+  let r = run_exn () in
+  Trace.emit r.sink ev;
+  if r.ctl != null_control then r.ctl.ctl_on_event ev
 
 let prng () = (run_exn ()).rng
 
@@ -94,6 +179,17 @@ let here () =
       incr cursor;
       let line = fn.Source.fn_start + (!cursor mod fn.Source.fn_span) in
       Source.mark_line r.cov fn line;
+      Srcloc.make fn.Source.fn_file line
+
+(* The location {!here} would return next, without advancing the cursor
+   or marking coverage: breakpoint views must name the access's source
+   location before deciding whether to preempt there. *)
+let peek_loc () =
+  let r = run_exn () in
+  match cur_frames r with
+  | [] -> Srcloc.none
+  | (fn, cursor) :: _ ->
+      let line = fn.Source.fn_start + ((!cursor + 1) mod fn.Source.fn_span) in
       Srcloc.make fn.Source.fn_file line
 
 let fn_scope ~file ~span name body =
@@ -183,6 +279,56 @@ let local_bh_enable () =
 let preempt_point () =
   let r = run_exn () in
   if (not r.in_irq) && r.preempt_count = 0 then Effect.perform Yield
+
+(* Forced preemption for the schedule controller: yields if kernel
+   discipline allows it and reports whether a switch was possible. A
+   flow in irq context or under preempt_disable cannot be switched out,
+   exactly as at an ordinary preemption point. *)
+let preempt_now () =
+  let r = run_exn () in
+  if r.in_irq || r.preempt_count > 0 then false
+  else begin
+    Effect.perform Yield;
+    true
+  end
+
+let flow_of_task t =
+  {
+    fl_pid = t.pid;
+    fl_name = t.t_name;
+    fl_state =
+      (match t.st with
+      | New _ | Ready _ -> Fl_runnable
+      | Blocked (reason, pred, _) ->
+          if pred () then Fl_runnable else Fl_blocked reason
+      | Finished -> Fl_finished);
+  }
+
+let flows () = List.map flow_of_task (run_exn ()).tasks
+
+(* The breakpoint site: Memory routes every data-member access through
+   here (it knows the resolved (type, subclass, member), which the raw
+   event stream does not), then falls through to an ordinary preemption
+   point. The view is only materialised under an active controller. *)
+let access_point ~ty ~subclass ~member ~ptr ~kind =
+  let r = run_exn () in
+  if r.ctl != null_control then
+    r.ctl.ctl_on_access
+      {
+        av_type = ty;
+        av_subclass = subclass;
+        av_member = member;
+        av_ptr = ptr;
+        av_kind = kind;
+        av_loc = peek_loc ();
+        av_pid = current_pid ();
+        av_in_irq = r.in_irq;
+        av_preempt_off = r.preempt_count > 0;
+        av_irq_off = r.irq_off;
+        av_stack =
+          List.map (fun (f, _) -> f.Source.fn_name) (cur_frames r);
+      };
+  preempt_point ()
 
 let wait_until reason pred =
   let r = run_exn () in
@@ -333,35 +479,50 @@ let runnable task =
   | Blocked (_, pred, _) -> pred ()
   | Finished -> false
 
+let halt r ~deadlock =
+  {
+    h_deadlock = deadlock;
+    h_steps = r.steps;
+    h_budget = r.cfg.max_steps;
+    h_flows = List.map flow_of_task r.tasks;
+  }
+
 let schedule r =
   let rec loop () =
     r.steps <- r.steps + 1;
-    if r.steps > r.cfg.max_steps then raise (Stuck "scheduler step budget exhausted");
+    if r.steps > r.cfg.max_steps then raise (Stuck (halt r ~deadlock:false));
     match List.filter runnable r.tasks with
     | [] ->
-        let blocked =
-          List.filter_map
-            (fun t ->
-              match t.st with
-              | Blocked (reason, _, _) ->
-                  Some (Printf.sprintf "%s(%d): %s" t.t_name t.pid reason)
-              | New _ | Ready _ | Finished -> None)
+        let any_blocked =
+          List.exists
+            (fun t -> match t.st with Blocked _ -> true | _ -> false)
             r.tasks
         in
-        if blocked <> [] then
-          raise (Deadlock (String.concat "; " blocked))
+        if any_blocked then raise (Deadlock (halt r ~deadlock:true))
     | candidates ->
-        let task = Prng.pick_list r.rng candidates in
+        let task =
+          let directed =
+            if r.ctl == null_control then None
+            else
+              match r.ctl.ctl_pick (List.map flow_of_task r.tasks) with
+              | None -> None
+              | Some pid -> List.find_opt (fun t -> t.pid = pid) candidates
+          in
+          match directed with
+          | Some t -> t
+          | None -> Prng.pick_list r.rng candidates
+        in
         maybe_inject_irqs r;
         resume r task;
         loop ()
   in
   loop ()
 
-let run ?(config = default_config) ~layouts setup =
+let run ?(config = default_config) ?(control = null_control) ~layouts setup =
   let r =
     {
       cfg = config;
+      ctl = control;
       sink = Trace.sink ();
       rng = Prng.of_int config.seed;
       cov = Source.coverage ();
@@ -393,3 +554,4 @@ let run ?(config = default_config) ~layouts setup =
   | exception e ->
       finish ();
       raise e
+

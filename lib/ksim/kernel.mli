@@ -12,11 +12,35 @@
     Classic kernel discipline is enforced: sleeping with preemption
     disabled raises, as does blocking inside an interrupt handler. *)
 
-exception Deadlock of string
-(** All remaining control flows are blocked with no interrupt able to make
-    progress; the payload lists who waits for what. *)
+(** {2 Structured scheduler halts} *)
 
-exception Stuck of string
+type flow_state =
+  | Fl_runnable
+  | Fl_blocked of string  (** the [wait_until] reason *)
+  | Fl_finished
+
+type flow = { fl_pid : int; fl_name : string; fl_state : flow_state }
+(** One control flow's snapshot at a scheduling decision or halt. *)
+
+type halt = {
+  h_deadlock : bool;  (** [true]: every live flow blocked; [false]: budget *)
+  h_steps : int;  (** scheduler iterations consumed *)
+  h_budget : int;  (** the configured [max_steps] *)
+  h_flows : flow list;  (** every spawned flow, in pid order *)
+}
+(** Machine-readable halt diagnostic. Budget halts list which flows
+    were still runnable; deadlock halts carry each blocked flow's wait
+    reason. *)
+
+val describe_halt : halt -> string
+(** One-line rendering (also installed as the [Printexc] printer for
+    {!Deadlock} and {!Stuck}). *)
+
+exception Deadlock of halt
+(** All remaining control flows are blocked with no interrupt able to make
+    progress. *)
+
+exception Stuck of halt
 (** The step budget was exhausted (runaway livelock guard). *)
 
 exception Sleep_in_atomic of string
@@ -38,14 +62,79 @@ val add_boot_hook : (unit -> unit) -> unit
 (** Modules with per-run global state (heap, static locks) register a
     reset hook once at load time. *)
 
+(** {2 Schedule control (replay)} *)
+
+type access_view = {
+  av_type : string;  (** layout type name, e.g. "super_block" *)
+  av_subclass : string option;
+  av_member : string;
+  av_ptr : int;  (** absolute member address *)
+  av_kind : Lockdoc_trace.Event.access_kind;
+  av_loc : Lockdoc_trace.Srcloc.t;
+      (** the source location the access is about to emit *)
+  av_pid : int;  (** -1 in hardirq/softirq context *)
+  av_in_irq : bool;
+  av_preempt_off : bool;
+  av_irq_off : bool;
+  av_stack : string list;  (** function scopes, innermost first *)
+}
+(** A data-member access about to happen, as seen by a breakpoint: the
+    event is not yet emitted and the access not yet performed. *)
+
+type control = {
+  ctl_on_access : access_view -> unit;
+      (** Breakpoint hook: runs before every data-member access, inside
+          the accessing flow. May call {!preempt_now} to force a
+          directed switch at this exact point. *)
+  ctl_on_event : Lockdoc_trace.Event.t -> unit;
+      (** Tap on the instrumentation bus (every emitted event). Runs
+          synchronously; {!current_pid} and friends describe the
+          emitting context. *)
+  ctl_pick : flow list -> int option;
+      (** Scheduling override, consulted at every scheduler iteration
+          with a snapshot of all flows. [None] (or a pid that is not
+          currently runnable) defers to the seeded default choice —
+          directed picks never consume scheduler randomness. *)
+}
+(** A programmable schedule controller. All hooks of {!null_control}
+    are no-ops and add no per-access allocation. *)
+
+val null_control : control
+
+val preempt_now : unit -> bool
+(** Force a preemption from inside a controller hook: yields to the
+    scheduler and returns [true] if kernel discipline allows it;
+    returns [false] without yielding in irq context or while
+    preemption is disabled. *)
+
+val flows : unit -> flow list
+(** Snapshot of every flow of the current run. *)
+
+val peek_loc : unit -> Lockdoc_trace.Srcloc.t
+(** The location {!here} would return next, without advancing the
+    cursor or marking coverage. *)
+
+val access_point :
+  ty:string ->
+  subclass:string option ->
+  member:string ->
+  ptr:int ->
+  kind:Lockdoc_trace.Event.access_kind ->
+  unit
+(** Breakpoint site used by {!Memory}: offers the resolved access to
+    the controller, then behaves as an ordinary {!preempt_point}. *)
+
 val run :
   ?config:config ->
+  ?control:control ->
   layouts:Lockdoc_trace.Layout.t list ->
   (unit -> unit) ->
   Lockdoc_trace.Trace.t * Source.coverage
 (** [run ~layouts setup] boots a fresh kernel, calls [setup] (which spawns
     tasks and registers interrupt handlers), schedules until every task
-    finished, and returns the recorded trace and coverage. *)
+    finished, and returns the recorded trace and coverage. [control]
+    (default {!null_control}) installs a schedule controller for the
+    whole run. *)
 
 val spawn : string -> (unit -> unit) -> unit
 val register_hardirq : string -> (unit -> unit) -> unit

@@ -109,15 +109,14 @@ let check_access inst m =
 let access inst name kind =
   let idx, m = lookup inst name in
   check_access inst m;
-  Kernel.preempt_point ();
+  let ptr = inst.base + m.Layout.m_offset in
+  (* The breakpoint site: offers the resolved (type, member) access to
+     an installed schedule controller, then acts as the usual
+     preemption point. *)
+  Kernel.access_point ~ty:inst.layout.Layout.ty_name ~subclass:inst.subclass
+    ~member:name ~ptr ~kind;
   Kernel.emit
-    (Event.Mem_access
-       {
-         ptr = inst.base + m.Layout.m_offset;
-         size = m.Layout.m_size;
-         kind;
-         loc = Kernel.here ();
-       });
+    (Event.Mem_access { ptr; size = m.Layout.m_size; kind; loc = Kernel.here () });
   idx
 
 let read inst name =

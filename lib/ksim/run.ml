@@ -105,13 +105,13 @@ let workload_trace ?(seed = 7) ?(scale = 1) name =
    ground-truth set ([bugs = true]) or silenced entirely
    ([bugs = false]); the clean baseline therefore contains none of the
    deliberate Tab. 5/7/8 deviations either. *)
-let sanitize_trace ?(seed = 7) ?(scale = 1) ~bugs name =
+let sanitize_run ?(seed = 7) ?(scale = 1) ?control ~bugs ~twins name =
   if bugs then Seeded.activate () else Seeded.quiesce ();
   let config =
     { Kernel.default_config with seed; hardirq_rate = 0.; softirq_rate = 0. }
   in
   let trace, _cov =
-    Kernel.run ~config ~layouts:Structs.all (fun () ->
+    Kernel.run ~config ?control ~layouts:Structs.all (fun () ->
         Kernel.spawn "init" (fun () ->
             let env = Workloads.setup_env () in
             (* Baseline init-context accesses to the seeded superblock
@@ -149,31 +149,87 @@ let sanitize_trace ?(seed = 7) ?(scale = 1) ~bugs name =
             Kernel.register_hardirq "timer" (fun () ->
                 if not env.Workloads.shutting_down then
                   Bdi.wakeup_flusher_irq bdi);
-            (match name with
-            | "fs_bench" ->
-                worker "fs-bench" (fun r -> Workloads.fs_bench env r (20 * scale))
-            | "fsstress" ->
-                worker "fsstress" (fun r -> Workloads.fsstress env r (30 * scale))
-            | "fs_inod" ->
-                worker "fs_inod" (fun r -> Workloads.fs_inod env r (25 * scale))
-            | "pipe" ->
-                let pipe_inode = Vfs_inode.iget env.Workloads.pipefs 6500 in
-                worker "pipe-writer" (fun r ->
-                    Workloads.pipe_writer pipe_inode r (15 * scale));
-                worker "pipe-reader" (fun r ->
-                    Workloads.pipe_reader pipe_inode r (15 * scale));
-                incr remaining;
-                Kernel.spawn "pipe-put" (fun () ->
-                    Kernel.wait_until "pipe drained" (fun () -> !remaining = 1);
-                    Vfs_inode.iput pipe_inode;
-                    decr remaining)
-            | "symlink" ->
-                worker "symlink" (fun r ->
-                    Workloads.symlink_bench env r (10 * scale))
-            | "device" ->
-                worker "devices" (fun r ->
-                    Workloads.device_bench env r (8 * scale))
-            | _ -> assert false);
+            let family_small =
+              match name with
+              | "fs_bench" ->
+                  worker "fs-bench" (fun r ->
+                      Workloads.fs_bench env r (20 * scale));
+                  fun r -> Workloads.fs_bench env r (6 * scale)
+              | "fsstress" ->
+                  (* fsstress reaches a tmpfs write only ~1 iteration in
+                     24, so a given seed can miss mm/shmem.c's write
+                     path — and its seeded site — entirely. Pinned tmpfs
+                     writes interleaved through each flow's body make
+                     the family's coverage and the seeded ground truth
+                     seed-independent, and guarantee that whenever one
+                     flow sits at the site, every other live flow still
+                     has a conflicting write ahead of it for a directed
+                     schedule to reach. *)
+                  let stress r n =
+                    let shmem_touch () =
+                      let inode = Vfs_inode.iget env.Workloads.tmpfs 2001 in
+                      env.Workloads.tmpfs.Obj.fs.Obj.fs_ops.Obj.op_write inode
+                        1024;
+                      Vfs_inode.iput inode
+                    in
+                    let chunk = max 1 (n / 3) in
+                    let rec go left =
+                      shmem_touch ();
+                      if left > 0 then begin
+                        Workloads.fsstress env r (min chunk left);
+                        go (left - chunk)
+                      end
+                    in
+                    go n
+                  in
+                  worker "fsstress" (fun r -> stress r (30 * scale));
+                  fun r -> stress r (10 * scale)
+              | "fs_inod" ->
+                  worker "fs_inod" (fun r ->
+                      Workloads.fs_inod env r (25 * scale));
+                  fun r -> Workloads.fs_inod env r (8 * scale)
+              | "pipe" ->
+                  let pipe_inode = Vfs_inode.iget env.Workloads.pipefs 6500 in
+                  worker "pipe-writer" (fun r ->
+                      Workloads.pipe_writer pipe_inode r (15 * scale));
+                  worker "pipe-reader" (fun r ->
+                      Workloads.pipe_reader pipe_inode r (15 * scale));
+                  incr remaining;
+                  Kernel.spawn "pipe-put" (fun () ->
+                      Kernel.wait_until "pipe drained" (fun () ->
+                          !remaining = 1);
+                      Vfs_inode.iput pipe_inode;
+                      decr remaining);
+                  fun r -> Workloads.pipe_writer pipe_inode r (5 * scale)
+              | "symlink" ->
+                  worker "symlink" (fun r ->
+                      Workloads.symlink_bench env r (10 * scale));
+                  fun r -> Workloads.symlink_bench env r (4 * scale)
+              | "device" ->
+                  worker "devices" (fun r ->
+                      Workloads.device_bench env r (8 * scale));
+                  fun r -> Workloads.device_bench env r (3 * scale)
+              | _ -> assert false
+            in
+            (* Conflict twins for directed replay: two extra flows that
+               re-execute a small slice of the family workload plus an
+               inode get/put churn on the family superblock. Every
+               suspicious access thus has a second (and third) flow
+               performing the same accesses on the same shared
+               instances — the designated conflicting flows a directed
+               schedule can switch to. *)
+            if twins then begin
+              let twin r =
+                family_small r;
+                for k = 1 to 6 * scale do
+                  let inode = Vfs_inode.iget sb (9300 + (k mod 4)) in
+                  Kernel.preempt_point ();
+                  Vfs_inode.iput inode
+                done
+              in
+              worker (name ^ "-replay-a") twin;
+              worker (name ^ "-replay-b") twin
+            end;
             worker "wb-queue" (fun _ ->
                 for _ = 1 to 6 * scale do
                   Bdi.wb_queue_work bdi
@@ -189,6 +245,12 @@ let sanitize_trace ?(seed = 7) ?(scale = 1) ~bugs name =
   let truth = Seeded.ground_truth () in
   Fault.reset ();
   (trace, truth)
+
+let sanitize_trace ?seed ?scale ~bugs name =
+  sanitize_run ?seed ?scale ~bugs ~twins:false name
+
+let replay_trace ?seed ?scale ?control ~bugs name =
+  sanitize_run ?seed ?scale ?control ~bugs ~twins:true name
 
 let quick ?(seed = 7) () =
   let config =

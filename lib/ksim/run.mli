@@ -45,3 +45,18 @@ val sanitize_trace :
     ([bugs = false]). Returns the trace and the ground truth that
     actually manifested; restores the declared fault periods before
     returning. Deterministic for a fixed (name, seed, scale, bugs). *)
+
+val replay_trace :
+  ?seed:int ->
+  ?scale:int ->
+  ?control:Kernel.control ->
+  bugs:bool ->
+  string ->
+  Lockdoc_trace.Trace.t * Seeded.truth
+(** {!sanitize_trace} augmented for directed replay: spawns two extra
+    "conflict twin" flows that re-execute a small slice of the family
+    workload plus an inode get/put churn on the family superblock, so
+    every finding has designated conflicting flows a schedule
+    controller can switch to, and installs [control] over the whole
+    run. Deterministic for a fixed (name, seed, scale, bugs,
+    controller behaviour). *)

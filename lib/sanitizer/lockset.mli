@@ -28,6 +28,11 @@ type race = {
   r_witness : witness;  (** earliest bare access over all instances *)
 }
 
+val quiescent_frames : string list
+(** Shutdown entry points whose callees run single threaded; accesses
+    under them are exempt. Shared with the replay engine's quiescence
+    triage. *)
+
 val analyse : ?jobs:int -> Lockdoc_db.Store.t -> race list
 (** Run the detector over every (instance, member) stream. [jobs]
     (default 1) shards by instance over that many domains; the report

@@ -132,7 +132,30 @@ let test_checked_flags_reject () =
       [ "serve"; "--session-timeout"; "nan" ];
       [ "serve"; "--max-clients"; "-3" ];
       [ "serve"; "--queue-bytes"; "0" ];
+      [ "replay"; "pipe"; "--budget"; "0" ];
+      [ "replay"; "pipe"; "--budget"; "many" ];
+      [ "replay"; "pipe"; "--seed"; "banana" ];
+      [ "replay"; "pipe"; "--scale"; "-2" ];
+      [ "sanitize"; "pipe"; "--seed"; "0x" ];
     ]
+
+(* Rejections must be one-line diagnostics naming the flag, not a
+   stacktrace or a silent exit. *)
+let test_checked_flags_diagnose () =
+  let code, _, err = run [ "replay"; "pipe"; "--budget"; "0" ] in
+  check Alcotest.bool "non-zero exit" true (code <> 0);
+  check Alcotest.bool "names the flag" true (contains err "--budget");
+  check Alcotest.bool "says what it expected" true
+    (contains err "positive integer");
+  let code, _, err = run [ "replay"; "pipe"; "--seed"; "banana" ] in
+  check Alcotest.bool "seed: non-zero exit" true (code <> 0);
+  check Alcotest.bool "seed: names the flag" true (contains err "--seed")
+
+let test_replay_unknown_workload () =
+  let code, _, err = run [ "replay"; "warp_drive" ] in
+  check Alcotest.int "exit 1" 1 code;
+  check Alcotest.bool "lists the known families" true
+    (contains err "fs_bench")
 
 let test_feed_needs_input () =
   let code, _, err = run [ "feed" ] in
@@ -155,6 +178,10 @@ let () =
         [
           Alcotest.test_case "checked flags reject" `Quick
             test_checked_flags_reject;
+          Alcotest.test_case "checked flags diagnose" `Quick
+            test_checked_flags_diagnose;
+          Alcotest.test_case "replay rejects unknown workload" `Quick
+            test_replay_unknown_workload;
           Alcotest.test_case "feed needs input" `Quick test_feed_needs_input;
         ] );
     ]
