@@ -1,0 +1,188 @@
+(* Streaming benchmark (`dune build @perf`).
+
+   Three questions, one JSON file (BENCH_stream.json):
+
+   1. What does the binary codec cost? Pack (text-model -> LDOCBIN1
+      bytes) and unpack (bytes -> model) throughput in events/sec,
+      plus bytes/event for the packed form against the text form —
+      the wire/disk saving that motivates the format.
+
+   2. What does keeping rules continuously current cost? One online
+      derivator is fed the whole trace, freezing the rules at every
+      checkpoint along the way; reported as events/sec through
+      feed+freeze.
+
+   3. Is streaming actually cheaper than re-running the batch
+      pipeline? The same checkpointed question — "what are the rules
+      after prefix p?" for each of k checkpoints — answered both ways:
+      online (one pass, freeze at each checkpoint) and batch
+      (re-import the prefix from scratch and derive_all, per
+      checkpoint). Min-of-repeats wall times; the run *fails* (and
+      with it @perf) if streaming is slower. The two answers are
+      asserted byte-identical first, so the comparison is between
+      equivalent computations. Single-threaded on both sides: the win
+      comes from avoiding re-scans, not from parallelism.
+
+   Environment knobs: LOCKDOC_PERF_STREAM_SCALE (workload scale,
+   default 1), LOCKDOC_PERF_CHECKPOINTS (default 4),
+   LOCKDOC_PERF_REPEATS (default 3). *)
+
+module Trace = Lockdoc_trace.Trace
+module Import = Lockdoc_db.Import
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Report = Lockdoc_core.Report
+module Codec = Lockdoc_stream.Codec
+module Online = Lockdoc_stream.Online
+module Run = Lockdoc_ksim.Run
+module Kernel = Lockdoc_ksim.Kernel
+module Obs = Lockdoc_obs.Obs
+module Json = Lockdoc_obs.Json
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match Lockdoc_util.Numarg.positive s with Ok n -> n | Error _ -> default)
+  | None -> default
+
+let scale = env_int "LOCKDOC_PERF_STREAM_SCALE" 1
+let n_checkpoints = max 1 (env_int "LOCKDOC_PERF_CHECKPOINTS" 4)
+let repeats = env_int "LOCKDOC_PERF_REPEATS" 3
+
+let trace =
+  lazy
+    (let config =
+       {
+         Run.kernel = { Kernel.default_config with Kernel.seed = 42 };
+         Run.scale;
+         Run.faults = true;
+       }
+     in
+     fst (Run.benchmark_mix ~config ()))
+
+(* Wall seconds of [f ()], best of [repeats]. *)
+let best f =
+  let once () =
+    let _, c = Obs.Clock.timed f in
+    c.Obs.Clock.wall
+  in
+  let m = ref (once ()) in
+  for _ = 2 to repeats do
+    let s = once () in
+    if s < !m then m := s
+  done;
+  !m
+
+let prefix trace n = { trace with Trace.events = Array.sub trace.Trace.events 0 n }
+
+(* Rules after each checkpoint, batch style: re-import the prefix from
+   scratch and mine. Returns the per-checkpoint rule JSON. *)
+let batch_rules trace checkpoints =
+  List.map
+    (fun n ->
+      let store, _ = Import.run (prefix trace n) in
+      let dataset = Dataset.of_store store in
+      Report.mined_to_json (Derivator.derive_all dataset))
+    checkpoints
+
+(* Rules after each checkpoint, streaming style: one online derivator,
+   one pass, freeze at each checkpoint. *)
+let stream_rules trace checkpoints =
+  let onl = Online.create trace.Trace.layouts in
+  let next = ref checkpoints in
+  let out = ref [] in
+  let flush_at n =
+    while (match !next with c :: _ -> c = n | [] -> false) do
+      next := List.tl !next;
+      let _, mined = Online.freeze onl in
+      out := Report.mined_to_json mined :: !out
+    done
+  in
+  flush_at 0;
+  Array.iteri
+    (fun i ev ->
+      Online.feed onl ev;
+      flush_at (i + 1))
+    trace.Trace.events;
+  List.rev !out
+
+let () =
+  let trace = Lazy.force trace in
+  let n_events = Array.length trace.Trace.events in
+  Printf.eprintf "perf_stream: scale %d, %d events, %d checkpoint(s)\n%!"
+    scale n_events n_checkpoints;
+  let text = String.concat "\n" (Trace.to_lines trace) in
+  let text_bytes = String.length text + 1 in
+  (* Codec throughput and density. *)
+  let packed = Codec.encode_trace trace in
+  let packed_bytes = String.length packed in
+  let pack_s = best (fun () -> ignore (Codec.encode_trace trace)) in
+  let unpack_s = best (fun () -> ignore (Codec.decode_string packed)) in
+  let reparsed, diags = Codec.decode_string packed in
+  assert (diags = []);
+  assert (Trace.to_lines reparsed = Trace.to_lines trace);
+  let per_sec s = if s > 0. then float_of_int n_events /. s else 0. in
+  Printf.eprintf
+    "perf_stream: pack %.0f events/s, unpack %.0f events/s, %.1f -> %.1f \
+     bytes/event (%.2fx)\n%!"
+    (per_sec pack_s) (per_sec unpack_s)
+    (float_of_int text_bytes /. float_of_int n_events)
+    (float_of_int packed_bytes /. float_of_int n_events)
+    (float_of_int text_bytes /. float_of_int packed_bytes);
+  (* Streaming vs batch over the same checkpointed question. *)
+  let checkpoints =
+    List.sort_uniq compare
+      (List.init n_checkpoints (fun i ->
+           n_events * (i + 1) / n_checkpoints))
+  in
+  let from_stream = stream_rules trace checkpoints in
+  let from_batch = batch_rules trace checkpoints in
+  if from_stream <> from_batch then begin
+    Printf.eprintf
+      "perf_stream: FAIL online rules diverge from batch at a checkpoint\n";
+    exit 1
+  end;
+  let stream_s = best (fun () -> ignore (stream_rules trace checkpoints)) in
+  let batch_s = best (fun () -> ignore (batch_rules trace checkpoints)) in
+  let speedup = if stream_s > 0. then batch_s /. stream_s else 0. in
+  Printf.eprintf
+    "perf_stream: streaming %.1fms vs batch %.1fms over %d checkpoint(s) \
+     (%.2fx)\n%!"
+    (1000. *. stream_s) (1000. *. batch_s) (List.length checkpoints) speedup;
+  let ok = stream_s <= batch_s in
+  print_endline
+    (Json.to_string
+       (Json.O
+          [
+            ("scale", Json.I scale);
+            ("events", Json.I n_events);
+            ("checkpoints", Json.I (List.length checkpoints));
+            ("repeats", Json.I repeats);
+            ("text_bytes", Json.I text_bytes);
+            ("packed_bytes", Json.I packed_bytes);
+            ( "bytes_per_event_text",
+              Json.F (float_of_int text_bytes /. float_of_int n_events) );
+            ( "bytes_per_event_binary",
+              Json.F (float_of_int packed_bytes /. float_of_int n_events) );
+            ( "compression_ratio",
+              Json.F (float_of_int text_bytes /. float_of_int packed_bytes) );
+            ("pack_events_per_sec", Json.F (per_sec pack_s));
+            ("unpack_events_per_sec", Json.F (per_sec unpack_s));
+            ("online_events_per_sec", Json.F (per_sec stream_s));
+            ("streaming_ms", Json.F (1000. *. stream_s));
+            ("batch_ms", Json.F (1000. *. batch_s));
+            ("speedup_vs_batch", Json.F speedup);
+            ( "note",
+              Json.S
+                "streaming_ms answers the rules after every checkpoint in \
+                 one feed+freeze pass; batch_ms re-imports each prefix from \
+                 scratch and mines it; outputs are asserted byte-identical \
+                 before timing, both single-threaded, min-of-repeats" );
+            ("ok", Json.B ok);
+          ]));
+  if not ok then begin
+    Printf.eprintf
+      "perf_stream: FAIL streaming (%.1fms) slower than batch (%.1fms)\n"
+      (1000. *. stream_s) (1000. *. batch_s);
+    exit 1
+  end

@@ -19,6 +19,7 @@ module Registry = Lockdoc_experiments.Registry
 module Context = Lockdoc_experiments.Context
 module Obs = Lockdoc_obs.Obs
 module Numarg = Lockdoc_util.Numarg
+module Codec = Lockdoc_stream.Codec
 
 (* {2 Checked numeric converters}
 
@@ -112,8 +113,22 @@ let reader_mode = function
   | Import.Strict -> Trace.Strict
   | Import.Lenient -> Trace.Lenient
 
-let load_trace mode path =
-  let trace, diags = Trace.read ~mode:(reader_mode mode) path in
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Packed (LDOCBIN1) traces are auto-detected by magic; [--binary]
+   forces the binary decoder (a garbled magic then fails loudly instead
+   of silently misparsing the file as text rows). *)
+let load_trace ?(binary = false) mode path =
+  let trace, diags =
+    if binary || Codec.file_is_binary path then
+      Codec.decode_string ~mode:(reader_mode mode) ~file:path
+        (read_file_bytes path)
+    else Trace.read ~mode:(reader_mode mode) path
+  in
   List.iter
     (fun d -> Printf.eprintf "lockdoc: %s\n" (Lockdoc_trace.Diag.to_string d))
     diags;
@@ -130,9 +145,9 @@ let or_fail f =
                     recover and survey the damage\n";
     exit 1
 
-let load_dataset ?(mode = Import.Strict) path =
+let load_dataset ?(mode = Import.Strict) ?binary path =
   or_fail @@ fun () ->
-  let trace = load_trace mode path in
+  let trace = load_trace ?binary mode path in
   let store, stats = Import.run ~mode trace in
   (Dataset.of_store store, stats)
 
@@ -166,15 +181,22 @@ let import_cmd =
     Arg.(value & opt positive_int 50_000 & info [ "checkpoint-every" ]
            ~docv:"N" ~doc:"Events between checkpoints (with --durable).")
   in
-  let run mode durable checkpoint_every path metrics =
+  let binary_arg =
+    Arg.(value & flag & info [ "binary" ]
+           ~doc:"Force the packed (LDOCBIN1) decoder. Packed traces are \
+                 auto-detected by magic anyway; the flag turns a damaged \
+                 magic into a loud decode failure instead of a text \
+                 misparse.")
+  in
+  let run mode binary durable checkpoint_every path metrics =
     with_metrics metrics @@ fun () ->
     match durable with
     | None ->
-        let _, stats = load_dataset ~mode path in
+        let _, stats = load_dataset ~mode ~binary path in
         Format.printf "%a@." Import.pp_stats stats
     | Some dir ->
         or_fail @@ fun () ->
-        let trace = load_trace mode path in
+        let trace = load_trace ~binary mode path in
         let _, stats, progress =
           Lockdoc_db.Durable.import ~dir ~checkpoint_every ~mode
             ~trace_file:path trace
@@ -189,8 +211,80 @@ let import_cmd =
   in
   Cmd.v (Cmd.info "import" ~doc:"Post-process a trace and print statistics")
     Term.(
-      const run $ mode_arg $ durable_arg $ checkpoint_arg $ trace_file_arg
+      const run $ mode_arg $ binary_arg $ durable_arg $ checkpoint_arg
+      $ trace_file_arg $ metrics_arg)
+
+(* {2 pack / unpack} *)
+
+let pack_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (default: TRACE.bin).")
+  in
+  let segment_arg =
+    Arg.(value & opt positive_int (64 * 1024) & info [ "segment-bytes" ]
+           ~docv:"N"
+           ~doc:"Target CRC segment size; smaller segments lose less to a \
+                 corrupt frame, larger ones amortize framing better.")
+  in
+  let run mode segment_bytes path output metrics =
+    with_metrics metrics @@ fun () ->
+    or_fail @@ fun () ->
+    let trace = load_trace mode path in
+    let packed = Codec.encode_trace ~segment_bytes trace in
+    let out = match output with Some o -> o | None -> path ^ ".bin" in
+    let oc = open_out_bin out in
+    output_string oc packed;
+    close_out oc;
+    let n = Array.length trace.Trace.events in
+    let text_bytes =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> in_channel_length ic)
+    in
+    Printf.printf "packed %d event(s): %d -> %d bytes (%.2fx, %.1f \
+                   bytes/event) -> %s\n"
+      n text_bytes (String.length packed)
+      (if packed = "" then 0.
+       else float_of_int text_bytes /. float_of_int (String.length packed))
+      (if n = 0 then 0. else float_of_int (String.length packed) /. float_of_int n)
+      out
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Encode a trace into the compact LDOCBIN1 binary format: \
+          varint/delta-coded events with interned strings in CRC-protected \
+          segments.")
+    Term.(
+      const run $ mode_arg $ segment_arg $ trace_file_arg $ output
       $ metrics_arg)
+
+let unpack_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (default: TRACE.trace).")
+  in
+  let run mode path output metrics =
+    with_metrics metrics @@ fun () ->
+    or_fail @@ fun () ->
+    if not (Codec.file_is_binary path) then begin
+      Printf.eprintf "lockdoc: %s is not a packed (LDOCBIN1) trace\n" path;
+      exit 1
+    end;
+    let trace = load_trace ~binary:true mode path in
+    let out = match output with Some o -> o | None -> path ^ ".trace" in
+    Trace.save out trace;
+    Printf.printf "unpacked %d layout(s), %d event(s) -> %s\n"
+      (List.length trace.Trace.layouts)
+      (Array.length trace.Trace.events)
+      out
+  in
+  Cmd.v
+    (Cmd.info "unpack"
+       ~doc:"Decode a packed (LDOCBIN1) trace back into the text format.")
+    Term.(const run $ mode_arg $ trace_file_arg $ output $ metrics_arg)
 
 (* {2 recover} *)
 
@@ -386,8 +480,17 @@ let fsck_cmd =
   in
   let run path limit json metrics =
     with_metrics metrics @@ fun () ->
-    (* Always lenient: the whole point is to survey the damage. *)
-    let trace, reader_diags = Trace.read ~mode:Trace.Lenient path in
+    (* Always lenient: the whole point is to survey the damage. Packed
+       traces are detected by magic and fed through the binary decoder
+       rather than misparsed as text rows. *)
+    let binary = Codec.file_is_binary path in
+    let trace, reader_diags =
+      if binary then
+        Codec.decode_string ~mode:Trace.Lenient ~file:path
+          (read_file_bytes path)
+      else Trace.read ~mode:Trace.Lenient path
+    in
+    let format = if binary then "binary (LDOCBIN1)" else "text" in
     let stream_diags = Check.run trace in
     let _store, stats = Import.run ~mode:Import.Lenient trace in
     let an = Import.anomaly_total stats in
@@ -401,6 +504,7 @@ let fsck_cmd =
            (O
               [
                 ("file", S path);
+                ("format", S format);
                 ("layouts", I (List.length trace.Trace.layouts));
                 ("events", I (Array.length trace.Trace.events));
                 ("reader_anomalies", group_json reader_diags);
@@ -411,7 +515,7 @@ let fsck_cmd =
               ]));
       exit exit_code
     end;
-    Printf.printf "%s: %d layout(s), %d event(s)\n" path
+    Printf.printf "%s: %s format, %d layout(s), %d event(s)\n" path format
       (List.length trace.Trace.layouts)
       (Array.length trace.Trace.events);
     print_group ~limit "reader anomalies" reader_diags;
@@ -848,10 +952,18 @@ let feed_cmd =
            ~doc:"Trace file to stream (omit for --query/--shutdown).")
   in
   let query_arg =
-    let q = Arg.enum [ ("status", Proto.Status); ("metrics", Proto.Metrics) ] in
+    let q =
+      Arg.enum
+        [
+          ("status", Proto.Status); ("metrics", Proto.Metrics);
+          ("stream", Proto.Stream_rules);
+        ]
+    in
     Arg.(value & opt (some q) None & info [ "query" ] ~docv:"WHAT"
-           ~doc:"Ask the daemon for $(docv) (status or metrics) as JSON \
-                 instead of streaming a trace.")
+           ~doc:"Ask the daemon for $(docv) (status, metrics, or stream) as \
+                 JSON instead of streaming a trace. $(b,stream) attaches to \
+                 $(b,--session) and answers its current rules from the \
+                 online derivator without sealing it.")
   in
   let shutdown_arg =
     Arg.(value & flag & info [ "shutdown" ]
@@ -866,6 +978,8 @@ let feed_cmd =
     end
     else
       match query with
+      | Some Proto.Stream_rules ->
+          print_endline (Sockserv.stream_query ~socket ~session)
       | Some q -> (
           match Sockserv.request ~socket (Proto.Query q) with
           | Proto.Info { json } -> print_endline json
@@ -880,7 +994,12 @@ let feed_cmd =
                 "lockdoc: feed needs a TRACE file (or --query/--shutdown)\n";
               exit 1
           | Some path ->
-              let lines = Trace.to_lines (Trace.load path) in
+              (* load_trace auto-detects packed traces, so a .bin feeds
+                 the same rows the text file would. *)
+              let lines =
+                Trace.to_lines (or_fail @@ fun () ->
+                                load_trace Import.Strict path)
+              in
               let sealed = Sockserv.feed ~socket ~session lines in
               if json then
                 (* Session ids are [A-Za-z0-9._-] (server-enforced before
@@ -909,7 +1028,8 @@ let main =
     (Cmd.info "lockdoc" ~version:"1.0.0"
        ~doc:"Trace-based analysis of locking in a simulated Linux kernel")
     [
-      trace_cmd; import_cmd; recover_cmd; fsck_cmd; derive_cmd; doc_cmd;
+      trace_cmd; import_cmd; pack_cmd; unpack_cmd; recover_cmd; fsck_cmd;
+      derive_cmd; doc_cmd;
       check_cmd;
       violations_cmd; lockdep_cmd; lockmeter_cmd; sanitize_cmd; replay_cmd;
       export_cmd;

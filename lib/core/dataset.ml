@@ -78,6 +78,11 @@ let observations_of_accesses ?(wor = true) ?side_sensitive store accesses =
       { o_member = member; o_kind = kind; o_locks = locks; o_accesses = List.rev ids })
     !order
 
+let of_groups store assoc =
+  let groups = Hashtbl.create 32 in
+  List.iter (fun (key, obs) -> Hashtbl.replace groups key obs) assoc;
+  { store; groups }
+
 let of_store ?wor ?side_sensitive store =
   let groups = Hashtbl.create 32 in
   List.iter

@@ -30,6 +30,24 @@ val of_store : ?wor:bool -> ?side_sensitive:bool -> Lockdoc_db.Store.t -> t
     acquisitions of rwlocks/rwsems/RCU by decorating the descriptor with
     "[r]" — an extension beyond the paper's model. *)
 
+val of_groups : Lockdoc_db.Store.t -> (string * obs list) list -> t
+(** Wrap externally maintained observation groups (type key →
+    observations in first-access order) over a store. Used by the
+    online derivator to expose its incrementally maintained state as a
+    dataset snapshot for the violation finder. *)
+
+val locks_of_txn :
+  ?side_sensitive:bool ->
+  Lockdoc_db.Store.t ->
+  accessed_alloc:int ->
+  int ->
+  Lockdesc.t list
+(** The classified held-lock list of one transaction relative to an
+    accessed allocation — exactly what {!of_store} records in
+    [o_locks]. Depends only on immutable store rows, so computing it
+    at access time (online) and at dataset-build time (batch) gives
+    the same answer. *)
+
 val store : t -> Lockdoc_db.Store.t
 
 val type_keys : t -> string list

@@ -11,6 +11,16 @@ type mined = {
   m_hypotheses : Hypothesis.scored list;  (** all scored hypotheses *)
 }
 
+val default_tac : float
+(** 0.9 — the acceptance threshold of paper Sec. 7.4. *)
+
+val groups : Dataset.t -> (string * string * Rule.access) list
+(** The derivation groups of a dataset in canonical order: type keys
+    ascending, then (member, kind) ascending within each key. This is
+    the sharding unit and merge order of {!derive_all}; the online
+    derivator iterates it in the same order so its frozen output lines
+    up byte-for-byte. *)
+
 val derive_observations :
   ?strategy:Selection.strategy ->
   ?tac:float ->

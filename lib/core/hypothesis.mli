@@ -16,6 +16,13 @@ type scored = { rule : Rule.t; support : support }
 val support_of : Rule.t -> Dataset.obs list -> support
 (** Score one rule against the observations of a member. *)
 
+val sort_scored : scored list -> scored list
+(** The canonical hypothesis order: descending [sa], then more locks
+    first, then {!Rule.compare} — a total order for distinct rules, so
+    any permutation of the same scored set sorts to the same list. The
+    online derivator relies on this to reconstruct, from incremental
+    counters, a hypothesis list byte-identical to {!enumerate}. *)
+
 val enumerate : Dataset.obs list -> scored list
 (** Observed-combination enumeration (Sec. 5.4): ordered subsets of each
     observed combination, deduplicated, scored; always contains the

@@ -12,7 +12,7 @@ module Fieldenc = Lockdoc_trace.Fieldenc
 
 let version = 1
 
-type query = Status | Metrics
+type query = Status | Metrics | Stream_rules
 
 type client_msg =
   | Hello of { version : int; session : string }
@@ -33,11 +33,15 @@ type server_msg =
   | Info of { json : string }
   | Closing of { reason : string }
 
-let query_to_string = function Status -> "status" | Metrics -> "metrics"
+let query_to_string = function
+  | Status -> "status"
+  | Metrics -> "metrics"
+  | Stream_rules -> "stream"
 
 let query_of_string = function
   | "status" -> Some Status
   | "metrics" -> Some Metrics
+  | "stream" -> Some Stream_rules
   | _ -> None
 
 (* ---- Encoding ----------------------------------------------------- *)

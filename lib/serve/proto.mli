@@ -14,7 +14,15 @@
 
 val version : int
 
-type query = Status | Metrics
+type query =
+  | Status
+  | Metrics
+  | Stream_rules
+      (** Current rules from the session's online derivator — requires
+          an attached session (send [Hello] first), drains the
+          session's pending queue and answers [Info] with the live
+          rules/violations JSON {e without} sealing: feeding can
+          continue afterwards. *)
 
 type client_msg =
   | Hello of { version : int; session : string }

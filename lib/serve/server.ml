@@ -33,6 +33,7 @@ module Dataset = Lockdoc_core.Dataset
 module Derivator = Lockdoc_core.Derivator
 module Violation = Lockdoc_core.Violation
 module Report = Lockdoc_core.Report
+module Online = Lockdoc_stream.Online
 module Obs = Lockdoc_obs.Obs
 
 let c_accepts = Obs.counter "serve.accepts"
@@ -52,6 +53,7 @@ let c_seals = Obs.counter "serve.seals"
 let c_rebuilds = Obs.counter "serve.rebuilds"
 let c_supersedes = Obs.counter "serve.supersedes"
 let c_queries = Obs.counter "serve.queries"
+let c_stream_queries = Obs.counter "serve.stream_queries"
 let g_sessions = Obs.gauge "serve.sessions"
 let g_conns = Obs.gauge "serve.conns"
 let g_queue_bytes = Obs.gauge "serve.queue_bytes"
@@ -107,7 +109,7 @@ type session = {
   mutable s_conn : int option;
   mutable s_state : session_state;
   mutable s_layouts_rev : Layout.t list;
-  mutable s_engine : Import.engine option;
+  mutable s_online : Online.t option;
   mutable s_seen_event : bool;  (* an event row was accepted *)
   mutable s_accepted : int;  (* rows journaled + enqueued (layouts incl.) *)
   mutable s_applied : int;  (* rows applied to the engine (layouts incl.) *)
@@ -242,7 +244,7 @@ let fresh_session _t id ~now =
     s_conn = None;
     s_state = Stream;
     s_layouts_rev = [];
-    s_engine = None;
+    s_online = None;
     s_seen_event = false;
     s_accepted = 0;
     s_applied = 0;
@@ -263,13 +265,16 @@ let open_wal t s ~start_lsn =
         Some
           (Wal.create ~dir ~sync_every:t.cfg.wal_sync_every ~start_lsn ())
 
-let engine_of s =
-  match s.s_engine with
-  | Some g -> g
+(* Sessions run the online derivator: the wrapped import engine is fed
+   exactly as before, and the per-group rule counters it maintains let
+   the [stream] query answer current rules without sealing. *)
+let online_of s =
+  match s.s_online with
+  | Some o -> o
   | None ->
-      let g = Import.engine (List.rev s.s_layouts_rev) in
-      s.s_engine <- Some g;
-      g
+      let o = Online.create (List.rev s.s_layouts_rev) in
+      s.s_online <- Some o;
+      o
 
 let drop_pending t s =
   t.pending_total <- t.pending_total - s.s_pending_bytes;
@@ -284,7 +289,7 @@ let drop_pending t s =
 let feed_one t s ~now =
   let ev, bytes = Queue.pop s.s_pending in
   Crashpoint.hit "serve.feed";
-  Import.feed (engine_of s) ev;
+  Online.feed (online_of s) ev;
   s.s_applied <- s.s_applied + 1;
   s.s_pending_bytes <- s.s_pending_bytes - bytes;
   t.pending_total <- t.pending_total - bytes;
@@ -323,7 +328,7 @@ let rebuild_session t id ~now =
                 s.s_layouts_rev <- l :: s.s_layouts_rev)
               else begin
                 s.s_seen_event <- true;
-                Import.feed (engine_of s) (Event.of_line line)
+                Online.feed (online_of s) (Event.of_line line)
               end
             with
             | () ->
@@ -356,7 +361,7 @@ let session_fail t s ~now exn =
   Obs.incr c_session_failures;
   close_wal s;
   drop_pending t s;
-  s.s_engine <- None;
+  s.s_online <- None;
   s.s_layouts_rev <- [];
   s.s_accepted <- 0;
   s.s_applied <- 0;
@@ -681,10 +686,9 @@ let seal_session t s ~now =
       while not (Queue.is_empty s.s_pending) do
         feed_one t s ~now
       done;
-      let engine = engine_of s in
-      let _stats = Import.finalize engine in
-      let store = Import.engine_store engine in
-      let dataset = Dataset.of_store store in
+      let onl = online_of s in
+      let _stats = Online.finalize onl in
+      let dataset = Dataset.of_store (Online.store onl) in
       let mined = Derivator.derive_all ~tac:t.cfg.tac ~jobs:t.cfg.jobs dataset in
       let rules = Report.mined_to_json mined in
       let violations =
@@ -693,7 +697,7 @@ let seal_session t s ~now =
       in
       let sd =
         {
-          sd_events = Import.position engine;
+          sd_events = Online.position onl;
           sd_rules = rules;
           sd_violations = violations;
         }
@@ -738,8 +742,57 @@ let handle_query t c q =
     match q with
     | Proto.Status -> status_json t
     | Proto.Metrics -> Obs.to_json_string ()
+    | Proto.Stream_rules -> assert false (* routed through handle_stream *)
   in
   [ Send (c.c_id, Proto.Info { json }) ]
+
+(* The [stream] query: answer the session's current rules from the
+   online derivator. Drains the pending queue first so the answer
+   reflects every accepted row, then freezes the counters — the store
+   is never sealed, so the client keeps feeding afterwards. *)
+let handle_stream t c s ~now =
+  Obs.incr c_queries;
+  Obs.incr c_stream_queries;
+  let reply ~state ~events ~rules ~violations =
+    let json =
+      Printf.sprintf
+        {|{"session":%s,"state":"%s","events":%d,"accepted_rows":%d,"rules":%s,"violations":%s}|}
+        (Report.to_string (Report.S s.s_id))
+        state events s.s_accepted rules violations
+    in
+    [ Send (c.c_id, Proto.Info { json }) ]
+  in
+  match s.s_state with
+  | Failed reason -> proto_error t c ("session failed: " ^ reason)
+  | Sealed_s sd ->
+      (* Sealed sessions answer their cached (final) result. *)
+      reply ~state:"sealed" ~events:sd.sd_events ~rules:sd.sd_rules
+        ~violations:sd.sd_violations
+  | Stream -> (
+      try
+        Crashpoint.hit "serve.stream";
+        while not (Queue.is_empty s.s_pending) do
+          feed_one t s ~now
+        done;
+        s.s_last_activity <- now;
+        match s.s_online with
+        | None ->
+            (* No event fed yet. Do NOT force the engine into existence
+               here: it must only be built once every layout row is in,
+               which [feed_one] guarantees (layouts precede events). *)
+            reply ~state:"streaming" ~events:0 ~rules:"[]" ~violations:"[]"
+        | Some onl ->
+            let dataset, mined = Online.freeze ~tac:t.cfg.tac ~jobs:1 onl in
+            let rules = Report.mined_to_json mined in
+            let violations =
+              Report.violations_to_json (Violation.find ~jobs:1 dataset mined)
+            in
+            reply ~state:"streaming" ~events:(Online.position onl) ~rules
+              ~violations
+      with exn ->
+        let outs = session_fail t s ~now exn in
+        detach t c.c_id;
+        outs)
 
 let handle_shutdown t c =
   t.shutdown <- true;
@@ -775,6 +828,8 @@ let handle_msg t c ~now msg =
       with_session t c ~f:(fun s -> handle_rows t c s ~now start lines)
   | Proto.Seal { rows } ->
       with_session t c ~f:(fun s -> handle_seal t c s ~now rows)
+  | Proto.Query Proto.Stream_rules ->
+      with_session t c ~f:(fun s -> handle_stream t c s ~now)
   | Proto.Query q -> handle_query t c q
   | Proto.Ping -> [ Send (c.c_id, Proto.Pong) ]
   | Proto.Bye ->

@@ -302,3 +302,31 @@ let request ~socket msg =
       let dec = Frame.decoder () in
       send_msg fd msg;
       recv_msg fd dec)
+
+(* Session-scoped one-shot: the [stream] query needs an attached
+   session, so unlike {!request} this handshakes with [Hello] first.
+   The session stays resumable (and unsealed) afterwards. *)
+let stream_query ~socket ~session =
+  ignore_sigpipe ();
+  let fd = connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let dec = Frame.decoder () in
+      send_msg fd (Proto.Hello { version = Proto.version; session });
+      (match recv_msg fd dec with
+      | Proto.Welcome _ -> ()
+      | Proto.Err { code; reason } ->
+          raise (Error (Printf.sprintf "server error [%s]: %s" code reason))
+      | Proto.Retry_after { reason; _ } ->
+          raise (Error ("server busy: " ^ reason))
+      | _ -> raise (Error "unexpected reply to hello"));
+      send_msg fd (Proto.Query Proto.Stream_rules);
+      match recv_msg fd dec with
+      | Proto.Info { json } ->
+          (* Detach politely so the session is not held attached. *)
+          (try send_msg fd Proto.Bye with _ -> ());
+          json
+      | Proto.Err { code; reason } ->
+          raise (Error (Printf.sprintf "server error [%s]: %s" code reason))
+      | _ -> raise (Error "unexpected reply to stream query"))

@@ -34,3 +34,9 @@ val feed :
 val request : socket:string -> Proto.client_msg -> Proto.server_msg
 (** One-shot exchange: connect, send, return the first reply. Used for
     [Query] and [Shutdown]. *)
+
+val stream_query : socket:string -> session:string -> string
+(** Attach to [session] and ask the online derivator for its current
+    rules ([Query Stream_rules]): returns the server's [Info] JSON.
+    The session is left unsealed and resumable. Raises {!Error} on a
+    structured rejection. *)

@@ -1,0 +1,41 @@
+(* OCaml ints are 63-bit; [lsr] gives the logical shift of that bit
+   pattern, so the encoding below is a bijection on all of [int],
+   including min_int/max_int. 63 bits / 7 bits-per-byte = exactly 9
+   bytes worst case; a 10th continuation byte is an overlong encoding
+   and rejected (canonicity matters: the codec round-trip tests compare
+   re-encoded bytes for identity). *)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+
+let unzigzag u = (u lsr 1) lxor (- (u land 1))
+
+let write_uint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let write_int buf n = write_uint buf (zigzag n)
+
+let read_uint s pos =
+  let len = String.length s in
+  let rec go acc shift pos =
+    if pos >= len then failwith "varint: truncated"
+    else if shift > 56 then failwith "varint: overlong encoding"
+    else
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
+  in
+  go 0 0 pos
+
+let read_int s pos =
+  let u, next = read_uint s pos in
+  (unzigzag u, next)

@@ -163,6 +163,66 @@ let test_feed_needs_input () =
   check Alcotest.bool "explains itself" true
     (contains err "feed needs a TRACE")
 
+(* ---- pack / unpack / binary fsck ---------------------------------- *)
+
+let test_pack_unpack_roundtrip () =
+  with_fixtures (fun ~dir ~clean ~bad:_ ->
+      let packed = Filename.concat dir "clean.bin" in
+      let code, out, _ = run [ "pack"; clean; "-o"; packed ] in
+      check Alcotest.int "pack exits 0" 0 code;
+      check Alcotest.bool "pack reports sizes" true (contains out "bytes");
+      check Alcotest.bool "packed is smaller than half the text" true
+        (2 * String.length (read_file packed)
+        <= String.length (read_file clean));
+      let unpacked = Filename.concat dir "clean2.trace" in
+      let code, _, _ = run [ "unpack"; packed; "-o"; unpacked ] in
+      check Alcotest.int "unpack exits 0" 0 code;
+      check Alcotest.string "unpack reproduces the text bytes"
+        (read_file clean) (read_file unpacked);
+      (* The importer reads both forms identically (auto-detect). *)
+      let _, from_text, _ = run [ "import"; clean ] in
+      let _, from_bin, _ = run [ "import"; packed ] in
+      check Alcotest.string "import stats agree across formats" from_text
+        from_bin;
+      let code, _, _ = run [ "import"; "--binary"; packed ] in
+      check Alcotest.int "import --binary exits 0" 0 code)
+
+let test_unpack_rejects_text () =
+  with_fixtures (fun ~dir:_ ~clean ~bad:_ ->
+      let code, _, err = run [ "unpack"; clean ] in
+      check Alcotest.int "exit 1" 1 code;
+      check Alcotest.bool "names the format" true (contains err "LDOCBIN1"))
+
+(* The regression this pins: fsck used to misparse packed traces as
+   text rows (every byte run an "unknown tag"); it must detect the
+   format instead and fsck the decoded events. *)
+let test_fsck_detects_binary () =
+  with_fixtures (fun ~dir ~clean ~bad:_ ->
+      let packed = Filename.concat dir "clean.bin" in
+      let code, _, _ = run [ "pack"; clean; "-o"; packed ] in
+      check Alcotest.int "pack exits 0" 0 code;
+      let code, out, _ = run [ "fsck"; packed ] in
+      check Alcotest.int "binary fsck exits 0" 0 code;
+      check Alcotest.bool "names the binary format" true
+        (contains out "binary (LDOCBIN1)");
+      check Alcotest.bool "clean" true (contains out "clean: no anomalies");
+      check Alcotest.bool "not misparsed as text" true
+        (not (contains out "unknown-tag"));
+      let code, out, _ = run [ "fsck"; "--json"; packed ] in
+      check Alcotest.int "json exit 0" 0 code;
+      check Alcotest.bool "json carries the format" true
+        (contains out "\"format\":\"binary (LDOCBIN1)\"");
+      (* A torn tail must surface as a diagnosed anomaly, not a crash. *)
+      let torn = Filename.concat dir "torn.bin" in
+      let bytes = read_file packed in
+      let oc = open_out_bin torn in
+      output_string oc (String.sub bytes 0 (String.length bytes - 5));
+      close_out oc;
+      let code, out, _ = run [ "fsck"; torn ] in
+      check Alcotest.int "torn fsck exits 1" 1 code;
+      check Alcotest.bool "torn tail diagnosed" true
+        (contains out "reader anomalies"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -183,5 +243,14 @@ let () =
           Alcotest.test_case "replay rejects unknown workload" `Quick
             test_replay_unknown_workload;
           Alcotest.test_case "feed needs input" `Quick test_feed_needs_input;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "pack/unpack round-trip" `Quick
+            test_pack_unpack_roundtrip;
+          Alcotest.test_case "unpack rejects text input" `Quick
+            test_unpack_rejects_text;
+          Alcotest.test_case "fsck detects binary traces" `Quick
+            test_fsck_detects_binary;
         ] );
     ]

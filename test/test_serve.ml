@@ -711,6 +711,73 @@ let test_server_ping_query_bye_shutdown () =
   let _c, outs = Server.accept srv ~now in
   expect_err_close "accept during shutdown" "shutting-down" outs
 
+(* ---- Stream query ------------------------------------------------- *)
+
+(* The live-rules oracle: after accepting k rows, a [stream] query must
+   answer exactly what the batch pipeline mines from that k-event
+   prefix — byte for byte — and must not seal the session: the rest of
+   the trace still streams in and the final seal matches the full
+   oracle. *)
+let test_server_stream_query () =
+  let trace = Lazy.force pipe_trace in
+  let lines = Trace.to_lines trace in
+  let total = List.length lines in
+  let n_layouts = List.length trace.Trace.layouts in
+  let srv = Server.create () in
+  let now = 0.0 in
+  let cid, _ = connect srv ~now "s" in
+  let stream_json label =
+    match
+      only_send label (send srv ~now cid (Proto.Query Proto.Stream_rules))
+    with
+    | _, Proto.Info { json } -> json
+    | _ -> Alcotest.failf "%s: expected Info" label
+  in
+  let prefix_ref k =
+    let prefix =
+      { trace with Trace.events = Array.sub trace.Trace.events 0 k }
+    in
+    let g = Import.engine prefix.Trace.layouts in
+    Array.iter (Import.feed g) prefix.Trace.events;
+    let dataset = Dataset.of_store (Import.engine_store g) in
+    let mined = Derivator.derive_all dataset in
+    ( Report.mined_to_json mined,
+      Report.violations_to_json (Violation.find dataset mined) )
+  in
+  let expected ~state ~events ~accepted (rules, violations) =
+    Printf.sprintf
+      {|{"session":"s","state":"%s","events":%d,"accepted_rows":%d,"rules":%s,"violations":%s}|}
+      state events accepted rules violations
+  in
+  (* Nothing accepted yet: live rules are empty, nothing seals. *)
+  check Alcotest.string "empty session"
+    (expected ~state:"streaming" ~events:0 ~accepted:0 ("[]", "[]"))
+    (stream_json "empty");
+  (* Half the stream in: the answer is the batch mine of exactly that
+     prefix. *)
+  let half = total / 2 in
+  stream_all srv ~now cid ~start:0 (List.filteri (fun i _ -> i < half) lines);
+  check Alcotest.string "half-stream rules match batch prefix"
+    (expected ~state:"streaming" ~events:(half - n_layouts) ~accepted:half
+       (prefix_ref (half - n_layouts)))
+    (stream_json "half");
+  check Alcotest.string "query does not seal" "streaming"
+    (session_view srv "s").Server.v_state;
+  (* The rest still streams in afterwards and the seal matches the
+     full-trace oracle: the queries disturbed nothing. *)
+  stream_all srv ~now cid ~start:half
+    (List.filteri (fun i _ -> i >= half) lines);
+  let sealed =
+    expect_sealed "seal" (send srv ~now cid (Proto.Seal { rows = total }))
+  in
+  check_oracle "seal after stream queries" trace sealed;
+  (* A sealed session answers its cached final result. *)
+  let _, rules, violations = sealed in
+  check Alcotest.string "sealed stream query answers the cached result"
+    (expected ~state:"sealed" ~events:(Array.length trace.Trace.events)
+       ~accepted:total (rules, violations))
+    (stream_json "sealed")
+
 (* ---- Chaos matrix ------------------------------------------------- *)
 
 let chaos_pairs = [| ("pipe", "device"); ("device", "pipe"); ("fs_inod", "pipe") |]
@@ -847,6 +914,8 @@ let () =
           Alcotest.test_case "rejections" `Quick test_server_rejections;
           Alcotest.test_case "ping, query, bye, shutdown" `Quick
             test_server_ping_query_bye_shutdown;
+          Alcotest.test_case "stream query answers the live prefix" `Quick
+            test_server_stream_query;
         ] );
       ( "chaos",
         Alcotest.test_case "kill requires journal" `Quick

@@ -1,0 +1,355 @@
+(* The streaming layer, locked down differentially.
+
+   Two oracles anchor everything here:
+
+   - the text format: packing a trace and unpacking it again must
+     reproduce the exact event/layout sequence (byte-identical lines);
+   - the batch pipeline: the online derivator's [freeze] must emit
+     rules and violations byte-identical to import+derive_all on the
+     same event prefix, at several prefixes, for -j 1 and -j 4.
+
+   Plus unit/property coverage of the codec primitives (varint/zigzag
+   boundaries, interning determinism, CRC rejection of bit flips,
+   torn tails, chunked feeding).
+
+   The default run keeps the seed bank small so `dune runtest` stays
+   fast; `dune build @stream` (or LOCKDOC_STREAM_SEEDS=n) widens it to
+   the full pinned range. *)
+
+module Trace = Lockdoc_trace.Trace
+module Event = Lockdoc_trace.Event
+module Layout = Lockdoc_trace.Layout
+module Diag = Lockdoc_trace.Diag
+module Import = Lockdoc_db.Import
+module Run = Lockdoc_ksim.Run
+module Dataset = Lockdoc_core.Dataset
+module Derivator = Lockdoc_core.Derivator
+module Violation = Lockdoc_core.Violation
+module Report = Lockdoc_core.Report
+module Varint = Lockdoc_stream.Varint
+module Codec = Lockdoc_stream.Codec
+module Online = Lockdoc_stream.Online
+
+let check = Alcotest.check
+
+let n_seeds =
+  match Sys.getenv_opt "LOCKDOC_STREAM_SEEDS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 3)
+  | None -> 3
+
+(* ---- Codec primitives --------------------------------------------- *)
+
+let boundary_ints =
+  [
+    0; 1; -1; 2; -2; 63; 64; 127; 128; 129; 255; 256; 16383; 16384;
+    -16384; 1 lsl 30; -(1 lsl 30); (1 lsl 62) - 1; max_int; min_int;
+    max_int - 1; min_int + 1;
+  ]
+
+let test_varint_boundaries () =
+  List.iter
+    (fun n ->
+      let b = Buffer.create 16 in
+      Varint.write_uint b n;
+      let v, next = Varint.read_uint (Buffer.contents b) 0 in
+      check Alcotest.int (Printf.sprintf "uint %d" n) n v;
+      check Alcotest.int "uint consumed all" (Buffer.length b) next;
+      let b = Buffer.create 16 in
+      Varint.write_int b n;
+      let v, next = Varint.read_int (Buffer.contents b) 0 in
+      check Alcotest.int (Printf.sprintf "int %d" n) n v;
+      check Alcotest.int "int consumed all" (Buffer.length b) next)
+    boundary_ints
+
+let test_zigzag () =
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "zigzag bijective at %d" n)
+        n
+        (Varint.unzigzag (Varint.zigzag n)))
+    boundary_ints;
+  (* Sign transitions map to adjacent small naturals. *)
+  check Alcotest.int "zz 0" 0 (Varint.zigzag 0);
+  check Alcotest.int "zz -1" 1 (Varint.zigzag (-1));
+  check Alcotest.int "zz 1" 2 (Varint.zigzag 1);
+  check Alcotest.int "zz -2" 3 (Varint.zigzag (-2))
+
+let test_varint_qcheck () =
+  let round n =
+    let b = Buffer.create 16 in
+    Varint.write_int b n;
+    fst (Varint.read_int (Buffer.contents b) 0) = n
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"varint int round-trip"
+       QCheck.int round)
+
+let test_varint_truncation_rejected () =
+  let b = Buffer.create 16 in
+  Varint.write_uint b max_int;
+  let s = Buffer.contents b in
+  for cut = 0 to String.length s - 1 do
+    match Varint.read_uint (String.sub s 0 cut) 0 with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "truncated varint (%d bytes) accepted" cut
+  done
+
+(* ---- Round-trips over every workload family ----------------------- *)
+
+let families = Run.workload_names
+
+let trace_lines t = Trace.to_lines t
+
+let test_roundtrip_families () =
+  List.iter
+    (fun name ->
+      for seed = 0 to n_seeds - 1 do
+        let id = Printf.sprintf "%s/seed %d" name seed in
+        let trace = Run.workload_trace ~seed:(100 + seed) name in
+        let packed = Codec.encode_trace trace in
+        let reparsed, diags = Codec.decode_string ~mode:Trace.Strict packed in
+        check Alcotest.int (id ^ ": no diags") 0 (List.length diags);
+        check
+          (Alcotest.list Alcotest.string)
+          (id ^ ": lines byte-identical")
+          (trace_lines trace) (trace_lines reparsed);
+        (* Interning and registers are deterministic: re-encoding the
+           decoded trace reproduces the packed bytes exactly. *)
+        check Alcotest.string (id ^ ": re-encode deterministic") packed
+          (Codec.encode_trace reparsed);
+        (* Compactness is the point: stay well under the text format. *)
+        let text_bytes =
+          List.fold_left (fun a l -> a + String.length l + 1) 0
+            (trace_lines trace)
+        in
+        if String.length packed * 2 > text_bytes then
+          Alcotest.failf "%s: packed %d bytes vs text %d — not compact" id
+            (String.length packed) text_bytes
+      done)
+    families
+
+let test_chunked_feed () =
+  let trace = Run.workload_trace ~seed:11 "pipe" in
+  let packed = Codec.encode_trace trace in
+  let whole, _ = Codec.decode_string packed in
+  List.iter
+    (fun chunk ->
+      let d = Codec.decoder ~mode:Trace.Lenient () in
+      let n = String.length packed in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min chunk (n - !pos) in
+        Codec.feed d (String.sub packed !pos len);
+        pos := !pos + len
+      done;
+      let diags = Codec.finish d in
+      check Alcotest.int
+        (Printf.sprintf "chunk %d: no diags" chunk)
+        0 (List.length diags);
+      let evs = Codec.events d in
+      check Alcotest.int
+        (Printf.sprintf "chunk %d: event count" chunk)
+        (Array.length whole.Trace.events)
+        (List.length evs);
+      List.iteri
+        (fun i ev ->
+          check Alcotest.string
+            (Printf.sprintf "chunk %d: event %d" chunk i)
+            (Event.to_line whole.Trace.events.(i))
+            (Event.to_line ev))
+        evs)
+    [ 1; 7; 64; 4096 ]
+
+let test_empty_trace () =
+  let trace = { Trace.layouts = []; events = [||] } in
+  let packed = Codec.encode_trace trace in
+  check Alcotest.string "empty trace is just the magic" Codec.magic packed;
+  let reparsed, diags = Codec.decode_string packed in
+  check Alcotest.int "no diags" 0 (List.length diags);
+  check Alcotest.int "no events" 0 (Array.length reparsed.Trace.events)
+
+(* ---- Damage ------------------------------------------------------- *)
+
+let flip_bit s ~byte ~bit =
+  let b = Bytes.of_string s in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let test_crc_rejects_bit_flips () =
+  let trace = Run.workload_trace ~seed:11 "device" in
+  let packed = Codec.encode_trace trace in
+  let n = String.length packed in
+  (* A deterministic sample of positions: the magic, both header
+     fields, and payload bytes spread across the file. *)
+  let positions =
+    [ 2; 8; 9; 12; 13; 20; n / 3; n / 2; (2 * n) / 3; n - 1 ]
+    |> List.filter (fun p -> p >= 0 && p < n)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun byte ->
+      List.iter
+        (fun bit ->
+          let damaged = flip_bit packed ~byte ~bit in
+          (* Lenient: never raises, always reports. *)
+          (match Codec.decode_string ~mode:Trace.Lenient damaged with
+          | _, [] ->
+              Alcotest.failf "bit flip at %d.%d went unreported" byte bit
+          | _, _ -> ()
+          | exception e ->
+              Alcotest.failf "lenient decode raised %s on flip at %d.%d"
+                (Printexc.to_string e) byte bit);
+          (* Strict: refuses. *)
+          match Codec.decode_string ~mode:Trace.Strict damaged with
+          | exception Trace.Invalid _ -> ()
+          | _ -> Alcotest.failf "strict accepted flip at %d.%d" byte bit)
+        [ 0; 5 ])
+    positions
+
+let test_torn_tail () =
+  let trace = Run.workload_trace ~seed:11 "symlink" in
+  let packed = Codec.encode_trace trace in
+  let n = String.length packed in
+  List.iter
+    (fun cut ->
+      let torn = String.sub packed 0 cut in
+      match Codec.decode_string ~mode:Trace.Lenient torn with
+      | _, [] -> Alcotest.failf "cut at %d bytes went unreported" cut
+      | _, diags ->
+          check Alcotest.bool
+            (Printf.sprintf "cut %d: truncation diagnosed" cut)
+            true
+            (List.exists
+               (fun d -> d.Diag.d_kind = Diag.Truncated_record)
+               diags)
+      | exception e ->
+          Alcotest.failf "lenient decode raised %s on cut at %d"
+            (Printexc.to_string e) cut)
+    [ 4; 11; n / 2; n - 3 ]
+
+(* ---- Online vs batch: the differential anchor --------------------- *)
+
+let batch_outputs trace prefix ~jobs =
+  let sub = { trace with Trace.events = Array.sub trace.Trace.events 0 prefix } in
+  let store, _ = Import.run sub in
+  let dataset = Dataset.of_store store in
+  let mined = Derivator.derive_all ~jobs dataset in
+  ( Report.mined_to_json mined,
+    Report.violations_to_json (Violation.find ~jobs dataset mined) )
+
+let test_online_matches_batch () =
+  List.iter
+    (fun name ->
+      for seed = 0 to n_seeds - 1 do
+        let id = Printf.sprintf "%s/seed %d" name seed in
+        let trace = Run.workload_trace ~seed:(200 + seed) name in
+        let n = Array.length trace.Trace.events in
+        let prefixes =
+          List.sort_uniq compare [ 0; n / 4; n / 2; (3 * n) / 4; n ]
+        in
+        (* One live online instance fed straight through; frozen at
+           each prefix without stopping the stream. *)
+        let online = Online.create trace.Trace.layouts in
+        let fed = ref 0 in
+        List.iter
+          (fun prefix ->
+            for i = !fed to prefix - 1 do
+              Online.feed online trace.Trace.events.(i)
+            done;
+            fed := prefix;
+            let ds, mined = Online.freeze online in
+            let online_rules = Report.mined_to_json mined in
+            let online_viol =
+              Report.violations_to_json (Violation.find ds mined)
+            in
+            let batch_rules, batch_viol = batch_outputs trace prefix ~jobs:1 in
+            check Alcotest.string
+              (Printf.sprintf "%s@%d: rules" id prefix)
+              batch_rules online_rules;
+            check Alcotest.string
+              (Printf.sprintf "%s@%d: violations" id prefix)
+              batch_viol online_viol)
+          prefixes;
+        (* Parallel reconstruction at the full prefix: freeze on 4
+           domains (store stays unsealed), then the batch -j 4 oracle. *)
+        let _, mined4 = Online.freeze ~jobs:4 online in
+        let batch_rules4, _ = batch_outputs trace n ~jobs:4 in
+        check Alcotest.string (id ^ ": -j 4 rules") batch_rules4
+          (Report.mined_to_json mined4);
+        check Alcotest.bool (id ^ ": freeze left store unsealed") false
+          (Lockdoc_db.Store.is_sealed (Online.store online))
+      done)
+    families
+
+(* Feeding from the packed binary through the incremental decoder into
+   the online derivator — the whole streaming path end to end. *)
+let test_streamed_binary_pipeline () =
+  let trace = Run.workload_trace ~seed:11 "fs_inod" in
+  let packed = Codec.encode_trace trace in
+  let dec = Codec.decoder () in
+  let online = ref None in
+  let n = String.length packed in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min 4096 (n - !pos) in
+    Codec.feed dec (String.sub packed !pos len);
+    pos := !pos + len;
+    List.iter
+      (fun ev ->
+        let o =
+          match !online with
+          | Some o -> o
+          | None ->
+              (* Layout records all precede the first event in a packed
+                 trace, so the engine can start at the first event. *)
+              let o = Online.create (Codec.layouts dec) in
+              online := Some o;
+              o
+        in
+        Online.feed o ev)
+      (Codec.events dec)
+  done;
+  check Alcotest.int "no decode diags" 0 (List.length (Codec.finish dec));
+  let o = Option.get !online in
+  let _, mined = Online.freeze o in
+  let batch_rules, _ =
+    batch_outputs trace (Array.length trace.Trace.events) ~jobs:1
+  in
+  check Alcotest.string "binary-streamed rules match batch" batch_rules
+    (Report.mined_to_json mined)
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "codec-primitives",
+        [
+          Alcotest.test_case "varint boundaries" `Quick test_varint_boundaries;
+          Alcotest.test_case "zigzag" `Quick test_zigzag;
+          Alcotest.test_case "varint qcheck" `Quick test_varint_qcheck;
+          Alcotest.test_case "truncated varint rejected" `Quick
+            test_varint_truncation_rejected;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "families (%d seeds)" n_seeds)
+            `Slow test_roundtrip_families;
+          Alcotest.test_case "chunked feeding" `Quick test_chunked_feed;
+          Alcotest.test_case "empty trace" `Quick test_empty_trace;
+        ] );
+      ( "damage",
+        [
+          Alcotest.test_case "CRC rejects bit flips" `Quick
+            test_crc_rejects_bit_flips;
+          Alcotest.test_case "torn tails diagnosed" `Quick test_torn_tail;
+        ] );
+      ( "online-vs-batch",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "differential (%d seeds)" n_seeds)
+            `Slow test_online_matches_batch;
+          Alcotest.test_case "binary streamed pipeline" `Quick
+            test_streamed_binary_pipeline;
+        ] );
+    ]
