@@ -43,6 +43,22 @@ let fraction_float =
 let positive_float =
   conv_checked ~docv:"SECONDS" Format.pp_print_float Numarg.positive_float
 
+(* HOST:PORT for the TCP transport. The split is on the last colon so
+   a future bracketed-IPv6 host still parses a numeric port. *)
+let hostport =
+  conv_checked ~docv:"HOST:PORT"
+    (fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+    (fun s ->
+      match String.rindex_opt s ':' with
+      | None | Some 0 -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+      | Some i -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+          | Some p -> Error (Printf.sprintf "port %d out of range 0-65535" p)
+          | None -> Error (Printf.sprintf "bad port %S in %S" port s)))
+
 (* {2 Common options} *)
 
 let scale_arg =
@@ -909,7 +925,13 @@ let serve_cmd =
                  reconnecting client resumes from the journal even after a \
                  session crash.")
   in
-  let run socket max_clients queue_bytes session_timeout durable tac jobs
+  let tcp_arg =
+    Arg.(value & opt (some hostport) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Additionally listen on this TCP endpoint (port 0 binds an \
+                 ephemeral port, printed at startup). Both transports serve \
+                 the identical protocol and sessions.")
+  in
+  let run socket tcp max_clients queue_bytes session_timeout durable tac jobs
       metrics =
     with_metrics metrics @@ fun () ->
     let config =
@@ -925,19 +947,22 @@ let serve_cmd =
       }
     in
     Printf.printf "lockdoc serve: listening on %s\n%!" socket;
-    Lockdoc_serve.Sockserv.serve ~config ~socket ();
+    let on_tcp_port p = Printf.printf "lockdoc serve: listening on tcp port %d\n%!" p in
+    Lockdoc_serve.Sockserv.serve ~config ?tcp ~on_tcp_port ~socket ();
     Printf.printf "lockdoc serve: shut down\n"
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the supervised analysis daemon: clients stream trace rows \
-          over a Unix socket into isolated per-session imports and seal \
-          them into mined rules. Session crashes are restarted with capped \
-          backoff; with $(b,--durable), sessions survive them with their \
-          accepted rows intact.")
+          over a Unix socket (and optionally TCP, $(b,--tcp)) into isolated \
+          per-session imports and seal them into mined rules — sealing runs \
+          on its own analysis domain, so other clients keep being served. \
+          Session crashes are restarted with capped backoff; with \
+          $(b,--durable), sessions survive them with their accepted rows \
+          intact.")
     Term.(
-      const run $ socket_arg $ max_clients_arg $ queue_bytes_arg
+      const run $ socket_arg $ tcp_arg $ max_clients_arg $ queue_bytes_arg
       $ session_timeout_arg $ durable_arg $ tac_arg $ jobs_arg $ metrics_arg)
 
 let feed_cmd =
@@ -969,19 +994,31 @@ let feed_cmd =
     Arg.(value & flag & info [ "shutdown" ]
            ~doc:"Ask the daemon to shut down instead of streaming a trace.")
   in
-  let run socket session trace query shutdown json metrics =
+  let tcp_arg =
+    Arg.(value & opt (some hostport) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Connect to the daemon over TCP instead of the Unix \
+                 socket.")
+  in
+  let follow_arg =
+    Arg.(value & flag & info [ "follow" ]
+           ~doc:"While streaming, subscribe to pushed rule updates: the \
+                 daemon sends a snapshot and then a delta whenever the \
+                 online derivation changes past its debounce, each printed \
+                 as one JSON line — no polling.")
+  in
+  let run socket tcp session trace query shutdown follow json metrics =
     with_metrics metrics @@ fun () ->
     if shutdown then begin
-      match Sockserv.request ~socket Proto.Shutdown with
+      match Sockserv.request ?tcp ~socket Proto.Shutdown with
       | Proto.Closing { reason } -> Printf.printf "daemon closing: %s\n" reason
       | m -> Printf.printf "%s\n" (Proto.server_to_payload m)
     end
     else
       match query with
       | Some Proto.Stream_rules ->
-          print_endline (Sockserv.stream_query ~socket ~session)
+          print_endline (Sockserv.stream_query ?tcp ~socket ~session ())
       | Some q -> (
-          match Sockserv.request ~socket (Proto.Query q) with
+          match Sockserv.request ?tcp ~socket (Proto.Query q) with
           | Proto.Info { json } -> print_endline json
           | m ->
               Printf.eprintf "lockdoc: unexpected reply: %s\n"
@@ -1000,7 +1037,13 @@ let feed_cmd =
                 Trace.to_lines (or_fail @@ fun () ->
                                 load_trace Import.Strict path)
               in
-              let sealed = Sockserv.feed ~socket ~session lines in
+              let follow_cb =
+                if follow then Some (fun json -> Printf.printf "%s\n%!" json)
+                else None
+              in
+              let sealed =
+                Sockserv.feed ?tcp ?follow:follow_cb ~socket ~session lines
+              in
               if json then
                 (* Session ids are [A-Za-z0-9._-] (server-enforced before
                    anything can seal), so splicing is JSON-safe. *)
@@ -1017,11 +1060,13 @@ let feed_cmd =
        ~doc:
          "Stream a trace into a running $(b,lockdoc serve) daemon and seal \
           the session; or query the daemon ($(b,--query)), or stop it \
-          ($(b,--shutdown)). The streaming client survives connection loss \
-          and session restarts by resuming from the server's watermark.")
+          ($(b,--shutdown)). With $(b,--follow), pushed rule updates are \
+          printed live while streaming. The streaming client survives \
+          connection loss and session restarts by resuming from the \
+          server's watermark.")
     Term.(
-      const run $ socket_arg $ session_arg $ trace_opt_arg $ query_arg
-      $ shutdown_arg $ json_arg $ metrics_arg)
+      const run $ socket_arg $ tcp_arg $ session_arg $ trace_opt_arg
+      $ query_arg $ shutdown_arg $ follow_arg $ json_arg $ metrics_arg)
 
 let main =
   Cmd.group

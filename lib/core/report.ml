@@ -54,31 +54,29 @@ let rule_json rule = S (Rule.to_string rule)
 let support_json (s : Hypothesis.support) =
   O [ ("sa", I s.Hypothesis.sa); ("sr", F s.Hypothesis.sr) ]
 
-let mined_to_json mined =
-  to_string
-    (L
-       (List.map
-          (fun (m : Derivator.mined) ->
-            O
-              [
-                ("type", S m.Derivator.m_type);
-                ("member", S m.Derivator.m_member);
-                ("access", S (Rule.access_to_string m.Derivator.m_kind));
-                ("observations", I m.Derivator.m_total);
-                ("rule", rule_json m.Derivator.m_winner);
-                ("support", support_json m.Derivator.m_support);
-                ( "hypotheses",
-                  L
-                    (List.map
-                       (fun (h : Hypothesis.scored) ->
-                         O
-                           [
-                             ("rule", rule_json h.Hypothesis.rule);
-                             ("support", support_json h.Hypothesis.support);
-                           ])
-                       m.Derivator.m_hypotheses) );
-              ])
-          mined))
+let mined_json (m : Derivator.mined) =
+  O
+    [
+      ("type", S m.Derivator.m_type);
+      ("member", S m.Derivator.m_member);
+      ("access", S (Rule.access_to_string m.Derivator.m_kind));
+      ("observations", I m.Derivator.m_total);
+      ("rule", rule_json m.Derivator.m_winner);
+      ("support", support_json m.Derivator.m_support);
+      ( "hypotheses",
+        L
+          (List.map
+             (fun (h : Hypothesis.scored) ->
+               O
+                 [
+                   ("rule", rule_json h.Hypothesis.rule);
+                   ("support", support_json h.Hypothesis.support);
+                 ])
+             m.Derivator.m_hypotheses) );
+    ]
+
+let mined_rule_to_json m = to_string (mined_json m)
+let mined_to_json mined = to_string (L (List.map mined_json mined))
 
 let violations_to_json violations =
   to_string

@@ -22,6 +22,13 @@ val mined_to_json : Derivator.mined list -> string
 (** JSON array; one object per (type, member, direction) with the winning
     rule, support, and every scored hypothesis. *)
 
+val mined_rule_to_json : Derivator.mined -> string
+(** One element of {!mined_to_json}'s array, standalone. The encoder
+    joins array elements with bare commas, so concatenating these with
+    ["," ] inside ["[" ... "]"] reproduces {!mined_to_json} byte for
+    byte — the serve push path relies on this to compute rule deltas
+    per object while keeping its ["rules"] field oracle-identical. *)
+
 val violations_to_json : Violation.violation list -> string
 (** JSON array; one object per violating observation with the expected
     rule, held locks, location, and stack. *)

@@ -110,6 +110,7 @@ type counters = {
 
 type st = {
   fault : fault;
+  transport : [ `Unix_sock | `Tcp ];
   rng : Prng.t;
   srv : Server.t;
   vconns : (int, vconn) Hashtbl.t;
@@ -121,6 +122,30 @@ type st = {
 }
 
 let now st = float_of_int st.tick *. dt
+
+(* The transport's segmentation model. A Unix-domain socket delivers a
+   frame written in one [write] as one chunk; TCP promises only a byte
+   stream, so under [`Tcp] every frame is re-cut at seeded offsets into
+   up to four runs landing on consecutive ticks — the decoder must
+   reassemble across arbitrary boundaries, which is exactly what the
+   kernel gives a real TCP client under small MSS or coalescing. *)
+let segments st b =
+  match st.transport with
+  | `Unix_sock -> [ b ]
+  | `Tcp ->
+      let n = String.length b in
+      if n <= 2 then [ b ]
+      else
+        let k = 1 + Prng.int st.rng 3 in
+        let cuts =
+          List.sort_uniq compare
+            (List.init k (fun _ -> 1 + Prng.int st.rng (n - 1)))
+        in
+        let rec build prev = function
+          | [] -> [ String.sub b prev (n - prev) ]
+          | c :: rest -> String.sub b prev (c - prev) :: build c rest
+        in
+        build 0 cuts
 
 let push_c2s vc ~at data =
   let at = max at vc.c2s_last in
@@ -171,8 +196,11 @@ let route st (outs : Server.output list) =
                   else 0
                 in
                 let b = Frame.encode (Proto.server_to_payload msg) in
-                push_s2c vc ~at:(st.tick + 1 + delay)
-                  (Bytes_ { b; crash = false }))
+                List.iteri
+                  (fun i sgb ->
+                    push_s2c vc ~at:(st.tick + 1 + delay + i)
+                      (Bytes_ { b = sgb; crash = false }))
+                  (segments st b))
       | Server.Close (cid, _reason) -> (
           match Hashtbl.find_opt st.vconns cid with
           | None -> ()
@@ -197,7 +225,15 @@ let send st cl (msg : Proto.client_msg) =
       let is_rows = match msg with Proto.Rows _ -> true | _ -> false in
       if is_rows then cl.rows_frames <- cl.rows_frames + 1;
       let plain ?(delay = 0) ?(crash = false) bytes =
-        push_c2s vc ~at:(st.tick + 1 + delay) (Bytes_ { b = bytes; crash })
+        (* Under TCP segmentation the frame only completes with its
+           last run, so an armed crash must ride that one. *)
+        let segs = segments st bytes in
+        let last = List.length segs - 1 in
+        List.iteri
+          (fun i sgb ->
+            push_c2s vc ~at:(st.tick + 1 + delay + i)
+              (Bytes_ { b = sgb; crash = crash && i = last }))
+          segs
       in
       if cl.idx <> 0 then plain b
       else
@@ -429,7 +465,7 @@ let deliver_c2s st vc =
 
 (* ---- The batch oracle --------------------------------------------- *)
 
-(* Must mirror [Server.seal_session] exactly: same engine path, same
+(* Must mirror the engine's seal job exactly: same engine path, same
    thresholds, same report serialisation. *)
 let batch_reference ~tac ~jobs (trace : Trace.t) =
   let g = Import.engine trace.layouts in
@@ -463,7 +499,7 @@ let sorted_vconns st =
   List.map (Hashtbl.find st.vconns)
     (List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) st.vconns []))
 
-let run ?(seed = 1) ?(scale = 1) ?durable_root
+let run ?(seed = 1) ?(scale = 1) ?durable_root ?(transport = `Unix_sock)
     ?(workloads = ("pipe", "device")) fault =
   if fault = Kill && durable_root = None then
     invalid_arg
@@ -471,6 +507,19 @@ let run ?(seed = 1) ?(scale = 1) ?durable_root
        journal restarts the session from row zero and never converges)";
   Crashpoint.reset ();
   let cfg = chaos_config ~durable_root in
+  let rng = Prng.of_int seed in
+  (* Seal jobs run deferred on the virtual clock: the engine parks the
+     session in [Sealing] when the Seal frame lands, the job executes
+     a seeded number of ticks later, and the next [step] delivers
+     [Sealed] — the same asynchrony the Unix loop gets from analysis
+     domains, but deterministic. A retransmitted Seal or stream query
+     inside the window earns [retry-after], which the clients above
+     already honour. *)
+  let seal_jobs = ref [] in
+  let now_tick = ref 0 in
+  let runner f =
+    seal_jobs := (!now_tick + 10 + Prng.int rng 21, f) :: !seal_jobs
+  in
   let mk_client idx name =
     let trace = Run_.workload_trace ~seed:(seed + idx) ~scale name in
     let lines = Array.of_list (Trace.to_lines trace) in
@@ -502,8 +551,9 @@ let run ?(seed = 1) ?(scale = 1) ?durable_root
   let st =
     {
       fault;
-      rng = Prng.of_int seed;
-      srv = Server.create ~config:cfg ();
+      transport;
+      rng;
+      srv = Server.create ~config:cfg ~runner ();
       vconns = Hashtbl.create 16;
       clients = [| c0; c1 |];
       probe = None;
@@ -546,7 +596,15 @@ let run ?(seed = 1) ?(scale = 1) ?durable_root
       route st outs
     end;
     Array.iter (act st) st.clients;
+    now_tick := st.tick;
     List.iter (deliver_c2s st) (sorted_vconns st);
+    (* Seal jobs whose deferral elapsed run now, on the loop, before
+       the step that will drain their completions. *)
+    let due, rest =
+      List.partition (fun (at, _) -> at <= st.tick) !seal_jobs
+    in
+    seal_jobs := rest;
+    List.iter (fun (_, f) -> f ()) (List.rev due);
     route st (Server.step st.srv ~now:(now st));
     List.iter (deliver_s2c st) (sorted_vconns st);
     let pending = Server.pending_total st.srv in

@@ -55,10 +55,18 @@ val run :
   ?seed:int ->
   ?scale:int ->
   ?durable_root:string ->
+  ?transport:[ `Unix_sock | `Tcp ] ->
   ?workloads:string * string ->
   fault ->
   outcome
 (** One chaos run: [workloads] names the (faulted, clean) benchmark
     traces (default [("pipe", "device")]), [durable_root] enables
     per-session journals (required for the rebuild legs of [Kill]).
+    [transport] picks the segmentation model: [`Unix_sock] (default)
+    delivers each frame as one chunk, [`Tcp] re-cuts every frame at
+    seeded offsets into multiple runs, as a real TCP byte stream may —
+    the fault family then plays out over reassembled fragments.
+    Sealing is asynchronous on the virtual clock (a seeded deferral
+    between the accepted [Seal] and the [Sealed] reply), mirroring the
+    Unix front end's analysis domains deterministically.
     Deterministic for fixed arguments. *)

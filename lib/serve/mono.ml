@@ -1,0 +1,6 @@
+(* CLOCK_MONOTONIC in seconds. Monotonic_clock is bechamel's one-stub
+   library (clock_gettime(CLOCK_MONOTONIC) in nanoseconds); the float
+   conversion keeps ~microsecond precision over centuries of uptime,
+   far below the timeouts measured with it. *)
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

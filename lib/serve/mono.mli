@@ -1,0 +1,18 @@
+(** Monotonic clock for serve deadlines.
+
+    Every timeout the daemon enforces — idle closes, detached-session
+    GC, crash-supervision backoff, [retry-after] watermarks — is a
+    {e duration}, and durations measured with [Unix.gettimeofday] break
+    under NTP steps: a backward step stalls idle detection, a forward
+    step idle-closes every healthy client at once. {!now} reads
+    [CLOCK_MONOTONIC] instead (via the bechamel stub already shipped in
+    the toolchain), so only real elapsed time moves the deadlines.
+
+    The epoch is unspecified (seconds since boot on Linux); only
+    differences are meaningful, which is all the sans-IO {!Server}
+    engine ever computes — the chaos harness drives the same engine
+    with virtual time and is unaffected. *)
+
+val now : unit -> float
+(** Monotonic seconds. Never decreases, unaffected by wall-clock
+    steps. *)

@@ -19,6 +19,7 @@ type client_msg =
   | Rows of { start : int; lines : string list }
   | Seal of { rows : int }
   | Query of query
+  | Subscribe
   | Ping
   | Bye
   | Shutdown
@@ -57,6 +58,7 @@ let client_to_payload = function
         :: lines)
   | Seal { rows } -> tab [ "seal"; string_of_int rows ]
   | Query q -> tab [ "query"; query_to_string q ]
+  | Subscribe -> "subscribe"
   | Ping -> "ping"
   | Bye -> "bye"
   | Shutdown -> "shutdown"
@@ -127,6 +129,7 @@ let client_of_payload payload =
       match query_of_string q with
       | Some q -> Ok (Query q)
       | None -> Error (Printf.sprintf "unknown query %S" q))
+  | [ "subscribe" ], [] -> Ok Subscribe
   | [ "ping" ], [] -> Ok Ping
   | [ "bye" ], [] -> Ok Bye
   | [ "shutdown" ], [] -> Ok Shutdown

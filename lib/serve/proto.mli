@@ -37,6 +37,14 @@ type client_msg =
           Idempotent — re-sealing a sealed session returns the cached
           result. *)
   | Query of query
+  | Subscribe
+      (** Register this connection for push rule updates — requires an
+          attached session. The server immediately answers an [Info]
+          snapshot push and thereafter pushes an [Info] rules delta
+          whenever the session's online derivation drifts past the
+          configured debounce, without the client polling. One
+          subscriber per session (the attached connection); detaching
+          drops it. *)
   | Ping
   | Bye  (** Detach politely; the session stays resumable. *)
   | Shutdown  (** Stop the daemon. *)

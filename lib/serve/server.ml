@@ -6,9 +6,12 @@
    transport actions. No sockets, no clocks, no threads: the Unix
    front end ({!Sockserv}) and the connection-chaos harness ({!Chaos})
    drive the very same state machine, one with real file descriptors
-   and [gettimeofday], the other with scripted faults and virtual
-   time. That is what makes every failure mode injectable and every
-   outcome assertable.
+   and the monotonic clock ({!Mono}), the other with scripted faults
+   and virtual time. That is what makes every failure mode injectable
+   and every outcome assertable. The one concession to concurrency is
+   the seal: derivation runs wherever the injected [runner] puts it
+   (an analysis domain, a deferred virtual tick, or inline), and its
+   completion re-enters the engine through a queue drained by [step].
 
    Isolation invariants:
    - a connection owns its frame decoder; a framing violation kills
@@ -31,6 +34,7 @@ module Wal = Lockdoc_db.Wal
 module Crashpoint = Lockdoc_db.Crashpoint
 module Dataset = Lockdoc_core.Dataset
 module Derivator = Lockdoc_core.Derivator
+module Rule = Lockdoc_core.Rule
 module Violation = Lockdoc_core.Violation
 module Report = Lockdoc_core.Report
 module Online = Lockdoc_stream.Online
@@ -54,6 +58,8 @@ let c_rebuilds = Obs.counter "serve.rebuilds"
 let c_supersedes = Obs.counter "serve.supersedes"
 let c_queries = Obs.counter "serve.queries"
 let c_stream_queries = Obs.counter "serve.stream_queries"
+let c_subscribes = Obs.counter "serve.subscribes"
+let c_pushes = Obs.counter "serve.pushes"
 let g_sessions = Obs.gauge "serve.sessions"
 let g_conns = Obs.gauge "serve.conns"
 let g_queue_bytes = Obs.gauge "serve.queue_bytes"
@@ -78,6 +84,8 @@ type config = {
   max_restarts : int;
   tac : float;
   jobs : int;
+  sub_debounce_events : int;
+  sub_min_interval : float;
 }
 
 let default_config =
@@ -96,13 +104,41 @@ let default_config =
     max_restarts = 5;
     tac = 0.9;
     jobs = 1;
+    sub_debounce_events = 512;
+    sub_min_interval = 0.1;
   }
 
 (* ---- State -------------------------------------------------------- *)
 
-type sealed = { sd_events : int; sd_rules : string; sd_violations : string }
+type sealed = {
+  sd_events : int;
+  sd_rules : string;
+  sd_violations : string;
+  sd_rule_objs : (string * string) list;
+      (* (rule key, single-object JSON) per mined rule, in rule order;
+         concatenating the objects reproduces [sd_rules] byte for byte.
+         Kept so a late subscriber still gets a keyed snapshot push. *)
+}
 
-type session_state = Stream | Sealed_s of sealed | Failed of string
+(* What a seal job hands back across the domain boundary. Plain
+   immutable data: the strings are fully materialised on the analysis
+   domain, the loop only wraps them in protocol messages. *)
+type seal_result = {
+  r_events : int;
+  r_rules : string;
+  r_violations : string;
+  r_rule_objs : (string * string) list;
+}
+
+type session_state =
+  | Stream
+  | Sealing
+      (* Seal accepted; derivation is running on an analysis domain (or
+         inline under the synchronous runner). Late rows are protocol
+         errors, premature seal/stream answer [retry-after], and the
+         session is exempt from idle GC until the job reports back. *)
+  | Sealed_s of sealed
+  | Failed of string
 
 type session = {
   s_id : string;
@@ -120,6 +156,13 @@ type session = {
   mutable s_restarts : int;
   mutable s_not_before : float;
   mutable s_last_activity : float;
+  (* Push subscription: the attached connection may subscribe to rule
+     updates; the publication ledger remembers what it last saw so
+     pushes carry deltas and silence means "nothing changed". *)
+  mutable s_sub : bool;  (* the attached connection subscribed *)
+  mutable s_pub : (string * string) list;  (* (key, obj) at last push *)
+  mutable s_pub_pos : int;  (* engine position at last push *)
+  mutable s_pub_t : float;  (* time of last push *)
 }
 
 type conn = {
@@ -131,6 +174,18 @@ type conn = {
 
 type t = {
   cfg : config;
+  runner : (unit -> unit) -> unit;
+      (* How seal jobs execute. The default runs the job inline (the
+         engine stays single-threaded and [Sealed] is produced in the
+         same [on_bytes] call, exactly the pre-async behaviour); the
+         Unix front end substitutes a {!Lockdoc_util.Pool.spawn}-based
+         runner so the select loop keeps serving, and the chaos harness
+         a tick-deferred one so virtual time exercises [Sealing]. *)
+  seal_mu : Mutex.t;
+  seal_done : (string * (seal_result, exn) result) Queue.t;
+      (* Completions crossing back from analysis domains, drained on
+         the loop by [drain_seals]. Guarded by [seal_mu]; jobs only
+         push, the loop only pops. *)
   conns : (int, conn) Hashtbl.t;
   sessions : (string, session) Hashtbl.t;
   mutable next_conn : int;
@@ -140,12 +195,15 @@ type t = {
 
 type output = Send of int * Proto.server_msg | Close of int * string
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(runner = fun f -> f ()) () =
   (match config.durable_root with
   | Some root -> if not (Sys.file_exists root) then Sys.mkdir root 0o755
   | None -> ());
   {
     cfg = config;
+    runner;
+    seal_mu = Mutex.create ();
+    seal_done = Queue.create ();
     conns = Hashtbl.create 16;
     sessions = Hashtbl.create 16;
     next_conn = 0;
@@ -176,6 +234,7 @@ type session_view = {
 
 let state_string = function
   | Stream -> "streaming"
+  | Sealing -> "sealing"
   | Sealed_s _ -> "sealed"
   | Failed reason -> "failed: " ^ reason
 
@@ -255,6 +314,10 @@ let fresh_session _t id ~now =
     s_restarts = 0;
     s_not_before = now;
     s_last_activity = now;
+    s_sub = false;
+    s_pub = [];
+    s_pub_pos = 0;
+    s_pub_t = now;
   }
 
 let open_wal t s ~start_lsn =
@@ -372,6 +435,8 @@ let session_fail t s ~now exn =
   in
   s.s_not_before <- now +. backoff;
   s.s_state <- Failed reason;
+  s.s_sub <- false;
+  s.s_pub <- [];
   let outs =
     match s.s_conn with
     | Some cid ->
@@ -391,7 +456,10 @@ let detach t cid =
       (match c.c_session with
       | Some sid -> (
           match Hashtbl.find_opt t.sessions sid with
-          | Some s when s.s_conn = Some cid -> s.s_conn <- None
+          | Some s when s.s_conn = Some cid ->
+              s.s_conn <- None;
+              (* Subscriptions are per attached connection. *)
+              s.s_sub <- false
           | _ -> ())
       | None -> ());
       Hashtbl.remove t.conns cid
@@ -538,6 +606,9 @@ let handle_hello t c ~now version session_id =
             | _ -> []
           in
           s.s_conn <- Some c.c_id;
+          (* A fresh attachment never inherits the old connection's
+             subscription; the new client asks for its own. *)
+          s.s_sub <- false;
           s.s_last_activity <- now;
           c.c_session <- Some session_id;
           superseded @ [ Send (c.c_id, Proto.Welcome { resume = s.s_accepted }) ]
@@ -571,6 +642,7 @@ let handle_rows t c s ~now start lines =
          attached connection), kept for defence in depth. *)
       proto_error t c ("session failed: " ^ reason)
   | Sealed_s _ -> proto_error t c "rows after seal"
+  | Sealing -> proto_error t c "rows while sealing"
   | Stream -> (
       Obs.incr c_rows;
       if start > s.s_accepted then begin
@@ -676,65 +748,216 @@ let handle_rows t c s ~now start lines =
                     detach t c.c_id;
                     outs)))
 
-let seal_session t s ~now =
-  match s.s_state with
-  | Sealed_s sd -> sd
-  | Failed _ | Stream ->
-      let t0 = if Obs.enabled () then Obs.Clock.wall () else 0. in
-      Crashpoint.hit "serve.seal";
-      (* Drain everything still queued — seal is the flush point. *)
-      while not (Queue.is_empty s.s_pending) do
-        feed_one t s ~now
-      done;
-      let onl = online_of s in
-      let _stats = Online.finalize onl in
-      let dataset = Dataset.of_store (Online.store onl) in
-      let mined = Derivator.derive_all ~tac:t.cfg.tac ~jobs:t.cfg.jobs dataset in
-      let rules = Report.mined_to_json mined in
-      let violations =
-        Report.violations_to_json
-          (Violation.find ~jobs:t.cfg.jobs dataset mined)
+(* ---- Sealing (off-loop) and rule pushes --------------------------- *)
+
+let mined_key (m : Derivator.mined) =
+  m.Derivator.m_type ^ "/" ^ m.Derivator.m_member ^ "/"
+  ^ Rule.access_to_string m.Derivator.m_kind
+
+let mined_objs mined =
+  List.map (fun m -> (mined_key m, Report.mined_rule_to_json m)) mined
+
+(* The encoder joins array elements with bare commas, so this is
+   [Report.mined_to_json] of the same list, byte for byte — checked by
+   the byte-identity oracle on both the push and the sealed paths. *)
+let objs_array objs = "[" ^ String.concat "," (List.map snd objs) ^ "]"
+
+(* Which rules changed since the subscriber's last push: [added] is
+   every (key, obj) that is new or whose object differs, [removed] the
+   keys that vanished. Comparison is on the JSON bytes, so a support
+   shift alone republished the rule — that is the point of pushing. *)
+let rules_delta ~prev ~next =
+  let old = Hashtbl.create 16 in
+  List.iter (fun (k, o) -> Hashtbl.replace old k o) prev;
+  let added =
+    List.filter
+      (fun (k, o) ->
+        match Hashtbl.find_opt old k with
+        | Some o' -> not (String.equal o o')
+        | None -> true)
+      next
+  in
+  let kept = Hashtbl.create 16 in
+  List.iter (fun (k, _) -> Hashtbl.replace kept k ()) next;
+  let removed = List.filter_map
+      (fun (k, _) -> if Hashtbl.mem kept k then None else Some k) prev
+  in
+  (added, removed)
+
+let push_msg s ~state ~events ~objs ~violations ~added ~removed =
+  Obs.incr c_pushes;
+  let json =
+    Printf.sprintf
+      {|{"session":%s,"push":"rules","state":"%s","events":%d,"accepted_rows":%d,"added":%s,"removed":%s,"rules":%s,"violations":%s}|}
+      (Report.to_string (Report.S s.s_id))
+      state events s.s_accepted (objs_array added)
+      (Report.to_string (Report.L (List.map (fun k -> Report.S k) removed)))
+      (objs_array objs) violations
+  in
+  Proto.Info { json }
+
+(* Move the seal off the loop: capture everything the derivation needs,
+   flip the session to [Sealing], and hand the work to the runner. The
+   loop keeps serving other connections; [drain_seals] picks up the
+   completion. Under the synchronous default runner the job runs inline
+   here and [drain_seals] (called right after by [handle_seal]) replies
+   [Sealed] in the same [on_bytes] call — the pre-async contract. *)
+let begin_seal t s =
+  Crashpoint.hit "serve.seal";
+  let events =
+    List.rev (Queue.fold (fun acc (ev, _) -> ev :: acc) [] s.s_pending)
+  in
+  drop_pending t s;
+  close_wal s;
+  let onl = online_of s in
+  let tac = t.cfg.tac and jobs = t.cfg.jobs and sid = s.s_id in
+  s.s_state <- Sealing;
+  t.runner (fun () ->
+      (* Analysis-domain side. [onl] is owned by this job until the
+         completion is drained: every on-loop path checks [Sealing]
+         before touching the session's engine. *)
+      let result =
+        match
+          let t0 = if Obs.enabled () then Obs.Clock.wall () else 0. in
+          List.iter
+            (fun ev ->
+              Crashpoint.hit "serve.feed";
+              Online.feed onl ev)
+            events;
+          let _stats = Online.finalize onl in
+          let dataset = Dataset.of_store (Online.store onl) in
+          let mined = Derivator.derive_all ~tac ~jobs dataset in
+          let rules = Report.mined_to_json mined in
+          let violations =
+            Report.violations_to_json (Violation.find ~jobs dataset mined)
+          in
+          if Obs.enabled () then
+            Obs.observe h_seal (1000. *. (Obs.Clock.wall () -. t0));
+          {
+            r_events = Online.position onl;
+            r_rules = rules;
+            r_violations = violations;
+            r_rule_objs = mined_objs mined;
+          }
+        with
+        | r -> Ok r
+        | exception exn -> Error exn
       in
-      let sd =
-        {
-          sd_events = Online.position onl;
-          sd_rules = rules;
-          sd_violations = violations;
-        }
-      in
-      close_wal s;
-      s.s_state <- Sealed_s sd;
-      Obs.incr c_seals;
-      if Obs.enabled () then
-        Obs.observe h_seal (1000. *. (Obs.Clock.wall () -. t0));
-      sd
+      Mutex.lock t.seal_mu;
+      Queue.push (sid, result) t.seal_done;
+      Mutex.unlock t.seal_mu)
+
+(* Collect finished seal jobs and resolve their sessions. A completion
+   whose session is no longer [Sealing] (failed and rebuilt in the
+   meantime) is stale and dropped — the job only ever touched its own
+   captured engine. *)
+let drain_seals t ~now =
+  let completed = ref [] in
+  Mutex.lock t.seal_mu;
+  while not (Queue.is_empty t.seal_done) do
+    completed := Queue.pop t.seal_done :: !completed
+  done;
+  Mutex.unlock t.seal_mu;
+  List.concat_map
+    (fun (sid, result) ->
+      match Hashtbl.find_opt t.sessions sid with
+      | Some ({ s_state = Sealing; _ } as s) -> (
+          match result with
+          | Ok r ->
+              s.s_state <-
+                Sealed_s
+                  {
+                    sd_events = r.r_events;
+                    sd_rules = r.r_rules;
+                    sd_violations = r.r_violations;
+                    sd_rule_objs = r.r_rule_objs;
+                  };
+              s.s_applied <- s.s_accepted;
+              s.s_last_activity <- now;
+              Obs.incr c_seals;
+              (match s.s_conn with
+              | Some cid ->
+                  (* Final push first (the subscriber's last delta),
+                     then the [Sealed] reply the sealing client awaits. *)
+                  let push =
+                    if s.s_sub then begin
+                      let added, removed =
+                        rules_delta ~prev:s.s_pub ~next:r.r_rule_objs
+                      in
+                      s.s_pub <- r.r_rule_objs;
+                      s.s_pub_pos <- r.r_events;
+                      s.s_pub_t <- now;
+                      [
+                        Send
+                          ( cid,
+                            push_msg s ~state:"sealed" ~events:r.r_events
+                              ~objs:r.r_rule_objs ~violations:r.r_violations
+                              ~added ~removed );
+                      ]
+                    end
+                    else []
+                  in
+                  push
+                  @ [
+                      Send
+                        ( cid,
+                          Proto.Sealed
+                            {
+                              events = r.r_events;
+                              rules = r.r_rules;
+                              violations = r.r_violations;
+                            } );
+                    ]
+              | None -> [])
+          | Error exn -> session_fail t s ~now exn)
+      | _ -> [])
+    (List.rev !completed)
 
 let handle_seal t c s ~now rows =
   match s.s_state with
+  | Sealed_s sd ->
+      (* Idempotent re-seal: answer the cached result. *)
+      s.s_last_activity <- now;
+      [
+        Send
+          ( c.c_id,
+            Proto.Sealed
+              {
+                events = sd.sd_events;
+                rules = sd.sd_rules;
+                violations = sd.sd_violations;
+              } );
+      ]
+  | Sealing ->
+      (* A retransmitted seal raced the running job: hold the client
+         off, the [Sealed] reply arrives when the job completes. *)
+      Obs.incr c_retry_after;
+      s.s_last_activity <- now;
+      [
+        Send
+          ( c.c_id,
+            Proto.Retry_after
+              {
+                ms = t.cfg.retry_after_ms;
+                expected = Some s.s_accepted;
+                reason = "seal in progress";
+              } );
+      ]
   | Stream when rows <> s.s_accepted ->
       (* The client streamed [rows] rows but some never arrived (or it
          rewound short): answer the watermark instead of sealing a
          truncated stream. *)
       Obs.incr c_nacks;
       [ Send (c.c_id, Proto.Nack { expected = s.s_accepted }) ]
-  | _ -> (
-  try
-    let sd = seal_session t s ~now in
-    s.s_last_activity <- now;
-    [
-      Send
-        ( c.c_id,
-          Proto.Sealed
-            {
-              events = sd.sd_events;
-              rules = sd.sd_rules;
-              violations = sd.sd_violations;
-            } );
-    ]
-  with exn ->
-    let outs = session_fail t s ~now exn in
-    detach t c.c_id;
-    outs)
+  | Stream | Failed _ -> (
+      try
+        begin_seal t s;
+        s.s_last_activity <- now;
+        drain_seals t ~now
+      with exn ->
+        let outs = session_fail t s ~now exn in
+        detach t c.c_id;
+        outs)
 
 let handle_query t c q =
   Obs.incr c_queries;
@@ -764,6 +987,20 @@ let handle_stream t c s ~now =
   in
   match s.s_state with
   | Failed reason -> proto_error t c ("session failed: " ^ reason)
+  | Sealing ->
+      (* The engine is busy on the analysis domain; the final answer is
+         moments away anyway. *)
+      Obs.incr c_retry_after;
+      [
+        Send
+          ( c.c_id,
+            Proto.Retry_after
+              {
+                ms = t.cfg.retry_after_ms;
+                expected = Some s.s_accepted;
+                reason = "seal in progress";
+              } );
+      ]
   | Sealed_s sd ->
       (* Sealed sessions answer their cached (final) result. *)
       reply ~state:"sealed" ~events:sd.sd_events ~rules:sd.sd_rules
@@ -793,6 +1030,110 @@ let handle_stream t c s ~now =
         let outs = session_fail t s ~now exn in
         detach t c.c_id;
         outs)
+
+(* Register the attached connection for push rule updates. The reply is
+   an immediate snapshot push (added = every current rule) so the
+   subscriber starts from a known state; subsequent pushes are deltas
+   computed against the publication ledger in [step]. *)
+let handle_subscribe t c s ~now =
+  Obs.incr c_subscribes;
+  match s.s_state with
+  | Failed reason -> proto_error t c ("session failed: " ^ reason)
+  | Sealing ->
+      (* The engine is on the analysis domain, so no snapshot yet: the
+         completion push in [drain_seals] doubles as one. *)
+      s.s_sub <- true;
+      s.s_pub <- [];
+      s.s_last_activity <- now;
+      []
+  | Sealed_s sd ->
+      s.s_sub <- true;
+      s.s_pub <- sd.sd_rule_objs;
+      s.s_pub_pos <- sd.sd_events;
+      s.s_pub_t <- now;
+      s.s_last_activity <- now;
+      [
+        Send
+          ( c.c_id,
+            push_msg s ~state:"sealed" ~events:sd.sd_events
+              ~objs:sd.sd_rule_objs ~violations:sd.sd_violations
+              ~added:sd.sd_rule_objs ~removed:[] );
+      ]
+  | Stream -> (
+      try
+        Crashpoint.hit "serve.stream";
+        while not (Queue.is_empty s.s_pending) do
+          feed_one t s ~now
+        done;
+        s.s_sub <- true;
+        s.s_last_activity <- now;
+        match s.s_online with
+        | None ->
+            (* Nothing fed yet (see [handle_stream] on why the engine
+               must not be forced into existence here). *)
+            s.s_pub <- [];
+            s.s_pub_pos <- 0;
+            s.s_pub_t <- now;
+            [
+              Send
+                ( c.c_id,
+                  push_msg s ~state:"streaming" ~events:0 ~objs:[]
+                    ~violations:"[]" ~added:[] ~removed:[] );
+            ]
+        | Some onl ->
+            let dataset, mined = Online.freeze ~tac:t.cfg.tac ~jobs:1 onl in
+            let objs = mined_objs mined in
+            let violations =
+              Report.violations_to_json (Violation.find ~jobs:1 dataset mined)
+            in
+            s.s_pub <- objs;
+            s.s_pub_pos <- Online.position onl;
+            s.s_pub_t <- now;
+            [
+              Send
+                ( c.c_id,
+                  push_msg s ~state:"streaming" ~events:(Online.position onl)
+                    ~objs ~violations ~added:objs ~removed:[] );
+            ]
+      with exn ->
+        let outs = session_fail t s ~now exn in
+        detach t c.c_id;
+        outs)
+
+(* The step-time half of subscriptions: once the session has applied
+   every accepted row (the pending queue is empty, so a [stream] query
+   at this instant would answer the same bytes) and the derivation has
+   drifted past the debounce — enough new events AND enough elapsed
+   time — freeze and push the delta. An unchanged freeze advances the
+   ledger silently: subscribers only hear about change. *)
+let session_push t s ~now =
+  match (s.s_conn, s.s_state, s.s_online) with
+  | Some cid, Stream, Some onl
+    when s.s_sub
+         && Queue.is_empty s.s_pending
+         && Online.position onl - s.s_pub_pos >= t.cfg.sub_debounce_events
+         && now -. s.s_pub_t >= t.cfg.sub_min_interval -> (
+      try
+        let dataset, mined = Online.freeze ~tac:t.cfg.tac ~jobs:1 onl in
+        let objs = mined_objs mined in
+        let added, removed = rules_delta ~prev:s.s_pub ~next:objs in
+        s.s_pub_pos <- Online.position onl;
+        s.s_pub_t <- now;
+        if added = [] && removed = [] then []
+        else begin
+          s.s_pub <- objs;
+          let violations =
+            Report.violations_to_json (Violation.find ~jobs:1 dataset mined)
+          in
+          [
+            Send
+              ( cid,
+                push_msg s ~state:"streaming" ~events:(Online.position onl)
+                  ~objs ~violations ~added ~removed );
+          ]
+        end
+      with exn -> session_fail t s ~now exn)
+  | _ -> []
 
 let handle_shutdown t c =
   t.shutdown <- true;
@@ -831,6 +1172,8 @@ let handle_msg t c ~now msg =
   | Proto.Query Proto.Stream_rules ->
       with_session t c ~f:(fun s -> handle_stream t c s ~now)
   | Proto.Query q -> handle_query t c q
+  | Proto.Subscribe ->
+      with_session t c ~f:(fun s -> handle_subscribe t c s ~now)
   | Proto.Ping -> [ Send (c.c_id, Proto.Pong) ]
   | Proto.Bye ->
       (match c.c_session with
@@ -880,6 +1223,9 @@ let on_bytes t ~now cid bytes =
 
 let step t ~now =
   let outs = ref [] in
+  (* Seal jobs that completed since the last tick resolve first, so a
+     [Sealed] reply is never delayed behind this tick's ingest work. *)
+  outs := drain_seals t ~now;
   (* Idle connections: a peer that has gone silent past the timeout is
      closed; its session stays resumable. *)
   List.iter
@@ -910,6 +1256,13 @@ let step t ~now =
               decr budget
             done
           with exn -> outs := !outs @ session_fail t s ~now exn))
+    (sorted_keys t.sessions String.compare);
+  (* Debounced rule pushes to subscribed connections. *)
+  List.iter
+    (fun sid ->
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> ()
+      | Some s -> outs := !outs @ session_push t s ~now)
     (sorted_keys t.sessions String.compare);
   (* Detached healthy sessions idle past the timeout are garbage
      collected; durable ones remain resumable from their on-disk

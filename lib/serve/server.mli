@@ -11,8 +11,9 @@
       timeouts, session GC.
 
     The Unix socket front end ({!Sockserv}) drives it with real file
-    descriptors and [gettimeofday]; the chaos harness ({!Chaos}) drives
-    the identical machine with scripted faults and virtual time.
+    descriptors and the monotonic clock ({!Mono}); the chaos harness
+    ({!Chaos}) drives the identical machine with scripted faults and
+    virtual time.
 
     {2 Fault isolation}
 
@@ -51,14 +52,31 @@ type config = {
   max_restarts : int;  (** failures before [permanent-failure] *)
   tac : float;  (** acceptance threshold used at seal time *)
   jobs : int;  (** analysis domains used at seal time *)
+  sub_debounce_events : int;
+      (** a subscribed session is re-frozen for a possible push only
+          after this many new events since the last push *)
+  sub_min_interval : float;
+      (** … and at most this often (seconds, on the driver's clock) *)
 }
 
 val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
-(** Creates [durable_root] if configured and missing. *)
+val create : ?config:config -> ?runner:((unit -> unit) -> unit) -> unit -> t
+(** Creates [durable_root] if configured and missing.
+
+    [runner] is how seal jobs execute. The default runs the job inline:
+    the engine stays single-threaded and a [Seal] frame is answered
+    [Sealed] within the same {!on_bytes} call. A front end that must
+    not block hands the job to another domain (the Unix loop uses
+    {!Lockdoc_util.Pool.spawn}; the chaos harness defers it to a later
+    virtual tick): the session then sits in a [sealing] state — late
+    rows are protocol errors, [seal]/[stream] answer [retry-after] —
+    until a subsequent {!step} collects the completion and emits
+    [Sealed]. The job is self-contained (it owns the session's engine
+    while sealing) and reports back through an internal queue; the
+    runner must execute it exactly once. *)
 
 val config : t -> config
 
@@ -81,8 +99,11 @@ val on_close : t -> now:float -> int -> unit
     which stays resumable. *)
 
 val step : t -> now:float -> output list
-(** One supervision tick. Call regularly (the cadence bounds ingest
-    latency and timeout precision, not correctness). *)
+(** One supervision tick: seal completions, idle timeouts, bounded
+    ingest processing, debounced subscription pushes, session GC. Call
+    regularly (the cadence bounds ingest latency, seal-reply latency
+    under an asynchronous runner, and timeout precision — not
+    correctness). *)
 
 val encode_output : output -> int * [ `Send of string | `Close of string ]
 (** Wire-encode an output for a byte transport. *)

@@ -38,3 +38,27 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val concat_map : ?jobs:int -> ('a -> 'b list) -> 'a list -> 'b list
 (** Parallel [List.concat_map]: the per-item lists are concatenated in
     input order. *)
+
+(** {2 Detached jobs}
+
+    One-shot background work on its own domain, for callers that need
+    to keep serving while an analysis runs — the serve daemon seals
+    sessions this way. Unlike the map family above there is no queue:
+    one [spawn] is one domain, and the caller owns its lifecycle. *)
+
+type 'a job
+(** A computation running (or finished) on a dedicated domain. *)
+
+val spawn : (unit -> 'a) -> 'a job
+(** Start [f] on a fresh domain immediately. The job captures a normal
+    return as [Ok] and any exception as [Error] — nothing escapes onto
+    the spawning domain until {!await}. *)
+
+val poll : 'a job -> ('a, exn) result option
+(** Non-blocking completion check: [None] while the job still runs.
+    A [Some] result does not reap the domain — call {!await} (which is
+    then immediate) exactly once per job to release it. *)
+
+val await : 'a job -> ('a, exn) result
+(** Join the job's domain and return its outcome. Must be called
+    exactly once per job; a second call raises [Invalid_argument]. *)

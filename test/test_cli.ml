@@ -132,6 +132,10 @@ let test_checked_flags_reject () =
       [ "serve"; "--session-timeout"; "nan" ];
       [ "serve"; "--max-clients"; "-3" ];
       [ "serve"; "--queue-bytes"; "0" ];
+      [ "serve"; "--tcp"; "nocolon" ];
+      [ "serve"; "--tcp"; "127.0.0.1:notaport" ];
+      [ "serve"; "--tcp"; "127.0.0.1:99999" ];
+      [ "feed"; "--tcp"; ":" ];
       [ "replay"; "pipe"; "--budget"; "0" ];
       [ "replay"; "pipe"; "--budget"; "many" ];
       [ "replay"; "pipe"; "--seed"; "banana" ];

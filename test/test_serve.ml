@@ -11,14 +11,20 @@
      sequencing (nack / idempotent retransmit / seal-count guard),
      backpressure and per-session isolation, fault isolation (garbled
      connection vs crashed worker), the supervisor (backoff, durable
-     rebuild, permanent failure), timeouts, supersede, shutdown.
-     Every completed session checks the byte-identity oracle: mined
-     rules and violations equal to the batch pipeline's.
-   - [Chaos]: one run per fault family (seeded; the @chaos alias and
-     LOCKDOC_CHAOS_SEEDS widen the matrix), asserting the fault
-     actually bit via the evidence counters.
-   - [Sockserv]: a forked daemon on a real Unix socket, two sessions
-     fed through the reconnect-capable client, status query, shutdown. *)
+     rebuild, permanent failure), timeouts, supersede, shutdown; the
+     off-loop seal (the [Sealing] interim state pinned with a parked
+     runner, then a real analysis domain proving the loop keeps
+     serving); debounced rule-subscription pushes checked against a
+     [stream] query at the same watermark. Every completed session
+     checks the byte-identity oracle: mined rules and violations equal
+     to the batch pipeline's.
+   - [Chaos]: one run per fault family and per transport segmentation
+     model (seeded; the @chaos alias and LOCKDOC_CHAOS_SEEDS widen the
+     matrix), asserting the fault actually bit via the evidence
+     counters.
+   - [Sockserv]: a forked daemon on a real Unix socket — and again on
+     TCP — two sessions fed through the reconnect-capable client,
+     follow-mode pushes, status query, shutdown. *)
 
 module Frame = Lockdoc_serve.Frame
 module Proto = Lockdoc_serve.Proto
@@ -30,6 +36,7 @@ module Import = Lockdoc_db.Import
 module Crashpoint = Lockdoc_db.Crashpoint
 module Trace = Lockdoc_trace.Trace
 module Run = Lockdoc_ksim.Run
+module Pool = Lockdoc_util.Pool
 module Dataset = Lockdoc_core.Dataset
 module Derivator = Lockdoc_core.Derivator
 module Violation = Lockdoc_core.Violation
@@ -713,6 +720,17 @@ let test_server_ping_query_bye_shutdown () =
 
 (* ---- Stream query ------------------------------------------------- *)
 
+(* Batch-mine the first [k] events of [trace]: the reference answer for
+   a stream query — and a subscription push — at that watermark. *)
+let prefix_ref trace k =
+  let prefix = { trace with Trace.events = Array.sub trace.Trace.events 0 k } in
+  let g = Import.engine prefix.Trace.layouts in
+  Array.iter (Import.feed g) prefix.Trace.events;
+  let dataset = Dataset.of_store (Import.engine_store g) in
+  let mined = Derivator.derive_all dataset in
+  ( Report.mined_to_json mined,
+    Report.violations_to_json (Violation.find dataset mined) )
+
 (* The live-rules oracle: after accepting k rows, a [stream] query must
    answer exactly what the batch pipeline mines from that k-event
    prefix — byte for byte — and must not seal the session: the rest of
@@ -733,17 +751,6 @@ let test_server_stream_query () =
     | _, Proto.Info { json } -> json
     | _ -> Alcotest.failf "%s: expected Info" label
   in
-  let prefix_ref k =
-    let prefix =
-      { trace with Trace.events = Array.sub trace.Trace.events 0 k }
-    in
-    let g = Import.engine prefix.Trace.layouts in
-    Array.iter (Import.feed g) prefix.Trace.events;
-    let dataset = Dataset.of_store (Import.engine_store g) in
-    let mined = Derivator.derive_all dataset in
-    ( Report.mined_to_json mined,
-      Report.violations_to_json (Violation.find dataset mined) )
-  in
   let expected ~state ~events ~accepted (rules, violations) =
     Printf.sprintf
       {|{"session":"s","state":"%s","events":%d,"accepted_rows":%d,"rules":%s,"violations":%s}|}
@@ -759,7 +766,7 @@ let test_server_stream_query () =
   stream_all srv ~now cid ~start:0 (List.filteri (fun i _ -> i < half) lines);
   check Alcotest.string "half-stream rules match batch prefix"
     (expected ~state:"streaming" ~events:(half - n_layouts) ~accepted:half
-       (prefix_ref (half - n_layouts)))
+       (prefix_ref trace (half - n_layouts)))
     (stream_json "half");
   check Alcotest.string "query does not seal" "streaming"
     (session_view srv "s").Server.v_state;
@@ -778,19 +785,226 @@ let test_server_stream_query () =
        ~accepted:total (rules, violations))
     (stream_json "sealed")
 
+(* ---- Off-loop sealing --------------------------------------------- *)
+
+(* The [Sealing] interim state, pinned with a runner that parks the
+   seal job instead of executing it: every reply the engine gives while
+   the derivation is "in flight" is deterministic and assertable. *)
+let test_server_sealing_state_machine () =
+  let trace = Lazy.force pipe_trace in
+  let lines = Trace.to_lines trace in
+  let total = List.length lines in
+  let parked = ref [] in
+  let srv = Server.create ~runner:(fun f -> parked := !parked @ [ f ]) () in
+  let now = 0.0 in
+  let cid, _ = connect srv ~now "s" in
+  stream_all srv ~now cid ~start:0 lines;
+  (* Seal is accepted; the job is parked, so no reply yet. *)
+  expect_silent "seal parks the job"
+    (send srv ~now cid (Proto.Seal { rows = total }));
+  check Alcotest.int "one job parked" 1 (List.length !parked);
+  check Alcotest.string "interim state" "sealing"
+    (session_view srv "s").Server.v_state;
+  (* A retransmitted seal and a stream query are held off, not refused:
+     retry-after carrying the accepted watermark. *)
+  (match
+     only_send "re-seal" (send srv ~now cid (Proto.Seal { rows = total }))
+   with
+  | _, Proto.Retry_after { expected; reason; _ } ->
+      check (Alcotest.option Alcotest.int) "watermark" (Some total) expected;
+      check Alcotest.string "re-seal reason" "seal in progress" reason
+  | _ -> Alcotest.fail "expected Retry_after for a seal race");
+  (match
+     only_send "stream query"
+       (send srv ~now cid (Proto.Query Proto.Stream_rules))
+   with
+  | _, Proto.Retry_after { reason; _ } ->
+      check Alcotest.string "query reason" "seal in progress" reason
+  | _ -> Alcotest.fail "expected Retry_after for a mid-seal stream query");
+  (* Late rows are a protocol error: the stream contract ended at seal. *)
+  expect_err_close "late rows" "proto"
+    (send srv ~now cid (Proto.Rows { start = total; lines = [ "E\topen\tx:1" ] }));
+  (* The sealing session is exempt from idle GC while the job runs. *)
+  expect_silent "gc pass" (Server.step srv ~now:1000.0);
+  check Alcotest.int "sealing session survives gc" 1 (Server.n_sessions srv);
+  (* A reconnect attaches to the sealing session at the watermark. *)
+  let _c2, resume = connect srv ~now:1000.0 "s" in
+  check Alcotest.int "resume at watermark" total resume;
+  (* The job completes; the next step delivers [Sealed] to the attached
+     connection, byte-identical to the batch pipeline. *)
+  List.iter (fun f -> f ()) !parked;
+  let sealed = expect_sealed "sealed on step" (Server.step srv ~now:1000.0) in
+  check_oracle "deferred seal" trace sealed;
+  check Alcotest.string "final state" "sealed"
+    (session_view srv "s").Server.v_state
+
+(* The same seal on a real analysis domain: while the derivation runs,
+   the engine keeps answering other connections — the whole point of
+   taking the seal off the loop. *)
+let test_server_seal_async_serves_meanwhile () =
+  let trace = Lazy.force pipe_trace in
+  let lines = Trace.to_lines trace in
+  let total = List.length lines in
+  let spawned = ref [] in
+  let srv =
+    Server.create ~runner:(fun f -> spawned := Pool.spawn f :: !spawned) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun j -> ignore (Pool.await j)) !spawned)
+    (fun () ->
+      let cid, _ = connect srv ~now:0.0 "big" in
+      stream_all srv ~now:0.0 cid ~start:0 lines;
+      expect_silent "seal accepted"
+        (send srv ~now:0.0 cid (Proto.Seal { rows = total }));
+      check Alcotest.string "sealing meanwhile" "sealing"
+        (session_view srv "big").Server.v_state;
+      (* A second client is served while the domain grinds. *)
+      let other, outs = Server.accept srv ~now:0.0 in
+      expect_silent "accept" outs;
+      let pings = ref 0 in
+      let rec wait n =
+        if n = 0 then Alcotest.fail "seal never completed"
+        else begin
+          (match
+             only_send "ping while sealing" (send srv ~now:0.0 other Proto.Ping)
+           with
+          | _, Proto.Pong -> incr pings
+          | _ -> Alcotest.fail "expected Pong");
+          match Server.step srv ~now:0.0 with
+          | [] ->
+              Unix.sleepf 0.002;
+              wait (n - 1)
+          | outs -> expect_sealed "sealed" outs
+        end
+      in
+      let sealed = wait 5000 in
+      check_oracle "async seal" trace sealed;
+      check Alcotest.bool "pings served during the seal" true (!pings >= 1))
+
+(* ---- Rule subscriptions ------------------------------------------- *)
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let field_int json key =
+  let needle = "\"" ^ key ^ "\":" in
+  match find_sub json needle with
+  | None -> Alcotest.failf "field %s missing in %s" key json
+  | Some i ->
+      let start = i + String.length needle in
+      let j = ref start in
+      while !j < String.length json && json.[!j] >= '0' && json.[!j] <= '9' do
+        incr j
+      done;
+      int_of_string (String.sub json start (!j - start))
+
+(* The tail of a push — or of a stream-query reply — from the "rules"
+   key on: both end with ["rules":<array>,"violations":<array>}], so
+   equality of this suffix is byte-identity of the mined report. (The
+   ["push":"rules"] marker never matches: the needle includes the
+   colon.) *)
+let rules_suffix json =
+  match find_sub json {|"rules":|} with
+  | Some i -> String.sub json i (String.length json - i)
+  | None -> Alcotest.failf "no rules field in %s" json
+
+(* The subscription oracle: every pushed delta must equal — byte for
+   byte — what a [stream] query at the same watermark answers, and what
+   the batch pipeline mines from that exact event prefix. *)
+let test_server_subscription_push () =
+  let trace = Lazy.force pipe_trace in
+  let lines = Trace.to_lines trace in
+  let total = List.length lines in
+  let n_layouts = List.length trace.Trace.layouts in
+  let cfg =
+    {
+      Server.default_config with
+      sub_debounce_events = 64;
+      sub_min_interval = 0.;
+    }
+  in
+  let srv = Server.create ~config:cfg () in
+  let now = 0.0 in
+  let cid, _ = connect srv ~now "s" in
+  (* Subscribing to a fresh session answers an empty snapshot push. *)
+  (match only_send "subscribe" (send srv ~now cid Proto.Subscribe) with
+  | _, Proto.Info { json } ->
+      check Alcotest.bool "snapshot is a push" true
+        (contains json {|"push":"rules"|});
+      check Alcotest.string "empty snapshot" {|"rules":[],"violations":[]}|}
+        (rules_suffix json)
+  | _ -> Alcotest.fail "expected the subscription snapshot push");
+  let pushes = ref 0 in
+  let cursor = ref 0 in
+  List.iter
+    (fun b ->
+      send_flow srv ~now cid ~start:!cursor b;
+      cursor := !cursor + List.length b;
+      List.iter
+        (function
+          | Server.Send (c, Proto.Info { json })
+            when c = cid && contains json {|"push":"rules"|} ->
+              incr pushes;
+              let events = field_int json "events" in
+              let accepted = field_int json "accepted_rows" in
+              check Alcotest.int "push watermark is consistent"
+                (accepted - n_layouts) events;
+              check Alcotest.bool "a delta push is not empty" true
+                (not (contains json {|"added":[],"removed":[]|}));
+              (* No rows intervened, so the query freezes the very same
+                 prefix the push did. *)
+              (match
+                 only_send "stream query at the push watermark"
+                   (send srv ~now cid (Proto.Query Proto.Stream_rules))
+               with
+              | _, Proto.Info { json = qjson } ->
+                  check Alcotest.int "query at the same watermark" events
+                    (field_int qjson "events");
+                  check Alcotest.string "push equals stream query"
+                    (rules_suffix qjson) (rules_suffix json)
+              | _ -> Alcotest.fail "expected Info for the stream query");
+              let rules, violations = prefix_ref trace events in
+              check Alcotest.string "push equals the batch prefix"
+                ({|"rules":|} ^ rules ^ {|,"violations":|} ^ violations ^ "}")
+                (rules_suffix json)
+          | _ -> Alcotest.fail "unexpected non-push output during streaming")
+        (Server.step srv ~now))
+    (batches 100 lines);
+  check Alcotest.bool "at least one delta push fired" true (!pushes >= 1);
+  (* Sealing pushes the final delta to the subscriber before answering
+     [Sealed] — and the two agree byte for byte. *)
+  match send srv ~now cid (Proto.Seal { rows = total }) with
+  | [
+      Server.Send (_, Proto.Info { json });
+      Server.Send (_, Proto.Sealed { events; rules; violations });
+    ] ->
+      check Alcotest.bool "final push is sealed" true
+        (contains json {|"state":"sealed"|});
+      check Alcotest.string "final push equals the sealed report"
+        ({|"rules":|} ^ rules ^ {|,"violations":|} ^ violations ^ "}")
+        (rules_suffix json);
+      check_oracle "subscribed seal" trace (events, rules, violations)
+  | _ -> Alcotest.fail "expected the final push then Sealed"
+
 (* ---- Chaos matrix ------------------------------------------------- *)
 
 let chaos_pairs = [| ("pipe", "device"); ("device", "pipe"); ("fs_inod", "pipe") |]
 
-let run_chaos fault seed =
+let run_chaos ?transport fault seed =
   let workloads = chaos_pairs.((seed - 1) mod Array.length chaos_pairs) in
   if fault = Chaos.Kill then begin
     let root = temp_dir "serve_chaos" in
     Fun.protect
       ~finally:(fun () -> rm_rf root)
-      (fun () -> Chaos.run ~seed ~workloads ~durable_root:root fault)
+      (fun () -> Chaos.run ~seed ~workloads ~durable_root:root ?transport fault)
   end
-  else Chaos.run ~seed ~workloads fault
+  else Chaos.run ~seed ~workloads ?transport fault
 
 let assert_evidence fault (o : Chaos.outcome) =
   let nonzero label n =
@@ -814,9 +1028,9 @@ let assert_evidence fault (o : Chaos.outcome) =
   | Chaos.Reconnect_storm -> nonzero "supersedes" o.o_supersedes
   | Chaos.Slowloris -> nonzero "idle closes" o.o_idle_closes
 
-let test_chaos fault () =
+let test_chaos ?transport fault () =
   for seed = 1 to n_seeds do
-    let o = run_chaos fault seed in
+    let o = run_chaos ?transport fault seed in
     assert_evidence fault o
   done
 
@@ -825,7 +1039,24 @@ let test_chaos_kill_requires_journal () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "Kill without a durable root must be rejected"
 
-(* ---- Real Unix socket, forked daemon ------------------------------ *)
+(* ---- Real sockets, spawned daemon --------------------------------- *)
+
+(* The daemon runs as the real `lockdoc serve` binary: forking the test
+   image is off the table once any analysis domain has been spawned
+   (OCaml forbids [Unix.fork] after domain creation, and both the
+   async-seal test above and the daemon's own off-loop sealing create
+   domains), and exec'ing the CLI makes these end-to-end anyway. *)
+let exe =
+  (* Relative to the test runner, not the cwd: `dune runtest` and a bare
+     `dune exec test/test_serve.exe` run from different directories. *)
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name "bin/lockdoc.exe")
+
+let spawn_daemon ~stdout args =
+  Unix.create_process exe
+    (Array.of_list ((exe :: "serve" :: args)))
+    Unix.stdin stdout Unix.stderr
 
 let test_socket_integration () =
   let dir = temp_dir "serve_sock" in
@@ -833,43 +1064,116 @@ let test_socket_integration () =
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
       let socket = Filename.concat dir "lockdoc.sock" in
-      match Unix.fork () with
-      | 0 ->
-          (* Child: the daemon. _exit so alcotest's state in the forked
-             image never runs its reporting. *)
-          (try
-             Sockserv.serve ~socket ();
-             Unix._exit 0
-           with _ -> Unix._exit 1)
-      | pid ->
-          let pipe = Lazy.force pipe_trace in
-          let device = Lazy.force device_trace in
-          let sealed_a =
-            Sockserv.feed ~socket ~session:"a" (Trace.to_lines pipe)
-          in
-          let e, r, v = batch_ref pipe in
-          check Alcotest.int "a: events" e sealed_a.Sockserv.events;
-          check Alcotest.string "a: rules" r sealed_a.Sockserv.rules;
-          check Alcotest.string "a: violations" v sealed_a.Sockserv.violations;
-          let sealed_b =
-            Sockserv.feed ~socket ~session:"b" (Trace.to_lines device)
-          in
-          let e, r, v = batch_ref device in
-          check Alcotest.int "b: events" e sealed_b.Sockserv.events;
-          check Alcotest.string "b: rules" r sealed_b.Sockserv.rules;
-          check Alcotest.string "b: violations" v sealed_b.Sockserv.violations;
-          (match Sockserv.request ~socket (Proto.Query Proto.Status) with
-          | Proto.Info { json } ->
-              check Alcotest.bool "status mentions both sessions" true
-                (contains json "\"a\"" && contains json "\"b\"")
-          | _ -> Alcotest.fail "expected Info from status query");
-          (match Sockserv.request ~socket Proto.Shutdown with
-          | Proto.Closing _ -> ()
-          | _ -> Alcotest.fail "expected Closing from shutdown");
-          (match Unix.waitpid [] pid with
-          | _, Unix.WEXITED 0 -> ()
-          | _, _ -> Alcotest.fail "daemon did not exit cleanly");
-          check Alcotest.bool "socket unlinked" false (Sys.file_exists socket))
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid = spawn_daemon ~stdout:devnull [ "--socket"; socket ] in
+      Unix.close devnull;
+      let pipe = Lazy.force pipe_trace in
+      let device = Lazy.force device_trace in
+      let sealed_a =
+        Sockserv.feed ~socket ~session:"a" (Trace.to_lines pipe)
+      in
+      let e, r, v = batch_ref pipe in
+      check Alcotest.int "a: events" e sealed_a.Sockserv.events;
+      check Alcotest.string "a: rules" r sealed_a.Sockserv.rules;
+      check Alcotest.string "a: violations" v sealed_a.Sockserv.violations;
+      let sealed_b =
+        Sockserv.feed ~socket ~session:"b" (Trace.to_lines device)
+      in
+      let e, r, v = batch_ref device in
+      check Alcotest.int "b: events" e sealed_b.Sockserv.events;
+      check Alcotest.string "b: rules" r sealed_b.Sockserv.rules;
+      check Alcotest.string "b: violations" v sealed_b.Sockserv.violations;
+      (match Sockserv.request ~socket (Proto.Query Proto.Status) with
+      | Proto.Info { json } ->
+          check Alcotest.bool "status mentions both sessions" true
+            (contains json "\"a\"" && contains json "\"b\"")
+      | _ -> Alcotest.fail "expected Info from status query");
+      (match Sockserv.request ~socket Proto.Shutdown with
+      | Proto.Closing _ -> ()
+      | _ -> Alcotest.fail "expected Closing from shutdown");
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.fail "daemon did not exit cleanly");
+      check Alcotest.bool "socket unlinked" false (Sys.file_exists socket))
+
+(* The same daemon listening on TCP too: both transports feed the one
+   engine, sealed results are byte-identical across them, and follow
+   mode sees the pushed rule updates over the network. *)
+let test_tcp_integration () =
+  let dir = temp_dir "serve_tcp" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "lockdoc.sock" in
+      let pr, pw = Unix.pipe () in
+      let pid =
+        spawn_daemon ~stdout:pw [ "--socket"; socket; "--tcp"; "127.0.0.1:0" ]
+      in
+      Unix.close pw;
+      (* The daemon announces the ephemeral port it actually bound on
+         stdout — exactly what a human scripting `--tcp host:0` reads. *)
+      let ic = Unix.in_channel_of_descr pr in
+      let rec read_port () =
+        let line = input_line ic in
+        match find_sub line "tcp port " with
+        | Some i ->
+            let tail = String.sub line (i + 9) (String.length line - i - 9) in
+            int_of_string (String.trim tail)
+        | None -> read_port ()
+      in
+      let port = read_port () in
+      let tcp = ("127.0.0.1", port) in
+      let pipe = Lazy.force pipe_trace in
+      let device = Lazy.force device_trace in
+      (* One session over TCP, one over the Unix socket: the sealed
+         reports must not depend on the transport. *)
+      let sealed_t =
+        Sockserv.feed ~tcp ~socket ~session:"t" (Trace.to_lines pipe)
+      in
+      let sealed_u =
+        Sockserv.feed ~socket ~session:"u" (Trace.to_lines pipe)
+      in
+      let e, r, v = batch_ref pipe in
+      check Alcotest.int "tcp: events" e sealed_t.Sockserv.events;
+      check Alcotest.string "tcp: rules" r sealed_t.Sockserv.rules;
+      check Alcotest.string "tcp: violations" v sealed_t.Sockserv.violations;
+      check Alcotest.bool "transports byte-identical" true
+        (sealed_t = sealed_u);
+      (* Follow mode over TCP: the snapshot push, then the final
+         sealed push agreeing with the batch report. *)
+      let pushes = ref [] in
+      let sealed_d =
+        Sockserv.feed ~tcp
+          ~follow:(fun j -> pushes := j :: !pushes)
+          ~socket ~session:"d" (Trace.to_lines device)
+      in
+      let e, r, v = batch_ref device in
+      check Alcotest.int "d: events" e sealed_d.Sockserv.events;
+      check Alcotest.string "d: rules" r sealed_d.Sockserv.rules;
+      check Alcotest.bool "snapshot and sealed pushes arrived" true
+        (List.length !pushes >= 2);
+      (match !pushes with
+      | last :: _ ->
+          check Alcotest.bool "final push is sealed" true
+            (contains last {|"state":"sealed"|});
+          check Alcotest.string "final push equals the batch report"
+            ({|"rules":|} ^ r ^ {|,"violations":|} ^ v ^ "}")
+            (rules_suffix last)
+      | [] -> Alcotest.fail "follow produced no pushes");
+      (match Sockserv.request ~tcp ~socket (Proto.Query Proto.Status) with
+      | Proto.Info { json } ->
+          check Alcotest.bool "status over tcp lists the sessions" true
+            (contains json {|"t"|} && contains json {|"u"|}
+            && contains json {|"d"|})
+      | _ -> Alcotest.fail "expected Info from status query");
+      (match Sockserv.request ~tcp ~socket Proto.Shutdown with
+      | Proto.Closing _ -> ()
+      | _ -> Alcotest.fail "expected Closing from shutdown");
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.fail "daemon did not exit cleanly");
+      close_in ic;
+      check Alcotest.bool "socket unlinked" false (Sys.file_exists socket))
 
 let () =
   Alcotest.run "serve"
@@ -916,6 +1220,12 @@ let () =
             test_server_ping_query_bye_shutdown;
           Alcotest.test_case "stream query answers the live prefix" `Quick
             test_server_stream_query;
+          Alcotest.test_case "sealing interim state" `Quick
+            test_server_sealing_state_machine;
+          Alcotest.test_case "async seal serves meanwhile" `Quick
+            test_server_seal_async_serves_meanwhile;
+          Alcotest.test_case "subscription pushes match the watermark" `Quick
+            test_server_subscription_push;
         ] );
       ( "chaos",
         Alcotest.test_case "kill requires journal" `Quick
@@ -927,7 +1237,20 @@ let () =
                     (if n_seeds = 1 then "" else "s"))
                  `Slow (test_chaos f))
              Chaos.all_faults );
+      ( "chaos-tcp",
+        List.map
+          (fun f ->
+            Alcotest.test_case
+              (Printf.sprintf "%s (%d seed%s)" (Chaos.fault_name f) n_seeds
+                 (if n_seeds = 1 then "" else "s"))
+              `Slow
+              (test_chaos ~transport:`Tcp f))
+          Chaos.all_faults );
       ( "socket",
-        [ Alcotest.test_case "forked daemon end to end" `Slow
-            test_socket_integration ] );
+        [
+          Alcotest.test_case "spawned daemon end to end" `Slow
+            test_socket_integration;
+          Alcotest.test_case "tcp transport end to end" `Slow
+            test_tcp_integration;
+        ] );
     ]
