@@ -1,0 +1,107 @@
+(* Static-analysis benchmark (`dune build @perf`).
+
+   Three questions, one JSON file (BENCH_lint.json):
+
+   1. Preflight: is the whole lint report — rendered text and JSON —
+      byte-identical between `-j 1` and `-j 4`? The parallel fixpoint
+      is only a legal optimisation if the answer never changes; the
+      bench refuses to time a nondeterministic analysis.
+
+   2. Throughput: how many IR functions per second does the full
+      whole-program summary fixpoint (effects + entries + witnesses +
+      cycles + irq/sleep lint) sustain?
+
+   3. Sharding: what does running the Jacobi rounds over the
+      machine's domains buy over the sequential fixpoint? Rounds are
+      synchronised, so the speedup is bounded by the per-round
+      barrier — reported, not asserted.
+
+   All times are min-of-repeats; the analysis input is the static IR
+   itself, so there is no trace scale knob — LOCKDOC_PERF_REPEATS
+   (default 5) is the only environment knob. The cross-validation
+   timing uses the seeded fs_bench trace at scale 1, matching the
+   `lockdoc lint` default. *)
+
+module Run = Lockdoc_ksim.Run
+module Summary = Lockdoc_static.Summary
+module Lint = Lockdoc_static.Lint
+module Pool = Lockdoc_util.Pool
+module Obs = Lockdoc_obs.Obs
+module Json = Lockdoc_obs.Json
+module Report = Lockdoc_core.Report
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match Lockdoc_util.Numarg.positive s with Ok n -> n | Error _ -> default)
+  | None -> default
+
+let repeats = env_int "LOCKDOC_PERF_REPEATS" 5
+
+let best f =
+  let ms () =
+    let _, c = Obs.Clock.timed f in
+    c.Obs.Clock.wall *. 1000.
+  in
+  let best_ms = ref (ms ()) in
+  for _ = 2 to repeats do
+    let m = ms () in
+    if m < !best_ms then best_ms := m
+  done;
+  !best_ms
+
+let () =
+  let jobs = max 2 (Pool.default_jobs ()) in
+  Printf.eprintf "perf_lint: %d jobs, %d repeats\n" jobs repeats;
+  let trace = Run.workload_trace ~seed:7 ~scale:1 "fs_bench" in
+  (* Preflight: the whole report must be byte-identical across -j. *)
+  let report_bytes j =
+    let r = Lint.run ~jobs:j ~workload:"fs_bench" trace in
+    (Lint.render r, Report.to_string (Lint.to_json r))
+  in
+  let text1, json1 = report_bytes 1 in
+  let text4, json4 = report_bytes 4 in
+  let identical = text1 = text4 && json1 = json4 in
+  if not identical then
+    Printf.eprintf "perf_lint: FAIL -j 1 and -j 4 reports differ\n";
+  let s = Summary.analyse () in
+  let summary_seq_ms = best (fun () -> ignore (Summary.analyse ())) in
+  let summary_par_ms = best (fun () -> ignore (Summary.analyse ~jobs ())) in
+  let lint_ms =
+    best (fun () -> ignore (Lint.run ~jobs ~workload:"fs_bench" trace))
+  in
+  let fns_per_sec =
+    if summary_seq_ms > 0. then
+      float_of_int s.Summary.functions /. (summary_seq_ms /. 1000.)
+    else 0.
+  in
+  let speedup =
+    if summary_par_ms > 0. then summary_seq_ms /. summary_par_ms else 1.
+  in
+  Printf.eprintf
+    "perf_lint: %d fns, %d IR nodes, summary %.1fms (seq) %.1fms (-j %d), \
+     lint %.1fms\n"
+    s.Summary.functions s.Summary.ir_nodes summary_seq_ms summary_par_ms jobs
+    lint_ms;
+  print_endline
+    (Json.to_string
+       (Json.O
+          [
+            ("functions", Json.I s.Summary.functions);
+            ("wild_functions", Json.I s.Summary.wild_functions);
+            ("ir_nodes", Json.I s.Summary.ir_nodes);
+            ("effect_rounds", Json.I s.Summary.effect_rounds);
+            ("entry_rounds", Json.I s.Summary.entry_rounds);
+            ("access_sites", Json.I (List.length s.Summary.sites));
+            ("order_edges", Json.I (List.length s.Summary.edges));
+            ("summary_seq_ms", Json.F summary_seq_ms);
+            ("summary_par_ms", Json.F summary_par_ms);
+            ("summary_jobs", Json.I jobs);
+            ("summary_speedup", Json.F speedup);
+            ("functions_per_sec", Json.F fns_per_sec);
+            ("lint_ms", Json.F lint_ms);
+            ("byte_identical", Json.B identical);
+            ("repeats", Json.I repeats);
+            ("ok", Json.B identical);
+          ]));
+  if not identical then exit 1

@@ -672,6 +672,50 @@ let lockdep_cmd =
           in-situ baseline the paper contrasts LockDoc with)")
     Term.(const run $ trace_file_arg $ json_arg $ metrics_arg)
 
+(* {2 lint} *)
+
+let lint_cmd =
+  let module Lint = Lockdoc_static.Lint in
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Benchmark family to lint against (fs_bench, fsstress, \
+                 fs_inod, pipe, symlink, device).")
+  in
+  let lint_seed_arg =
+    Arg.(value & opt checked_int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"PRNG seed for the cross-validation trace.")
+  in
+  let lint_scale_arg =
+    Arg.(value & opt positive_int 1 & info [ "scale" ] ~docv:"N"
+           ~doc:"Workload iteration multiplier (trace volume).")
+  in
+  let run workload seed scale json jobs metrics =
+    if not (List.mem workload Run.workload_names) then begin
+      Printf.eprintf "lockdoc: unknown workload %S (known: %s)\n" workload
+        (String.concat ", " Run.workload_names);
+      exit 1
+    end;
+    with_metrics metrics @@ fun () ->
+    let trace = Run.workload_trace ~seed ~scale workload in
+    let report = Lint.run ~jobs:(resolve_jobs jobs) ~workload trace in
+    if json then
+      print_endline (Lockdoc_core.Report.to_string (Lint.to_json report))
+    else print_string (Lint.render report)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the whole-program static lock-discipline analysis over the \
+          declarative kernel IR and cross-validate it against a dynamic \
+          trace of one benchmark family: static access sites are checked \
+          against the rules mined from the trace, the static \
+          acquisition-order graph is diffed against the dynamic lockdep \
+          report, and statically reachable but dynamically unobserved \
+          (member, lock-context) pairs are reported as coverage gaps.")
+    Term.(
+      const run $ workload_arg $ lint_seed_arg $ lint_scale_arg $ json_arg
+      $ jobs_arg $ metrics_arg)
+
 (* {2 sanitize} *)
 
 let sanitize_cmd =
@@ -780,7 +824,7 @@ let profile_cmd =
            ~doc:"Workload to profile: $(b,mix) (the full benchmark mix, the \
                  default) or one benchmark family.")
   in
-  let run scale seed tac jobs workload metrics =
+  let run scale seed tac jobs workload json metrics =
     if workload <> "mix" && not (List.mem workload Run.workload_names) then
       begin
         Printf.eprintf "lockdoc: unknown workload %S (known: mix, %s)\n"
@@ -811,13 +855,6 @@ let profile_cmd =
     let violations, t_violations =
       phase "violations" (fun () -> Violation.find ~jobs dataset mined)
     in
-    Printf.printf "profile: %s (scale %d, seed %d, jobs %d)\n" workload scale
-      seed jobs;
-    Printf.printf "%-14s %12s %12s\n" "phase" "wall" "cpu";
-    let row name (c : Obs.Clock.t) =
-      Printf.printf "%-14s %9.1f ms %9.1f ms\n" name (1000. *. c.Obs.Clock.wall)
-        (1000. *. c.Obs.Clock.cpu)
-    in
     let phases =
       [
         ("tracing", t_trace); ("import", t_import);
@@ -825,19 +862,14 @@ let profile_cmd =
         ("check", t_check); ("violations", t_violations);
       ]
     in
-    List.iter (fun (n, c) -> row n c) phases;
-    row "total"
-      (List.fold_left
-         (fun acc (_, c) ->
-           { Obs.Clock.wall = acc.Obs.Clock.wall +. c.Obs.Clock.wall;
-             Obs.Clock.cpu = acc.Obs.Clock.cpu +. c.Obs.Clock.cpu })
-         { Obs.Clock.wall = 0.; Obs.Clock.cpu = 0. }
-         phases);
-    Printf.printf
-      "pipeline: %d event(s), %d group(s), %d rule(s) checked, %d \
-       violation(s)\n"
-      (Array.length trace.Trace.events)
-      (List.length mined) (List.length checked) (List.length violations);
+    let total =
+      List.fold_left
+        (fun acc (_, c) ->
+          { Obs.Clock.wall = acc.Obs.Clock.wall +. c.Obs.Clock.wall;
+            Obs.Clock.cpu = acc.Obs.Clock.cpu +. c.Obs.Clock.cpu })
+        { Obs.Clock.wall = 0.; Obs.Clock.cpu = 0. }
+        phases
+    in
     let snap = Obs.snapshot () in
     let top =
       List.sort
@@ -845,11 +877,57 @@ let profile_cmd =
           match compare b a with 0 -> compare na nb | c -> c)
         snap.Obs.sn_counters
     in
-    print_endline "top counters:";
-    List.iteri
-      (fun i (name, v) ->
-        if i < 12 && v > 0 then Printf.printf "  %-28s %d\n" name v)
-      top;
+    let top = List.filteri (fun i (_, v) -> i < 12 && v > 0) top in
+    if json then begin
+      let module R = Lockdoc_core.Report in
+      let clock_j (c : Obs.Clock.t) =
+        R.O
+          [
+            ("wall_ms", R.F (1000. *. c.Obs.Clock.wall));
+            ("cpu_ms", R.F (1000. *. c.Obs.Clock.cpu));
+          ]
+      in
+      print_endline
+        (R.to_string
+           (R.O
+              [
+                ("workload", R.S workload);
+                ("scale", R.I scale);
+                ("seed", R.I seed);
+                ("jobs", R.I jobs);
+                ( "phases",
+                  R.O (List.map (fun (n, c) -> (n, clock_j c)) phases) );
+                ("total", clock_j total);
+                ( "pipeline",
+                  R.O
+                    [
+                      ("events", R.I (Array.length trace.Trace.events));
+                      ("groups", R.I (List.length mined));
+                      ("rules_checked", R.I (List.length checked));
+                      ("violations", R.I (List.length violations));
+                    ] );
+                ("counters", R.O (List.map (fun (n, v) -> (n, R.I v)) top));
+              ]))
+    end
+    else begin
+      Printf.printf "profile: %s (scale %d, seed %d, jobs %d)\n" workload
+        scale seed jobs;
+      Printf.printf "%-14s %12s %12s\n" "phase" "wall" "cpu";
+      let row name (c : Obs.Clock.t) =
+        Printf.printf "%-14s %9.1f ms %9.1f ms\n" name
+          (1000. *. c.Obs.Clock.wall)
+          (1000. *. c.Obs.Clock.cpu)
+      in
+      List.iter (fun (n, c) -> row n c) phases;
+      row "total" total;
+      Printf.printf
+        "pipeline: %d event(s), %d group(s), %d rule(s) checked, %d \
+         violation(s)\n"
+        (Array.length trace.Trace.events)
+        (List.length mined) (List.length checked) (List.length violations);
+      print_endline "top counters:";
+      List.iter (fun (name, v) -> Printf.printf "  %-28s %d\n" name v) top
+    end;
     match metrics with Some path -> Obs.write path | None -> ()
   in
   Cmd.v
@@ -861,15 +939,15 @@ let profile_cmd =
           sums over domains and exceeds wall time for parallel phases.")
     Term.(
       const run $ scale_arg $ seed_arg $ tac_arg $ jobs_arg $ workload_arg
-      $ metrics_arg)
+      $ json_arg $ metrics_arg)
 
 (* {2 repro} *)
 
 let repro_cmd =
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
-           ~doc:"Experiment ids (fig1, tab1..tab8, fig7, fig8, sec72); \
-                 default: all.")
+           ~doc:"Experiment ids (fig1, tab1..tab8, fig7, fig8, sec72, \
+                 sanitize, lint); default: all.")
   in
   let run scale seed ids metrics =
     with_metrics metrics @@ fun () ->
@@ -1076,7 +1154,8 @@ let main =
       trace_cmd; import_cmd; pack_cmd; unpack_cmd; recover_cmd; fsck_cmd;
       derive_cmd; doc_cmd;
       check_cmd;
-      violations_cmd; lockdep_cmd; lockmeter_cmd; sanitize_cmd; replay_cmd;
+      violations_cmd; lockdep_cmd; lint_cmd; lockmeter_cmd; sanitize_cmd;
+      replay_cmd;
       export_cmd;
       relations_cmd; profile_cmd; repro_cmd; serve_cmd; feed_cmd;
     ]

@@ -89,6 +89,12 @@ let all =
       needs_context = false;
       render = without_ctx Sanitize_exp.render;
     };
+    {
+      id = "lint";
+      title = "Static lint: IR analyses vs dynamic ground truth";
+      needs_context = false;
+      render = without_ctx Lint_exp.render;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

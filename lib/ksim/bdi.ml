@@ -164,3 +164,87 @@ let () =
       ("laptop_io_completion", 6); ("laptop_sync_completion", 10);
       ("tag_pages_for_writeback", 18); ("write_cache_pages", 50);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"writeback" in
+  let gbdi = Sglobal "bdi_lock" in
+  let work = Smember { ty = "backing_dev_info"; var = "bdi"; member = "wb.work_lock" } in
+  let wlist = Smember { ty = "backing_dev_info"; var = "bdi"; member = "wb.list_lock" } in
+  let r m = read_m "backing_dev_info" "bdi" m in
+  let w m = write_m "backing_dev_info" "bdi" m in
+  let rw m = modify_m "backing_dev_info" "bdi" m in
+  let ri m = read_m "inode" "i" m in
+  let wi m = write_m "inode" "i" m in
+  reg ~root:true "bdi_register"
+    (seq
+       [
+         spin_lock gbdi; w "bdi_list"; spin_unlock gbdi;
+         (* ra_pages/capabilities are set after the list insertion with
+            no lock held, as mm/backing-dev.c does. *)
+         w "ra_pages"; w "capabilities";
+       ]);
+  reg ~root:true "bdi_unregister"
+    (seq [ spin_lock gbdi; w "bdi_list"; spin_unlock gbdi ]);
+  (* First alternative: the seeded irq-unsafe flavour (plain spin_lock of
+     a class also taken from hardirq context). *)
+  reg ~root:true "wb_queue_work"
+    (alt
+       [
+         seq [ spin_lock work; w "wb.work_list"; w "wb.dwork"; spin_unlock work ];
+         seq [ spin_lock_irq work; w "wb.work_list"; w "wb.dwork"; spin_unlock_irq work ];
+       ]);
+  reg "wb_update_bandwidth"
+    (with_lock ~lock:(spin_lock wlist) ~unlock:(spin_unlock wlist)
+       (seq
+          [
+            w "wb.bw_time_stamp"; rw "wb.written_stamp"; rw "wb.dirtied_stamp";
+            rw "wb.write_bandwidth"; rw "wb.avg_write_bandwidth";
+            rw "wb.dirty_ratelimit"; rw "wb.balanced_dirty_ratelimit";
+          ]));
+  let snapshot =
+    seq
+      [
+        r "wb.dirty_ratelimit"; r "wb.avg_write_bandwidth";
+        r "wb.dirty_exceeded"; r "wb.balanced_dirty_ratelimit";
+      ]
+  in
+  reg "balance_dirty_pages"
+    (seq
+       [
+         alt
+           [
+             snapshot;
+             with_lock ~lock:(spin_lock wlist) ~unlock:(spin_unlock wlist) snapshot;
+           ];
+         r "ra_pages";
+       ]);
+  reg ~root:true "wb_do_writeback"
+    (seq
+       [
+         spin_lock_irq work; r "wb.work_list"; w "wb.work_list"; spin_unlock_irq work;
+         spin_lock wlist; w "wb.last_old_flush"; rw "wb.state";
+         star
+           (seq
+              [
+                ri "i_io_list"; ri "dirtied_when"; ri "i_state";
+                opt (seq [ call "atomic_inc"; wi "i_io_list" ]);
+              ]);
+         w "wb.b_io"; spin_unlock wlist;
+         star
+           (seq
+              [
+                acquire ~side:Event.Shared Event.Rwsem
+                  (Smember { ty = "super_block"; var = "i.sb"; member = "s_umount" });
+                call ~binds:[ ("i", "i") ] "__writeback_single_inode";
+                release (Smember { ty = "super_block"; var = "i.sb"; member = "s_umount" });
+                call ~binds:[ ("i", "i") ] "iput";
+              ]);
+         spin_lock wlist; rw "wb.state"; rw "wb.completions"; spin_unlock wlist;
+         call ~binds:[ ("bdi", "bdi") ] "wb_update_bandwidth";
+       ]);
+  reg ~root:true ~irq:true "laptop_mode_timer_fn"
+    (with_lock ~lock:(spin_lock work) ~unlock:(spin_unlock work)
+       (seq [ r "wb.state"; r "wb.last_old_flush"; opt (w "wb.work_list") ]))

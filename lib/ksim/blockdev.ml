@@ -101,3 +101,51 @@ let () =
       ("blkdev_open", 20); ("blkdev_close", 10); ("block_ioctl", 12);
       ("blkdev_write_iter", 22); ("blkdev_read_iter", 14);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"blockdev" in
+  let gbdev = Sglobal "bdev_lock" in
+  let mtx = Smember { ty = "block_device"; var = "bd"; member = "bd_mutex" } in
+  let fmtx = Smember { ty = "block_device"; var = "bd"; member = "bd_fsfreeze_mutex" } in
+  let r m = read_m "block_device" "bd" m in
+  let w m = write_m "block_device" "bd" m in
+  let rw m = modify_m "block_device" "bd" m in
+  reg "bdget"
+    (seq
+       [
+         spin_lock gbdev; star (seq [ r "bd_list"; r "bd_dev" ]); spin_unlock gbdev;
+         opt
+           (seq
+              [
+                call "bdev_alloc_init"; w "bd_dev"; spin_lock gbdev;
+                w "bd_list"; spin_unlock gbdev;
+              ]);
+       ]);
+  reg "blkdev_get"
+    (with_lock ~lock:(mutex_lock mtx) ~unlock:(mutex_unlock mtx)
+       (seq
+          [
+            rw "bd_openers"; w "bd_holder"; rw "bd_holders"; r "bd_invalidated";
+            w "bd_invalidated"; w "bd_block_size";
+          ]));
+  reg "blkdev_put"
+    (with_lock ~lock:(mutex_lock mtx) ~unlock:(mutex_unlock mtx)
+       (seq [ rw "bd_openers"; rw "bd_holders"; r "bd_openers"; opt (w "bd_holder") ]));
+  reg "bd_set_size"
+    (with_lock ~lock:(mutex_lock mtx) ~unlock:(mutex_unlock mtx)
+       (seq [ w "bd_block_size"; w "bd_part_count" ]));
+  (* The lock-free flavour is the Tab. 7 block_device violation. *)
+  reg "blkdev_direct_IO"
+    (alt
+       [
+         r "bd_block_size";
+         with_lock ~lock:(mutex_lock mtx) ~unlock:(mutex_unlock mtx)
+           (seq [ r "bd_block_size"; r "bd_openers" ]);
+       ]);
+  reg "freeze_bdev"
+    (with_lock ~lock:(mutex_lock fmtx) ~unlock:(mutex_unlock fmtx) (rw "bd_fsfreeze_count"));
+  reg "thaw_bdev"
+    (with_lock ~lock:(mutex_lock fmtx) ~unlock:(mutex_unlock fmtx) (rw "bd_fsfreeze_count"))

@@ -113,3 +113,53 @@ let () =
       ("try_to_free_buffers", 28); ("buffer_migrate_page", 24);
       ("bh_lru_install", 20); ("lookup_bh_lru", 16);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"buffer" in
+  let sl = Smember { ty = "buffer_head"; var = "bh"; member = "b_state_lock" } in
+  let r m = read_m "buffer_head" "bh" m in
+  let w m = write_m "buffer_head" "bh" m in
+  let rw m = modify_m "buffer_head" "bh" m in
+  let b = [ ("bh", "bh") ] in
+  (* lock_buffer/unlock_buffer carry a net lock effect across the
+     function boundary (acquire without release and vice versa). *)
+  reg "lock_buffer" (seq [ spin_lock sl; rw "b_state" ]);
+  reg "unlock_buffer" (seq [ rw "b_state"; spin_unlock sl ]);
+  reg "mark_buffer_dirty" (with_lock ~lock:(spin_lock sl) ~unlock:(spin_unlock sl) (rw "b_state"));
+  reg "clear_buffer_dirty" (with_lock ~lock:(spin_lock sl) ~unlock:(spin_unlock sl) (rw "b_state"));
+  reg "buffer_uptodate" (r "b_state");
+  reg "set_buffer_uptodate" (with_lock ~lock:(spin_lock sl) ~unlock:(spin_unlock sl) (rw "b_state"));
+  (* Deliberately lock-free completion flavour (Tab. 7 traffic). *)
+  reg "end_buffer_read_sync" (seq [ rw "b_state"; w "b_end_io" ]);
+  reg "submit_bh"
+    (seq
+       [
+         call ~binds:b "lock_buffer"; r "b_blocknr"; r "b_size"; w "b_end_io";
+         call ~binds:b "unlock_buffer";
+         alt [ call ~binds:b "end_buffer_read_sync"; call ~binds:b "set_buffer_uptodate" ];
+       ]);
+  reg "__getblk"
+    (seq
+       [
+         call "buffer_head_init"; call ~binds:b "lock_buffer"; w "b_blocknr";
+         w "b_size"; w "b_data"; call ~binds:b "unlock_buffer";
+       ]);
+  reg "__bread"
+    (seq
+       [
+         call ~binds:b "__getblk"; call ~binds:b "buffer_uptodate";
+         opt (call ~binds:b "submit_bh");
+       ]);
+  reg "__brelse"
+    (seq [ call "atomic_dec_and_test"; opt (seq [ r "b_state"; call "free_buffer_head" ]) ]);
+  reg "mark_buffer_dirty_inode"
+    (seq
+       [
+         spin_lock (Smember { ty = "inode"; var = "i"; member = "i_data.tree_lock" });
+         w "b_assoc_buffers"; w "b_assoc_map";
+         spin_unlock (Smember { ty = "inode"; var = "i"; member = "i_data.tree_lock" });
+         call ~binds:b "mark_buffer_dirty";
+       ])

@@ -59,3 +59,25 @@ let () =
       ("chrdev_open", 34); ("cd_forget", 14); ("cdev_purge", 12);
       ("base_probe", 6);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"cdev" in
+  let g = Sglobal "cdev_lock" in
+  let r m = read_m "cdev" "cd" m in
+  let w m = write_m "cdev" "cd" m in
+  reg "cdev_add"
+    (with_lock ~lock:(spin_lock g) ~unlock:(spin_unlock g)
+       (seq [ w "dev"; w "count"; w "list"; w "ops" ]));
+  reg "cdev_del"
+    (seq
+       [ spin_lock g; w "list"; spin_unlock g; call "cdev_free" ]);
+  reg "kobj_lookup"
+    (with_lock ~lock:(spin_lock g) ~unlock:(spin_unlock g)
+       (seq
+          [
+            star (seq [ r "list"; r "count"; r "dev" ]);
+            opt (seq [ r "ops"; r "owner" ]);
+          ]))

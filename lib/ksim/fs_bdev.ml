@@ -67,3 +67,36 @@ let fstype =
         op_evict = bdev_evict;
       };
   }
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"blockdev" in
+  let mtx = Smember { ty = "block_device"; var = "bd"; member = "bd_mutex" } in
+  let bi = [ ("i", "i") ] in
+  reg "bdget_inode"
+    (seq
+       [
+         call ~binds:[ ("sb", "sb") ] "new_inode"; call "bdget";
+         write_m "inode" "i" "i_bdev"; write_m "inode" "i" "i_mode";
+         read_m "block_device" "bd" "bd_dev"; write_m "inode" "i" "i_rdev";
+       ]);
+  reg ~root:true "blkdev_read_iter_sim"
+    (seq
+       [
+         read_m "inode" "i" "i_bdev"; call ~binds:bi "i_size_read";
+         call ~binds:[ ("bd", "bd") ] "blkdev_direct_IO";
+       ]);
+  (* The backing inode's size is written under bd_mutex: the EO rule into
+     block_device that makes inode:bdev worth subclassing. *)
+  reg ~root:true "blkdev_write_iter_sim"
+    (seq
+       [
+         mutex_lock mtx; call ~binds:bi "i_size_write";
+         write_m "block_device" "bd" "bd_block_size"; mutex_unlock mtx;
+         (* Seeded ground-truth race: s_blocksize_bits without s_umount. *)
+         opt (write_m "super_block" "i.sb" "s_blocksize_bits");
+         call ~binds:bi "__mark_inode_dirty";
+       ]);
+  reg "bdev_evict_inode" (write_m "inode" "i" "i_bdev")

@@ -92,3 +92,50 @@ let set_link inode target =
 let get_link inode =
   fn "fs/namei.c" 8 "get_link" @@ fun () ->
   Lock.with_rcu (fun () -> Memory.read inode.i_inst "i_link")
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"vfs" in
+  let irw = Smember { ty = "inode"; var = "i"; member = "i_rwsem" } in
+  let tree = Smember { ty = "inode"; var = "i"; member = "i_data.tree_lock" } in
+  let r m = read_m "inode" "i" m in
+  let w m = write_m "inode" "i" m in
+  let bi = [ ("i", "i") ] in
+  reg ~root:true "generic_file_read_iter"
+    (seq
+       [
+         r "i_state"; call ~binds:bi "i_size_read"; r "i_data.nrpages";
+         r "i_data.flags"; r "i_blkbits"; call ~binds:bi "touch_atime";
+       ]);
+  reg ~root:true "generic_file_write_iter"
+    (seq
+       [
+         down_write irw; call ~binds:bi "i_size_read"; call ~binds:bi "i_size_write";
+         modify_m "inode" "i" "i_data.nrpages"; call ~binds:bi "file_update_time";
+         up_write irw; call ~binds:bi "inode_add_bytes";
+         call ~binds:bi "__mark_inode_dirty";
+         call ~binds:[ ("bdi", "bdi") ] "balance_dirty_pages";
+       ]);
+  reg ~root:true "truncate_inode_pages"
+    (seq
+       [
+         down_write irw; call ~binds:bi "i_size_write";
+         spin_lock tree; w "i_data.nrpages"; w "i_data.nrexceptional";
+         spin_unlock tree; up_write irw;
+       ]);
+  reg "simple_setattr_fs" (modify_m "inode" "i" "i_generation");
+  reg "truncate_inode_pages_final"
+    (seq
+       [
+         spin_lock tree; w "i_data.nrpages"; spin_unlock tree; r "i_data.host";
+       ]);
+  (* The trailing s_time_gran write is the seeded ground-truth race. *)
+  reg ~root:true "inode_set_link"
+    (seq
+       [
+         down_write irw; w "i_link"; w "i_mode"; up_write irw;
+         opt (write_m "super_block" "i.sb" "s_time_gran");
+       ]);
+  reg ~root:true "get_link" (with_rcu (r "i_link"))

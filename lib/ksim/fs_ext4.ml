@@ -193,3 +193,102 @@ let () =
     [
       ("ext4_orphan_get", 24); ("find_group_orlov", 40);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"ext4" in
+  let irw = Smember { ty = "inode"; var = "i"; member = "i_rwsem" } in
+  let r m = read_m "inode" "i" m in
+  let w m = write_m "inode" "i" m in
+  let bi = [ ("i", "i") ] in
+  let bj = [ ("j", "j") ] in
+  let bt = [ ("j", "j"); ("t", "t") ] in
+  let bh = [ ("bh", "bh") ] in
+  let bjh = [ ("t", "t"); ("bh", "bh"); ("jh", "jh") ] in
+  let load_journal = opt (call ~binds:bj "ext4_load_journal") in
+  reg "ext4_load_journal" (call "jbd2_journal_init_common");
+  reg "ext4_map_blocks" (seq [ r "i_blkbits"; r "i_data.flags" ]);
+  reg "ext4_mark_inode_dirty" (call ~binds:bi "__mark_inode_dirty");
+  reg "ext4_getattr" (r "i_generation");
+  reg "ext4_new_inode"
+    (seq
+       [
+         call ~binds:[ ("sb", "sb") ] "new_inode"; load_journal;
+         call ~binds:bj "jbd2_journal_start"; call ~binds:bh "__bread";
+         call ~binds:bjh "jbd2_journal_get_write_access";
+         down_write irw; w "i_generation"; w "i_flags"; w "i_acl";
+         w "i_default_acl"; up_write irw;
+         call ~binds:bjh "jbd2_journal_dirty_metadata";
+         call ~binds:bt "jbd2_journal_stop"; call ~binds:bh "__brelse";
+       ]);
+  reg ~root:true "ext4_file_write_iter"
+    (seq
+       [
+         down_write irw; load_journal; call ~binds:bj "jbd2_journal_start";
+         r "i_ino"; call ~binds:bh "__bread";
+         call ~binds:bjh "jbd2_journal_get_write_access";
+         call ~binds:bi "ext4_map_blocks"; call ~binds:bi "i_size_read";
+         call ~binds:bi "i_size_write"; modify_m "inode" "i" "i_data.nrpages";
+         call ~binds:bi "file_update_time";
+         call ~binds:bjh "jbd2_journal_dirty_metadata";
+         call ~binds:bt "jbd2_journal_stop"; up_write irw;
+         call ~binds:[ ("bh", "bh"); ("i", "i") ] "mark_buffer_dirty_inode";
+         call ~binds:bh "__brelse";
+         (* The raw flavour skips i_lock: keeps Tab. 5's i_blocks rule at
+            ~93 %. *)
+         alt
+           [
+             call ~binds:bi "inode_set_blocks_raw";
+             call ~binds:bi "inode_add_bytes";
+           ];
+         (* Seeded ground-truth race: s_maxbytes without s_umount. *)
+         opt (write_m "super_block" "i.sb" "s_maxbytes");
+         call ~binds:bi "ext4_mark_inode_dirty";
+         call ~binds:[ ("bdi", "bdi") ] "balance_dirty_pages";
+       ]);
+  reg ~root:true "ext4_file_read_iter"
+    (seq
+       [
+         call ~binds:bi "generic_file_read_iter"; call ~binds:bi "ext4_getattr";
+         r "i_flags";
+       ]);
+  (* The lock-free committing peek is the Tab. 8 journal_t violation. *)
+  reg ~root:true "ext4_sync_file"
+    (seq
+       [
+         down_read irw; load_journal;
+         opt (call ~binds:bj "jbd2_peek_committing");
+         opt (write_m "transaction_t" "t" "t_synchronous_commit");
+         call ~binds:bj "jbd2_log_wait_commit"; up_read irw;
+       ]);
+  reg "ext4_setattr"
+    (seq
+       [
+         load_journal; call ~binds:bj "jbd2_journal_start"; r "i_ino";
+         call ~binds:bh "__bread";
+         call ~binds:bjh "jbd2_journal_get_write_access";
+         modify_m "inode" "i" "i_version";
+         call ~binds:bjh "jbd2_journal_dirty_metadata";
+         call ~binds:bt "jbd2_journal_stop"; call ~binds:bh "__brelse";
+       ]);
+  reg ~root:true "ext4_truncate"
+    (seq
+       [
+         load_journal; call ~binds:bj "jbd2_journal_start"; r "i_ino";
+         call ~binds:bh "__bread";
+         call ~binds:bjh "jbd2_journal_get_write_access";
+         call ~binds:bi "i_size_write"; r "i_ino";
+         call ~binds:bj "jbd2_journal_revoke";
+         call ~binds:bjh "jbd2_journal_forget";
+         call ~binds:bt "jbd2_journal_stop"; call ~binds:bh "__brelse";
+         call ~binds:bi "inode_sub_bytes";
+       ]);
+  reg "ext4_evict_inode"
+    (seq
+       [
+         call ~binds:bi "truncate_inode_pages_final"; load_journal;
+         call ~binds:bj "jbd2_journal_start"; r "i_ino";
+         call ~binds:bj "jbd2_journal_revoke"; call ~binds:bt "jbd2_journal_stop";
+       ])

@@ -148,3 +148,33 @@ let anon_inodefs =
         op_evict = Fs_common.generic_evict;
       };
   }
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"vfs" in
+  let irw = Smember { ty = "inode"; var = "i"; member = "i_rwsem" } in
+  let il = Smember { ty = "inode"; var = "i"; member = "i_lock" } in
+  let r m = read_m "inode" "i" m in
+  let w m = write_m "inode" "i" m in
+  reg ~root:true "sysfs_kf_read" (seq [ r "i_mode"; r "i_private"; r "i_atime" ]);
+  reg ~root:true "sysfs_kf_write"
+    (with_lock ~lock:(down_write irw) ~unlock:(up_write irw)
+       (seq [ w "i_private"; w "i_mtime" ]));
+  reg "sysfs_setattr" (w "i_private");
+  reg "devtmpfs_create_node"
+    (seq
+       [
+         call ~binds:[ ("sb", "sb") ] "new_inode";
+         down_write irw; w "i_rdev"; w "i_mode"; w "i_uid"; w "i_gid";
+         up_write irw;
+       ]);
+  reg ~root:true "sockfs_peek"
+    (seq [ r "i_mode"; r "i_flags"; r "i_ino"; r "i_private" ]);
+  reg ~root:true "sockfs_setstate" (w "i_private");
+  reg ~root:true "debugfs_create_mode" (w "i_private");
+  reg ~root:true "anon_inode_peek"
+    (seq [ r "i_mode"; r "i_flags"; r "i_fop"; r "i_state" ]);
+  reg ~root:true "anon_inode_mark"
+    (with_lock ~lock:(spin_lock il) ~unlock:(spin_unlock il) (w "i_state"))

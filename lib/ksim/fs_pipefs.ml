@@ -57,3 +57,32 @@ let fstype =
         op_evict = pipefs_evict;
       };
   }
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"pipe" in
+  let bp = [ ("p", "p") ] in
+  reg "get_pipe_inode"
+    (seq
+       [
+         call ~binds:[ ("sb", "sb") ] "new_inode"; call "pipe_alloc_init";
+         write_m "inode" "i" "i_pipe"; write_m "inode" "i" "i_mode";
+         call ~binds:bp "fifo_open"; call ~binds:bp "fifo_open";
+       ]);
+  reg ~root:true "fifo_pipe_read"
+    (seq [ read_m "inode" "i" "i_pipe"; call ~binds:bp "pipe_read" ]);
+  reg ~root:true "fifo_pipe_write"
+    (seq [ read_m "inode" "i" "i_pipe"; call ~binds:bp "pipe_write" ]);
+  reg "pipe_evict_inode"
+    (seq
+       [
+         opt
+           (seq
+              [
+                call ~binds:bp "pipe_release"; call ~binds:bp "pipe_release";
+                call "free_pipe_info";
+              ]);
+         write_m "inode" "i" "i_pipe";
+       ])

@@ -58,3 +58,16 @@ let () =
       ("proc_reg_open", 30); ("proc_reg_release", 14); ("proc_get_inode", 30);
       ("proc_fill_super", 22);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"proc" in
+  let r m = read_m "inode" "i" m in
+  let w m = write_m "inode" "i" m in
+  reg ~root:true "proc_reg_read"
+    (seq [ r "i_mode"; r "i_size"; r "i_private"; r "i_fop" ]);
+  reg ~root:true "proc_simple_write" (seq [ w "i_private"; w "i_mtime" ]);
+  reg "proc_notify_change" (w "i_private");
+  reg "proc_evict_inode" (w "i_private")

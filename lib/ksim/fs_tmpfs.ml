@@ -56,3 +56,31 @@ let fstype =
         op_evict = shmem_evict;
       };
   }
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"tmpfs" in
+  let tree = Smember { ty = "inode"; var = "i"; member = "i_data.tree_lock" } in
+  let bi = [ ("i", "i") ] in
+  reg ~root:true "shmem_file_write_iter"
+    (seq
+       [
+         call ~binds:bi "generic_file_write_iter";
+         spin_lock tree; modify_m "inode" "i" "i_data.nrexceptional";
+         modify_m "inode" "i" "i_data.flags"; spin_unlock tree;
+         (* Seeded ground-truth race: s_blocksize without s_umount. *)
+         opt (write_m "super_block" "i.sb" "s_blocksize");
+       ]);
+  reg ~root:true "shmem_file_read_iter"
+    (seq
+       [ call ~binds:bi "generic_file_read_iter"; read_m "inode" "i" "i_data.gfp_mask" ]);
+  reg "shmem_evict_inode"
+    (seq
+       [
+         spin_lock tree; write_m "inode" "i" "i_data.nrexceptional";
+         write_m "inode" "i" "i_data.nrpages"; spin_unlock tree;
+       ]);
+  reg "shmem_setattr"
+    (seq [ modify_m "inode" "i" "i_flags"; call ~binds:bi "i_size_read" ])

@@ -347,3 +347,155 @@ let () =
       ("jbd2_cleanup_journal_tail", 18);
       ("__jbd2_journal_remove_checkpoint", 24);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"jbd2" in
+  let state = Smember { ty = "journal_t"; var = "j"; member = "j_state_lock" } in
+  let jlist = Smember { ty = "journal_t"; var = "j"; member = "j_list_lock" } in
+  let handle = Smember { ty = "transaction_t"; var = "t"; member = "t_handle_lock" } in
+  let bstate = Smember { ty = "buffer_head"; var = "bh"; member = "b_state_lock" } in
+  let rj m = read_m "journal_t" "j" m in
+  let wj m = write_m "journal_t" "j" m in
+  let rwj m = modify_m "journal_t" "j" m in
+  let rt m = read_m "transaction_t" "t" m in
+  let wt m = write_m "transaction_t" "t" m in
+  let rwt m = modify_m "transaction_t" "t" m in
+  let rh m = read_m "journal_head" "jh" m in
+  let wh m = write_m "journal_head" "jh" m in
+  let bb = [ ("bh", "bh") ] in
+  reg "jbd2_get_transaction"
+    (seq
+       [
+         call "jbd2_transaction_init";
+         write_lock state; wj "j_running_transaction";
+         rwj "j_transaction_sequence"; wt "t_state"; wt "t_start";
+         release state;
+       ]);
+  reg "jbd2_journal_start"
+    (seq
+       [
+         read_lock state; rj "j_flags"; rj "j_running_transaction"; rj "j_free";
+         release state;
+         opt (call ~binds:[ ("j", "j") ] "jbd2_get_transaction");
+         call "atomic_inc"; call "atomic_inc";
+         spin_lock handle; rt "t_state"; rt "t_tid"; rt "t_expires";
+         opt (wt "t_expires"); wt "t_start_time"; spin_unlock handle;
+         (* Deviation: the request counter is bumped lock-free. *)
+         rwt "t_requested";
+       ]);
+  reg "jbd2_journal_stop"
+    (seq
+       [
+         spin_lock handle; rwt "t_max_wait"; spin_unlock handle;
+         call "atomic_dec_and_test";
+       ]);
+  reg "jbd2_journal_get_write_access"
+    (seq
+       [
+         opt (call "journal_head_init");
+         spin_lock bstate; rh "b_transaction"; rh "b_modified";
+         rh "b_committed_data"; wh "b_transaction"; wh "b_frozen_data";
+         write_m "buffer_head" "bh" "b_private"; spin_unlock bstate;
+         spin_lock jlist; wh "b_tnext"; wh "b_tprev"; wh "b_jlist";
+         rwt "t_nr_buffers"; wt "t_buffers"; spin_unlock jlist;
+       ]);
+  reg "jbd2_journal_dirty_metadata"
+    (seq
+       [
+         rh "b_bh";
+         spin_lock bstate; rh "b_transaction"; wh "b_modified";
+         rh "b_next_transaction"; spin_unlock bstate;
+         spin_lock jlist; rh "b_jlist"; spin_unlock jlist;
+         call ~binds:bb "mark_buffer_dirty";
+       ]);
+  reg "jbd2_journal_forget"
+    (seq
+       [
+         rh "b_modified";
+         spin_lock bstate; wh "b_modified"; wh "b_transaction"; spin_unlock bstate;
+         spin_lock jlist; wh "b_jlist"; rwt "t_nr_buffers"; spin_unlock jlist;
+         (* The private pointer is cleared after both locks are gone. *)
+         write_m "buffer_head" "bh" "b_private";
+       ]);
+  reg ~root:true "jbd2_journal_commit_transaction"
+    (opt
+       (seq
+          [
+            Blocks; rt "t_journal";
+            write_lock state; wt "t_state"; wt "t_need_data_flush";
+            wj "j_committing_transaction"; wj "j_running_transaction";
+            rwj "j_flags"; rwj "j_commit_sequence"; wj "j_head"; release state;
+            spin_lock jlist; rt "t_nr_buffers"; rt "t_buffers";
+            star (seq [ rh "b_tnext"; rh "b_tprev"; rh "b_frozen_data"; rh "b_frozen_triggers" ]);
+            spin_unlock jlist;
+            star
+              (seq
+                 [
+                   call ~binds:bb "submit_bh"; call ~binds:bb "clear_buffer_dirty";
+                   (* Post-write-out tail maintenance, lock-free. *)
+                   wh "b_frozen_data"; wh "b_tprev"; rh "b_cpnext";
+                 ]);
+            spin_lock jlist;
+            star (seq [ wh "b_cp_transaction"; wh "b_cpnext"; wh "b_cpprev" ]);
+            wt "t_checkpoint_list"; wt "t_cpnext"; wt "t_cpprev"; spin_unlock jlist;
+            write_lock state; wt "t_state"; wj "j_committing_transaction";
+            rwj "j_commit_request"; release state;
+            spin_lock (Smember { ty = "journal_t"; var = "j"; member = "j_history_lock" });
+            rwj "j_average_commit_time";
+            spin_unlock (Smember { ty = "journal_t"; var = "j"; member = "j_history_lock" });
+            spin_lock (Smember { ty = "journal_t"; var = "j"; member = "j_stats_lock" });
+            rwj "j_overall_stats"; wj "j_running_stats";
+            spin_unlock (Smember { ty = "journal_t"; var = "j"; member = "j_stats_lock" });
+          ]));
+  reg ~root:true "jbd2_log_do_checkpoint"
+    (seq
+       [
+         mutex_lock (Smember { ty = "journal_t"; var = "j"; member = "j_checkpoint_mutex" });
+         read_lock state; rj "j_committing_transaction"; release state;
+         spin_lock jlist;
+         star
+           (seq
+              [
+                rt "t_checkpoint_list"; rt "t_tid";
+                star
+                  (seq
+                     [
+                       rh "b_cpnext"; rh "b_cp_transaction";
+                       opt (seq [ wh "b_cpnext"; wh "b_cpprev"; wh "b_cp_transaction" ]);
+                     ]);
+              ]);
+         spin_unlock jlist;
+         star
+           (seq
+              [
+                star (seq [ call "journal_head_free"; call ~binds:bb "__brelse" ]);
+                call "jbd2_transaction_free";
+              ]);
+         write_lock state; rwj "j_tail_sequence"; wj "j_tail"; wj "j_free";
+         release state;
+         mutex_unlock (Smember { ty = "journal_t"; var = "j"; member = "j_checkpoint_mutex" });
+       ]);
+  reg ~root:true ~irq:true "kjournald2_kick"
+    (seq [ rj "j_flags"; rj "j_commit_sequence"; rj "j_running_transaction"; rj "j_commit_request" ]);
+  (* The Tab. 8 journal_t violation: j_committing_transaction peeked
+     without j_state_lock. *)
+  reg "jbd2_peek_committing" (rj "j_committing_transaction");
+  reg "jbd2_log_wait_commit"
+    (seq
+       [
+         read_lock state; rj "j_commit_sequence"; rj "j_commit_request";
+         rj "j_transaction_sequence"; rj "j_committing_transaction"; rj "j_head";
+         release state;
+         rj "j_head";
+         opt (seq [ rt "t_state"; rt "t_checkpoint_list" ]);
+       ]);
+  reg "jbd2_journal_revoke"
+    (seq
+       [
+         spin_lock (Smember { ty = "journal_t"; var = "j"; member = "j_revoke_lock" });
+         rj "j_revoke"; wj "j_revoke"; rwj "j_revoke_table";
+         spin_unlock (Smember { ty = "journal_t"; var = "j"; member = "j_revoke_lock" });
+       ])

@@ -264,8 +264,10 @@ let alloc_journal () =
   }
 
 let free_journal j =
-  scope "fs/jbd2/journal.c" "jbd2_journal_destroy" @@ fun () ->
-  Memory.free j.j_inst
+  (* span matches the teardown entry point in Workloads, which declares
+     the same function. *)
+  Kernel.fn_scope ~file:"fs/jbd2/journal.c" ~span:22 "jbd2_journal_destroy"
+  @@ fun () -> Memory.free j.j_inst
 
 let alloc_txn journal =
   scope "fs/jbd2/transaction.c" "jbd2_transaction_init" @@ fun () ->
@@ -363,3 +365,29 @@ let alloc_pipe () =
 
 let free_pipe pipe =
   scope "fs/pipe.c" "free_pipe_info" @@ fun () -> Memory.free pipe.p_inst
+
+(* Static skeletons: constructors/destructors run before the object is
+   published (or after it became unreachable), exactly the functions the
+   importer's default filter black-lists — their IR is the wildcard. *)
+let () =
+  List.iter
+    (fun (subsystem, names) ->
+      List.iter (fun n -> Skeleton.register_wild ~subsystem n) names)
+    [
+      ("writeback", [ "bdi_init"; "bdi_exit" ]);
+      ( "vfs",
+        [
+          "sb_alloc_init"; "destroy_super"; "alloc_inode"; "inode_init_always";
+          "destroy_inode"; "d_alloc_init"; "dentry_free";
+        ] );
+      ( "jbd2",
+        [
+          "jbd2_journal_init_common"; "jbd2_journal_destroy";
+          "jbd2_transaction_init"; "jbd2_transaction_free";
+          "journal_head_init"; "journal_head_free";
+        ] );
+      ("buffer", [ "buffer_head_init"; "free_buffer_head" ]);
+      ("blockdev", [ "bdev_alloc_init"; "bdev_free" ]);
+      ("cdev", [ "cdev_init"; "cdev_free" ]);
+      ("pipe", [ "pipe_alloc_init"; "free_pipe_info" ]);
+    ]

@@ -106,3 +106,57 @@ let () =
       ("generic_pipe_buf_release", 8); ("round_pipe_size", 10);
       ("pipe_set_size", 28); ("pipe_ioctl", 18); ("fifo_open_wait", 20);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let sub = "pipe" in
+  let reg = register ~subsystem:sub in
+  let mtx = Smember { ty = "pipe_inode_info"; var = "p"; member = "mutex" } in
+  let r m = read_m "pipe_inode_info" "p" m in
+  let w m = write_m "pipe_inode_info" "p" m in
+  let rw m = modify_m "pipe_inode_info" "p" m in
+  reg "pipe_lock" (mutex_lock mtx);
+  reg "pipe_unlock" (mutex_unlock mtx);
+  let locked body =
+    seq
+      [
+        call ~binds:[ ("p", "p") ] "pipe_lock";
+        body;
+        call ~binds:[ ("p", "p") ] "pipe_unlock";
+      ]
+  in
+  reg "fifo_open"
+    (locked (alt [ seq [ rw "readers"; rw "r_counter" ];
+                   seq [ rw "writers"; rw "w_counter" ] ]));
+  reg "pipe_release" (locked (alt [ rw "readers"; rw "writers" ]));
+  (* The trailing Opt is the seeded lock-free w_counter bump — part of
+     the IR (the path exists in the code) and the static analyses' prime
+     unprotected-write example. *)
+  reg "pipe_write"
+    (seq
+       [
+         locked
+           (seq
+              [
+                r "readers"; r "nrbufs"; r "buffers";
+                alt
+                  [ seq [ w "nrbufs"; w "bufs"; w "tmp_page" ];
+                    rw "waiting_writers" ];
+              ]);
+         opt (rw "w_counter");
+       ]);
+  reg "pipe_read"
+    (locked
+       (seq
+          [
+            r "nrbufs";
+            alt
+              [ seq [ w "nrbufs"; rw "curbuf"; r "waiting_writers";
+                      w "waiting_writers" ];
+                r "writers" ];
+          ]));
+  let peek = seq [ r "nrbufs"; r "readers"; r "writers" ] in
+  reg "pipe_poll" (alt [ peek; locked peek ]);
+  reg "pipe_fasync" (locked (seq [ w "fasync_readers"; w "fasync_writers" ]))

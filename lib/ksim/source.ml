@@ -8,7 +8,13 @@ let file_cursor : (string, int) Hashtbl.t = Hashtbl.create 32
 
 let declare ~file ~span name =
   match Hashtbl.find_opt registry name with
-  | Some fn -> fn
+  | Some fn ->
+      if fn.fn_file <> file || fn.fn_span <> span then
+        invalid_arg
+          (Printf.sprintf
+             "Source.declare: %S re-declared as %s(%d), already %s(%d)" name
+             file span fn.fn_file fn.fn_span);
+      fn
   | None ->
       let start = Option.value ~default:1 (Hashtbl.find_opt file_cursor file) in
       Hashtbl.replace file_cursor file (start + span + 2 (* blank + brace *));

@@ -17,8 +17,10 @@ type fn = {
 
 val declare : file:string -> span:int -> string -> fn
 (** [declare ~file ~span name] registers a function and assigns it the next
-    free line range in [file]. Re-declaring the same name returns the
-    original record. *)
+    free line range in [file]. Re-declaring the same name with the same
+    [file] and [span] returns the original record; a re-declaration that
+    disagrees on either raises [Invalid_argument] — silently keeping the
+    first record would skew every coverage denominator derived from it. *)
 
 val find : string -> fn
 (** Raises [Not_found] for undeclared functions. *)

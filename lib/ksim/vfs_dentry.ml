@@ -293,3 +293,143 @@ let () =
   List.iter
     (fun (name, span) -> ignore (Source.declare ~file:"fs/namei.c" ~span name))
     []
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"vfs" in
+  let dl = Smember { ty = "dentry"; var = "d"; member = "d_lock" } in
+  let pl = Smember { ty = "dentry"; var = "p"; member = "d_lock" } in
+  let cl = Smember { ty = "dentry"; var = "c"; member = "d_lock" } in
+  let il = Smember { ty = "inode"; var = "i"; member = "i_lock" } in
+  let ghash = Sglobal "dentry_hash_lock" in
+  let grename = Sglobal "rename_lock" in
+  let lru = Smember { ty = "super_block"; var = "d.sb"; member = "s_dentry_lru_lock" } in
+  let rd m = read_m "dentry" "d" m in
+  let wd m = write_m "dentry" "d" m in
+  let rwd m = modify_m "dentry" "d" m in
+  let rc m = read_m "dentry" "c" m in
+  let bd = [ ("d", "d") ] in
+  reg ~root:true "d_alloc"
+    (seq
+       [
+         call "d_alloc_init"; spin_lock pl; write_m "dentry" "p" "d_subdirs";
+         wd "d_child"; wd "d_name"; wd "d_iname"; spin_unlock pl;
+       ]);
+  reg ~root:true "d_make_root" (call "d_alloc_init");
+  reg ~root:true "d_instantiate"
+    (seq
+       [
+         spin_lock il; spin_lock dl; wd "d_inode"; rwd "d_flags"; wd "d_time";
+         write_m "inode" "i" "i_dentry"; spin_unlock dl; spin_unlock il;
+       ]);
+  reg ~root:true "d_lookup"
+    (with_rcu
+       (seq
+          [
+            opt (seq [ spin_lock ghash; rc "d_hash"; spin_unlock ghash ]);
+            read_seq grename
+              (star
+                 (seq
+                    [
+                      spin_lock cl; rc "d_parent"; rc "d_flags"; rc "d_name";
+                      alt
+                        [
+                          seq [ rc "d_inode"; rc "d_count"; modify_m "dentry" "c" "d_count" ];
+                          rc "d_count";
+                        ];
+                      spin_unlock cl;
+                    ]));
+          ]));
+  reg ~root:true "__d_lookup_rcu"
+    (with_rcu (star (seq [ rc "d_parent"; rc "d_hash"; rc "d_iname"; rc "d_name" ])));
+  reg "dget"
+    (seq [ spin_lock dl; rwd "d_count"; spin_unlock dl ]);
+  reg "d_lru_add"
+    (seq
+       [
+         rd "d_lru";
+         opt
+           (seq [ spin_lock lru; wd "d_lru"; rwd "d_flags"; spin_unlock lru ]);
+       ]);
+  reg "d_lru_del"
+    (seq [ spin_lock lru; opt (wd "d_lru"); spin_unlock lru ]);
+  reg ~root:true "dput"
+    (seq
+       [
+         spin_lock dl; rd "d_subdirs"; rd "d_count"; wd "d_count"; spin_unlock dl;
+         opt (call ~binds:bd "d_lru_add");
+       ]);
+  reg "__d_drop"
+    (seq
+       [
+         spin_lock dl; spin_lock ghash; rd "d_hash"; wd "d_hash"; rwd "d_flags";
+         spin_unlock ghash; spin_unlock dl;
+       ]);
+  reg "d_delete"
+    (seq
+       [
+         spin_lock dl; rd "d_subdirs"; spin_unlock dl;
+         opt
+           (seq
+              [
+                spin_lock il; spin_lock dl; wd "d_inode";
+                write_m "inode" "i" "i_dentry"; spin_unlock dl; spin_unlock il;
+              ]);
+         call ~binds:bd "__d_drop";
+       ]);
+  reg ~root:true "dentry_unlist"
+    (seq
+       [
+         spin_lock pl; write_m "dentry" "p" "d_subdirs"; rd "d_child";
+         wd "d_child"; spin_unlock pl;
+       ]);
+  (* Rehash happens under the rename seqlock, not the hash lock — keeps
+     the documented hash-lock rule below 100 %. *)
+  reg ~root:true "d_move"
+    (seq
+       [
+         mutex_lock (Smember { ty = "super_block"; var = "d.sb"; member = "s_vfs_rename_mutex" });
+         write_seqlock grename;
+         opt
+           (seq
+              [
+                spin_lock (Smember { ty = "dentry"; var = "op"; member = "d_lock" });
+                spin_lock (Smember { ty = "dentry"; var = "np"; member = "d_lock" });
+                rd "d_child"; spin_lock dl;
+                write_m "dentry" "op" "d_subdirs"; write_m "dentry" "np" "d_subdirs";
+                wd "d_parent"; wd "d_child"; wd "d_hash";
+                spin_unlock dl;
+                spin_unlock (Smember { ty = "dentry"; var = "np"; member = "d_lock" });
+                spin_unlock (Smember { ty = "dentry"; var = "op"; member = "d_lock" });
+              ]);
+         write_sequnlock grename;
+         mutex_unlock (Smember { ty = "super_block"; var = "d.sb"; member = "s_vfs_rename_mutex" });
+       ]);
+  reg ~root:true "shrink_dcache_sb"
+    (seq
+       [
+         spin_lock (Smember { ty = "super_block"; var = "sb"; member = "s_dentry_lru_lock" });
+         star (seq [ rd "d_lru"; rd "d_flags"; rd "d_count" ]);
+         star (wd "d_lru");
+         spin_unlock (Smember { ty = "super_block"; var = "sb"; member = "s_dentry_lru_lock" });
+         star
+           (seq
+              [
+                opt (wd "d_inode");
+                opt (call ~binds:[ ("p", "p"); ("d", "d") ] "dentry_unlist");
+              ]);
+       ]);
+  reg ~root:true "dcache_readdir"
+    (seq
+       [
+         down_read (Smember { ty = "inode"; var = "i"; member = "i_rwsem" });
+         with_rcu
+           (seq
+              [
+                read_m "dentry" "p" "d_subdirs";
+                star (seq [ rc "d_child"; rc "d_inode"; rc "d_name" ]);
+              ]);
+         up_read (Smember { ty = "inode"; var = "i"; member = "i_rwsem" });
+       ])

@@ -443,9 +443,211 @@ let () =
     (fun (name, span) ->
       ignore (Source.declare ~file:"fs/fs-writeback.c" ~span name))
     [
-      ("wb_wait_for_completion", 10); ("inode_io_list_del", 8);
+      ("wb_wait_for_completion", 10);
       ("redirty_tail", 12); ("requeue_io", 6); ("inode_sync_complete", 8);
       ("wait_sb_inodes", 24); ("writeback_inodes_sb_nr", 12);
       ("try_to_writeback_inodes_sb", 10); ("sync_inodes_sb", 20);
       ("block_dump___mark_inode_dirty", 10);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"vfs" in
+  let il = Smember { ty = "inode"; var = "i"; member = "i_lock" } in
+  let irw = Smember { ty = "inode"; var = "i"; member = "i_rwsem" } in
+  let isq = Smember { ty = "inode"; var = "i"; member = "i_size_seqcount" } in
+  let ghash = Sglobal "inode_hash_lock" in
+  let glru = Sglobal "inode_lru_lock" in
+  let sbl = Smember { ty = "super_block"; var = "sb"; member = "s_inode_list_lock" } in
+  let wbl = Smember { ty = "backing_dev_info"; var = "bdi"; member = "wb.list_lock" } in
+  let r m = read_m "inode" "i" m in
+  let w m = write_m "inode" "i" m in
+  let rw m = modify_m "inode" "i" m in
+  let bi = [ ("i", "i") ] in
+  let new_inode_impls =
+    [ "new_inode"; "ext4_new_inode"; "get_pipe_inode"; "bdget_inode";
+      "devtmpfs_create_node" ]
+  in
+  reg "new_inode"
+    (seq
+       [
+         call "alloc_inode"; spin_lock sbl; w "i_sb_list";
+         opt (write_m "inode" "prev" "i_sb_list"); spin_unlock sbl;
+       ]);
+  reg "inode_sb_list_del"
+    (seq
+       [
+         spin_lock
+           (Smember { ty = "super_block"; var = "i.sb"; member = "s_inode_list_lock" });
+         w "i_sb_list";
+         spin_unlock
+           (Smember { ty = "super_block"; var = "i.sb"; member = "s_inode_list_lock" });
+       ]);
+  reg "__insert_inode_hash"
+    (seq
+       [
+         spin_lock ghash; spin_lock il; w "i_hash"; rw "i_state";
+         spin_unlock il; spin_unlock ghash;
+       ]);
+  (* hlist_del patches the neighbours' i_hash without their i_lock — the
+     Sec. 7.4 contradiction. *)
+  reg "__remove_inode_hash"
+    (opt
+       (seq
+          [
+            spin_lock ghash; spin_lock il; w "i_hash"; rw "i_state";
+            star (write_m "inode" "n" "i_hash");
+            spin_unlock il; spin_unlock ghash;
+          ]));
+  reg "find_inode"
+    (seq
+       [
+         spin_lock ghash;
+         star
+           (seq
+              [
+                r "i_hash"; r "i_ino";
+                opt (seq [ call "atomic_read"; r "i_ino" ]);
+              ]);
+         opt
+           (seq
+              [
+                spin_lock il; r "i_state"; opt (call "atomic_inc"); spin_unlock il;
+              ]);
+         spin_unlock ghash;
+       ]);
+  reg ~root:true "iget_locked"
+    (seq
+       [
+         call ~binds:bi "find_inode";
+         opt
+           (seq
+              [
+                vcall new_inode_impls; w "i_ino";
+                call ~binds:bi "__insert_inode_hash";
+              ]);
+       ]);
+  reg "inode_add_bytes"
+    (with_lock ~lock:(spin_lock il) ~unlock:(spin_unlock il)
+       (seq [ rw "i_blocks"; rw "i_bytes" ]));
+  reg "inode_sub_bytes"
+    (with_lock ~lock:(spin_lock il) ~unlock:(spin_unlock il)
+       (seq [ rw "i_blocks"; rw "i_bytes" ]));
+  (* Skips i_lock: keeps the documented i_blocks rule below 100 %. *)
+  reg "inode_set_blocks_raw" (w "i_blocks");
+  reg "i_size_write"
+    (seq [ write_seqlock isq; w "i_size"; write_sequnlock isq ]);
+  reg "i_size_read" (read_seq isq (r "i_size"));
+  (* First alternative: the confirmed Fig. 3 lock-free path. *)
+  reg ~root:true "inode_set_flags"
+    (alt
+       [
+         rw "i_flags";
+         seq [ down_write irw; rw "i_flags"; up_write irw ];
+       ]);
+  reg ~root:true "notify_change"
+    (seq
+       [
+         down_write irw; w "i_mode"; w "i_uid"; w "i_gid"; w "i_ctime";
+         rw "i_version";
+         vcall ~binds:bi
+           [ "simple_setattr_fs"; "ext4_setattr"; "shmem_setattr";
+             "proc_notify_change"; "sysfs_setattr" ];
+         up_write irw;
+       ]);
+  reg ~root:true "generic_fillattr"
+    (seq
+       [
+         r "i_mode"; r "i_uid"; r "i_gid"; r "i_nlink"; r "i_rdev";
+         call ~binds:bi "i_size_read"; r "i_atime"; r "i_mtime"; r "i_ctime";
+         r "i_blocks"; r "i_bytes";
+       ]);
+  reg "touch_atime" (seq [ r "i_flags"; w "i_atime" ]);
+  reg "file_update_time" (seq [ w "i_mtime"; w "i_ctime"; rw "i_version" ]);
+  reg "__mark_inode_dirty"
+    (seq
+       [
+         r "i_state";
+         opt
+           (seq
+              [
+                spin_lock il; rw "i_state"; spin_unlock il;
+                spin_lock wbl; w "dirtied_when"; w "i_io_list"; spin_unlock wbl;
+              ]);
+       ]);
+  reg "inode_is_dirty" (r "i_state");
+  reg "inode_clear_dirty"
+    (with_lock ~lock:(spin_lock il) ~unlock:(spin_unlock il) (rw "i_state"));
+  (* Callers hold i_lock; the LRU lock nests inside. *)
+  reg "inode_lru_list_add"
+    (seq
+       [
+         r "i_lru";
+         opt (seq [ spin_lock glru; w "i_lru"; spin_unlock glru ]);
+       ]);
+  reg ~root:true "prune_icache_sb"
+    (seq
+       [
+         spin_lock glru;
+         star
+           (seq
+              [
+                r "i_lru";
+                opt
+                  (seq
+                     [
+                       spin_lock il; r "i_state"; opt (call "atomic_read");
+                       opt (w "i_state"); spin_unlock il; opt (w "i_lru");
+                     ]);
+              ]);
+         spin_unlock glru;
+       ]);
+  reg "inode_lru_list_del"
+    (seq
+       [
+         spin_lock glru; opt (seq [ r "i_lru"; w "i_lru" ]); spin_unlock glru;
+       ]);
+  reg "inode_io_list_del"
+    (seq [ spin_lock wbl; opt (w "i_io_list"); spin_unlock wbl ]);
+  reg "inode_set_freeing"
+    (seq
+       [
+         spin_lock il; r "i_state"; opt (call "atomic_read"); opt (w "i_state");
+         spin_unlock il;
+       ]);
+  reg ~root:true "evict"
+    (seq
+       [
+         call ~binds:bi "inode_lru_list_del"; call ~binds:bi "inode_io_list_del";
+         call ~binds:bi "__remove_inode_hash"; call ~binds:bi "inode_sb_list_del";
+         vcall ~binds:bi
+           [ "truncate_inode_pages_final"; "ext4_evict_inode"; "shmem_evict_inode";
+             "proc_evict_inode"; "pipe_evict_inode"; "bdev_evict_inode" ];
+         call "destroy_inode";
+       ]);
+  (* The leading s_dirt write is the seeded ground-truth race. *)
+  reg ~root:true "iput"
+    (seq
+       [
+         opt (write_m "super_block" "i.sb" "s_dirt");
+         r "i_state"; spin_lock il; call "atomic_dec_and_test";
+         alt
+           [
+             seq
+               [
+                 r "i_nlink"; rw "i_state"; spin_unlock il;
+                 call ~binds:bi "evict";
+               ];
+             seq
+               [
+                 opt (r "i_nlink");
+                 opt (call ~binds:bi "inode_lru_list_add");
+                 spin_unlock il;
+               ];
+           ];
+       ]);
+  reg "ihold" (call "atomic_inc");
+  reg ~root:true "drop_nlink" (rw "i_nlink");
+  reg "inc_nlink" (rw "i_nlink")

@@ -91,3 +91,41 @@ let () =
       ("path_openat", 30); ("filename_create", 22);
       ("user_path_at_empty", 10); ("getname_flags", 20);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"vfs" in
+  let bp = [ ("p", "p") ] in
+  reg "lookup_fast" (call ~binds:bp "__d_lookup_rcu");
+  reg "lookup_slow" (call ~binds:bp "d_lookup");
+  reg "walk_component"
+    (seq [ call ~binds:bp "lookup_fast"; opt (call ~binds:bp "lookup_slow") ]);
+  reg "link_path_walk"
+    (star (seq [ call "walk_component"; opt (call ~binds:[ ("d", "d") ] "dput") ]));
+  reg ~root:true "path_lookupat" (call "link_path_walk");
+  reg ~root:true "vfs_create"
+    (seq
+       [
+         call ~binds:bp "d_lookup"; call ~binds:[ ("sb", "sb") ] "iget_locked";
+         alt
+           [
+             opt (call ~binds:[ ("d", "d"); ("i", "i") ] "d_instantiate");
+             seq
+               [
+                 call ~binds:bp "d_alloc";
+                 call ~binds:[ ("d", "d"); ("i", "i") ] "d_instantiate";
+               ];
+           ];
+       ]);
+  reg ~root:true "vfs_unlink"
+    (seq
+       [
+         down_write (Smember { ty = "inode"; var = "i"; member = "i_rwsem" });
+         call ~binds:[ ("i", "i") ] "drop_nlink";
+         up_write (Smember { ty = "inode"; var = "i"; member = "i_rwsem" });
+         call ~binds:[ ("d", "d") ] "d_delete";
+         call ~binds:[ ("p", "p"); ("d", "d") ] "dentry_unlist";
+         call ~binds:[ ("d", "d") ] "d_lru_del";
+       ])

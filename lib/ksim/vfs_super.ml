@@ -168,3 +168,85 @@ let () =
       ("vfs_writev", 12); ("generic_file_llseek", 14); ("default_llseek", 20);
       ("fixed_size_llseek", 8); ("no_seek_end_llseek", 8);
     ]
+
+(* ---- static skeletons (IR) ---------------------------------------- *)
+
+let () =
+  let open Skeleton in
+  let reg = register ~subsystem:"vfs" in
+  let gsb = Sglobal "sb_lock" in
+  let umount_l = Smember { ty = "super_block"; var = "sb"; member = "s_umount" } in
+  let il = Smember { ty = "inode"; var = "i"; member = "i_lock" } in
+  let sbil = Smember { ty = "super_block"; var = "sb"; member = "s_inode_list_lock" } in
+  let wbl = Smember { ty = "backing_dev_info"; var = "bdi"; member = "wb.list_lock" } in
+  let rs m = read_m "super_block" "sb" m in
+  let ws m = write_m "super_block" "sb" m in
+  let rws m = modify_m "super_block" "sb" m in
+  let ri m = read_m "inode" "i" m in
+  let bi = [ ("i", "i") ] in
+  let bsb = [ ("sb", "sb") ] in
+  reg "sb_list_add"
+    (seq [ spin_lock gsb; ws "s_list"; rws "s_count"; spin_unlock gsb ]);
+  reg "sb_list_del"
+    (seq [ spin_lock gsb; ws "s_list"; rws "s_count"; spin_unlock gsb ]);
+  reg ~root:true "mount_fs"
+    (seq
+       [
+         call "sb_alloc_init"; down_write umount_l; rws "s_flags"; ws "s_magic";
+         ws "s_blocksize"; ws "s_blocksize_bits"; ws "s_maxbytes";
+         call "atomic_set"; call ~binds:bsb "sb_list_add"; up_write umount_l;
+       ]);
+  reg ~root:true "sget"
+    (seq
+       [
+         spin_lock gsb; star (seq [ rs "s_list"; rs "s_count" ]); spin_unlock gsb;
+       ]);
+  (* writeback_index is mutated with s_umount held by the caller — the
+     EO(s_umount) rule of Fig. 8. *)
+  reg "__writeback_single_inode"
+    (seq
+       [
+         spin_lock il; ri "i_state"; write_m "inode" "i" "i_state"; spin_unlock il;
+         modify_m "inode" "i" "i_data.writeback_index"; ri "i_data.nrpages";
+         call ~binds:bi "inode_clear_dirty";
+         spin_lock il; modify_m "inode" "i" "i_state"; spin_unlock il;
+       ]);
+  reg ~root:true "sync_filesystem"
+    (seq
+       [
+         down_read umount_l; rs "s_flags";
+         spin_lock wbl;
+         star
+           (seq
+              [
+                ri "i_io_list"; ri "dirtied_when"; ri "i_state";
+                opt (call "atomic_inc");
+              ]);
+         spin_unlock wbl;
+         star (call ~binds:bi "__writeback_single_inode");
+         up_read umount_l;
+         star (call ~binds:bi "iput");
+       ]);
+  reg "evict_inodes"
+    (seq
+       [
+         spin_lock sbil; star (seq [ ri "i_sb_list"; ri "i_state" ]);
+         spin_unlock sbil;
+         star
+           (seq
+              [
+                call "atomic_set"; call ~binds:bi "inode_set_freeing";
+                opt (call ~binds:bi "evict");
+              ]);
+       ]);
+  reg ~root:true "generic_shutdown_super"
+    (seq
+       [
+         down_write umount_l; rws "s_flags"; ws "s_readonly_remount";
+         call ~binds:bsb "evict_inodes"; call ~binds:bsb "shrink_dcache_sb";
+         up_write umount_l; call ~binds:bsb "sb_list_del";
+         opt (call "jbd2_journal_destroy"); call "destroy_super";
+       ]);
+  reg "do_remount_sb"
+    (with_lock ~lock:(down_write umount_l) ~unlock:(up_write umount_l)
+       (seq [ ws "s_readonly_remount"; rws "s_flags"; ws "s_readonly_remount" ]))

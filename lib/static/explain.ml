@@ -1,0 +1,125 @@
+module Event = Lockdoc_trace.Event
+module Trace = Lockdoc_trace.Trace
+module Layout = Lockdoc_trace.Layout
+module Skeleton = Lockdoc_ksim.Skeleton
+
+type failure = { fl_fn : string; fl_word : string }
+
+type result = {
+  ex_frames : int;
+  ex_ok : int;
+  ex_failures : failure list;
+  ex_missing : string list;
+  ex_unresolved_access : int;
+  ex_unresolved_release : int;
+}
+
+type frame = { fname : string; mutable letters : Skeleton.letter list (* reversed *) }
+
+module Imap = Map.Make (Int)
+
+let base_type name =
+  match String.index_opt name ':' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* [dentry_free] may be deferred through call_rcu, in which case its
+   scope replays inside whatever function next drains the queue — a
+   scheduling artefact, not a control-flow edge, so the call letter is
+   dropped before matching. *)
+let deferred = function Skeleton.L_call "dentry_free" -> false | _ -> true
+
+let render letters =
+  String.concat " " (List.map Skeleton.letter_to_string letters)
+
+let check (trace : Trace.t) =
+  let layout_by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Layout.t) -> Hashtbl.replace layout_by_name l.Layout.ty_name l)
+    trace.Trace.layouts;
+  let allocs = ref Imap.empty in
+  let lock_ids : (int, string * Event.lock_kind) Hashtbl.t = Hashtbl.create 64 in
+  let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 8 in
+  let flow = ref 0 in
+  let stack () =
+    match Hashtbl.find_opt stacks !flow with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks !flow s;
+        s
+  in
+  let push_letter l =
+    match !(stack ()) with
+    | top :: _ -> top.letters <- l :: top.letters
+    | [] -> () (* top-level: outside the IR's scope *)
+  in
+  let frames = ref 0 in
+  let ok = ref 0 in
+  let failures = ref [] in
+  let failed_fns = Hashtbl.create 8 in
+  let missing = Hashtbl.create 8 in
+  let unresolved_access = ref 0 in
+  let unresolved_release = ref 0 in
+  Array.iter
+    (fun (ev : Event.t) ->
+      match ev with
+      | Event.Ctx_switch { pid; _ } -> flow := pid
+      | Event.Alloc { ptr; size; data_type; _ } -> (
+          match Hashtbl.find_opt layout_by_name (base_type data_type) with
+          | Some l -> allocs := Imap.add ptr (size, l) !allocs
+          | None -> ())
+      | Event.Free { ptr } -> allocs := Imap.remove ptr !allocs
+      | Event.Lock_acquire { lock_ptr; kind; side; name; _ } ->
+          Hashtbl.replace lock_ids lock_ptr (name, kind);
+          push_letter (Skeleton.L_acquire { name; kind; side })
+      | Event.Lock_release { lock_ptr; _ } -> (
+          match Hashtbl.find_opt lock_ids lock_ptr with
+          | Some (name, kind) -> push_letter (Skeleton.L_release { name; kind })
+          | None -> incr unresolved_release)
+      | Event.Mem_access { ptr; kind; _ } -> (
+          match Imap.find_last_opt (fun b -> b <= ptr) !allocs with
+          | Some (base, (size, layout)) when ptr < base + size -> (
+              match Layout.member_at layout (ptr - base) with
+              | Some m ->
+                  push_letter
+                    (Skeleton.L_access
+                       {
+                         ty = layout.Layout.ty_name;
+                         member = m.Layout.m_name;
+                         kind;
+                       })
+              | None -> incr unresolved_access)
+          | _ -> incr unresolved_access)
+      | Event.Fun_enter { fn; _ } ->
+          push_letter (Skeleton.L_call fn);
+          let s = stack () in
+          s := { fname = fn; letters = [] } :: !s
+      | Event.Fun_exit { fn = _ } -> (
+          let s = stack () in
+          match !s with
+          | [] -> ()
+          | top :: rest ->
+              s := rest;
+              incr frames;
+              let word = List.filter deferred (List.rev top.letters) in
+              (match Skeleton.find top.fname with
+              | None -> Hashtbl.replace missing top.fname ()
+              | Some f ->
+                  if Skeleton.accepts f word then incr ok
+                  else if not (Hashtbl.mem failed_fns top.fname) then begin
+                    Hashtbl.replace failed_fns top.fname ();
+                    failures :=
+                      { fl_fn = top.fname; fl_word = render word } :: !failures
+                  end)))
+    trace.Trace.events;
+  {
+    ex_frames = !frames;
+    ex_ok = !ok;
+    ex_failures = List.rev !failures;
+    ex_missing = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) missing []);
+    ex_unresolved_access = !unresolved_access;
+    ex_unresolved_release = !unresolved_release;
+  }
+
+let is_clean r = r.ex_failures = [] && r.ex_missing = []

@@ -1,0 +1,34 @@
+(** Differential meta-check: dynamic ⊆ static.
+
+    Every function scope in an execution trace is re-assembled into a
+    word of IR letters (lock operations, member accesses, calls) and
+    checked for membership in the language of the function's registered
+    {!Lockdoc_ksim.Skeleton}. A trace event no IR path can explain means
+    the static model has drifted from the simulated kernel — the same
+    soundness obligation a real-kernel deployment would discharge against
+    compiler-extracted CFGs.
+
+    Top-level events outside any function frame (e.g. the hardirq /
+    softirq pseudo-lock envelope the runtime wraps around handlers) are
+    outside the IR's scope and are skipped. Accesses to memory that is
+    not a monitored allocation and releases of never-acquired lock
+    pointers are counted but are not failures. *)
+
+type failure = {
+  fl_fn : string;
+  fl_word : string;  (** the rendered letter word that was rejected *)
+}
+
+type result = {
+  ex_frames : int;  (** function scopes checked *)
+  ex_ok : int;
+  ex_failures : failure list;  (** first rejected word per function *)
+  ex_missing : string list;  (** executed functions with no skeleton *)
+  ex_unresolved_access : int;  (** accesses outside monitored allocations *)
+  ex_unresolved_release : int;  (** releases of unknown lock pointers *)
+}
+
+val check : Lockdoc_trace.Trace.t -> result
+
+val is_clean : result -> bool
+(** No rejected words and no missing skeletons. *)

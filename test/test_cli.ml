@@ -141,6 +141,13 @@ let test_checked_flags_reject () =
       [ "replay"; "pipe"; "--seed"; "banana" ];
       [ "replay"; "pipe"; "--scale"; "-2" ];
       [ "sanitize"; "pipe"; "--seed"; "0x" ];
+      [ "lint"; "fs_bench"; "-j"; "0" ];
+      [ "lint"; "fs_bench"; "-j"; "x" ];
+      [ "lint"; "fs_bench"; "--jobs"; "-4" ];
+      [ "lint"; "fs_bench"; "--scale"; "0" ];
+      [ "lint"; "fs_bench"; "--scale"; "huge" ];
+      [ "lint"; "fs_bench"; "--seed"; "3.5" ];
+      [ "profile"; "pipe"; "--jobs"; "0" ];
     ]
 
 (* Rejections must be one-line diagnostics naming the flag, not a
@@ -160,6 +167,45 @@ let test_replay_unknown_workload () =
   check Alcotest.int "exit 1" 1 code;
   check Alcotest.bool "lists the known families" true
     (contains err "fs_bench")
+
+let test_lint_flags_diagnose () =
+  let code, _, err = run [ "lint"; "fs_bench"; "-j"; "0" ] in
+  check Alcotest.bool "jobs: non-zero exit" true (code <> 0);
+  check Alcotest.bool "jobs: names the flag" true (contains err "-j");
+  check Alcotest.bool "jobs: says what it expected" true
+    (contains err "positive integer");
+  let code, _, err = run [ "lint"; "fs_bench"; "--scale"; "huge" ] in
+  check Alcotest.bool "scale: non-zero exit" true (code <> 0);
+  check Alcotest.bool "scale: names the flag" true (contains err "--scale")
+
+let test_lint_unknown_workload () =
+  let code, _, err = run [ "lint"; "warp_drive" ] in
+  check Alcotest.int "exit 1" 1 code;
+  check Alcotest.bool "says unknown workload" true
+    (contains err "unknown workload");
+  check Alcotest.bool "lists the known families" true
+    (contains err "fs_bench")
+
+let test_lint_json_smoke () =
+  let code, out, _ = run [ "lint"; "pipe"; "--json" ] in
+  check Alcotest.int "exit 0" 0 code;
+  List.iter
+    (fun key ->
+      check Alcotest.bool (key ^ " present") true
+        (contains out (Printf.sprintf "%S" key)))
+    [ "workload"; "violations"; "unprotected_writes"; "order"; "gaps";
+      "mined_rules" ]
+
+let test_profile_json () =
+  let code, out, _ = run [ "profile"; "pipe"; "--scale"; "1"; "--json" ] in
+  check Alcotest.int "exit 0" 0 code;
+  List.iter
+    (fun key ->
+      check Alcotest.bool (key ^ " present") true
+        (contains out (Printf.sprintf "%S" key)))
+    [ "workload"; "phases"; "wall_ms"; "cpu_ms"; "pipeline"; "counters" ];
+  check Alcotest.bool "pipeline saw events" true
+    (not (contains out "\"events\":0"))
 
 let test_feed_needs_input () =
   let code, _, err = run [ "feed" ] in
@@ -246,6 +292,12 @@ let () =
             test_checked_flags_diagnose;
           Alcotest.test_case "replay rejects unknown workload" `Quick
             test_replay_unknown_workload;
+          Alcotest.test_case "lint flags diagnose" `Quick
+            test_lint_flags_diagnose;
+          Alcotest.test_case "lint rejects unknown workload" `Quick
+            test_lint_unknown_workload;
+          Alcotest.test_case "lint json smoke" `Quick test_lint_json_smoke;
+          Alcotest.test_case "profile json smoke" `Quick test_profile_json;
           Alcotest.test_case "feed needs input" `Quick test_feed_needs_input;
         ] );
       ( "binary",

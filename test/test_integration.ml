@@ -203,7 +203,7 @@ let test_registry_complete () =
     (Alcotest.list Alcotest.string)
     "every paper artifact is registered"
     [ "fig1"; "tab1"; "tab2"; "tab3"; "sec72"; "tab4"; "tab5"; "tab6";
-      "fig7"; "fig8"; "tab7"; "tab8"; "sanitize" ]
+      "fig7"; "fig8"; "tab7"; "tab8"; "sanitize"; "lint" ]
     Registry.ids
 
 let () =

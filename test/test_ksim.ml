@@ -332,6 +332,52 @@ let test_coverage_accounting () =
   check Alcotest.bool "partial line coverage" true
     (r.Source.lines_covered > 0 && r.Source.lines_covered < 50)
 
+(* Re-declaration must be idempotent for an identical signature and loud
+   for a conflicting one: silently keeping the first record would skew
+   every coverage denominator derived from the registry. *)
+let test_declare_mismatch () =
+  let fn = Source.declare ~file:"redecl/a.c" ~span:10 "redecl_probe" in
+  let again = Source.declare ~file:"redecl/a.c" ~span:10 "redecl_probe" in
+  check Alcotest.bool "same record back" true (fn = again);
+  let raises f =
+    match f () with
+    | (_ : Source.fn) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check Alcotest.bool "span mismatch raises" true
+    (raises (fun () -> Source.declare ~file:"redecl/a.c" ~span:11 "redecl_probe"));
+  check Alcotest.bool "file mismatch raises" true
+    (raises (fun () -> Source.declare ~file:"redecl/b.c" ~span:10 "redecl_probe"));
+  check Alcotest.bool "original record survives" true
+    (Source.find "redecl_probe" = fn)
+
+(* Report edge cases: directory matching is non-recursive (as in the
+   paper's Tab. 3), declared-but-never-executed functions count against
+   the denominators, and zero-span functions contribute no lines. *)
+let test_report_edge_cases () =
+  ignore (Source.declare ~file:"edgedir/a.c" ~span:10 "srcedge_top");
+  ignore (Source.declare ~file:"edgedir/sub/b.c" ~span:10 "srcedge_nested");
+  let zero = Source.declare ~file:"edgezero/z.c" ~span:0 "srcedge_zero" in
+  let cov = Source.coverage () in
+  (* Nested-dir exclusion: "edgedir" must not swallow "edgedir/sub". *)
+  let top = List.hd (Source.report cov ~dirs:[ "edgedir" ]) in
+  check Alcotest.int "only direct files counted" 1 top.Source.functions_total;
+  check Alcotest.int "nested lines excluded" 10 top.Source.lines_total;
+  let nested = List.hd (Source.report cov ~dirs:[ "edgedir/sub" ]) in
+  check Alcotest.int "nested dir counted on its own" 1
+    nested.Source.functions_total;
+  (* Declared but never executed: full denominator, zero numerator. *)
+  check Alcotest.int "no functions covered" 0 top.Source.functions_covered;
+  check Alcotest.int "no lines covered" 0 top.Source.lines_covered;
+  (* Zero-span functions count as functions but contribute no lines,
+     entered or not. *)
+  Source.mark_enter cov zero;
+  let z = List.hd (Source.report cov ~dirs:[ "edgezero" ]) in
+  check Alcotest.int "zero-span declared" 1 z.Source.functions_total;
+  check Alcotest.int "zero-span entered" 1 z.Source.functions_covered;
+  check Alcotest.int "zero-span has no lines" 0 z.Source.lines_total;
+  check Alcotest.int "zero-span covers no lines" 0 z.Source.lines_covered
+
 (* {2 Clock example invariants} *)
 
 let test_clock_event_shape () =
@@ -459,7 +505,12 @@ let () =
           Alcotest.test_case "reset" `Quick test_fault_reset;
         ] );
       ( "coverage",
-        [ Alcotest.test_case "accounting" `Quick test_coverage_accounting ] );
+        [
+          Alcotest.test_case "accounting" `Quick test_coverage_accounting;
+          Alcotest.test_case "re-declaration mismatch" `Quick
+            test_declare_mismatch;
+          Alcotest.test_case "report edge cases" `Quick test_report_edge_cases;
+        ] );
       ( "clock example",
         [ Alcotest.test_case "event shape" `Quick test_clock_event_shape ] );
       ( "irq",
